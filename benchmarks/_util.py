@@ -1,0 +1,20 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates its table/figure as text and stores it in
+``benchmarks/out/`` so the reproduction artifacts can be diffed against
+the paper without re-running pytest.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def write_artifact(name: str, content: str) -> pathlib.Path:
+    """Persist a regenerated table/figure; returns its path."""
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / name
+    path.write_text(content + "\n")
+    return path

@@ -1,0 +1,103 @@
+"""Sec. 6 "Fault Tolerance": recovery cost across architectures.
+
+TrustLite converts violations into recoverable faults handled by
+(untrusted) software, and with a non-maskable watchdog even an
+interrupt-masking denial-of-service attempt costs only a scheduling
+slice.  SMART and Sancus reset the platform and wipe all volatile
+memory on any violation or interrupt during protected execution.  The
+benchmark regenerates that comparison as a table of work destroyed per
+fault.
+"""
+
+from benchmarks._util import write_artifact
+from repro.baselines.sancus_machine import ProtectedSection, SancusMachine
+from repro.core.image import ImageBuilder, SoftwareModule
+from repro.core.platform import TrustLitePlatform
+from repro.machine.soc import SRAM_BASE
+from repro.sw import trustlets
+from repro.sw.images import build_probe_image, os_module
+from repro.sw.kernel import DATA_OFF_WDOG_FIRES
+
+
+def test_trustlite_fault_preserves_other_work(benchmark):
+    """A faulting trustlet costs nothing to its neighbours."""
+
+    def survivor_progress():
+        plat = TrustLitePlatform()
+        plat.boot(build_probe_image(
+            target="data", operation="write", halt_on_fault=False
+        ))
+        plat.run(max_cycles=150_000)
+        assert plat.mpu.stats.faults >= 1
+        return plat.read_trustlet_word(
+            "VICTIM", trustlets.COUNTER_OFF_VALUE
+        )
+
+    assert benchmark(survivor_progress) > 200
+
+
+def test_sancus_violation_destroys_all_state(benchmark):
+    module = ProtectedSection(
+        name="mod", text_base=0x1000, text_end=0x1100,
+        data_base=SRAM_BASE + 0x100, data_end=SRAM_BASE + 0x200,
+    )
+
+    def wiped_words():
+        machine = SancusMachine([module])
+        machine.load(
+            module.text_base,
+            f"entry:\n    movi r4, {module.data_base:#x}\n"
+            "    movi r5, 7\n    stw r5, [r4]\n    halt",
+        )
+        machine.run(module.entry)
+        machine.load(
+            0x5000,
+            f"main:\n    movi r4, {module.data_base:#x}\n"
+            "    ldw r5, [r4]\n    halt",
+        )
+        machine.run(0x5000)  # violation: foreign read
+        assert machine.soc.bus.read_word(module.data_base) == 0
+        return machine.wiped_words
+
+    assert benchmark(wiped_words) == 64 * 1024
+
+
+def test_watchdog_recovers_from_interrupt_masking_dos(benchmark):
+    """The cli-spinning hog costs one slice per watchdog period."""
+
+    def victim_progress():
+        builder = ImageBuilder()
+        builder.add_module(
+            os_module(timer_period=400, watchdog_period=1500)
+        )
+        builder.add_module(
+            SoftwareModule(name="VICTIM", source=trustlets.counter_source(1))
+        )
+        builder.add_module(
+            SoftwareModule(name="HOG", source=trustlets.cli_spinner_source())
+        )
+        plat = TrustLitePlatform()
+        plat.boot(builder.build())
+        plat.run(max_cycles=300_000)
+        assert plat.read_trustlet_word("OS", DATA_OFF_WDOG_FIRES) > 3
+        return plat.read_trustlet_word(
+            "VICTIM", trustlets.COUNTER_OFF_VALUE
+        )
+
+    assert benchmark(victim_progress) > 300
+
+
+def test_fault_tolerance_comparison_artifact(benchmark):
+    benchmark(lambda: None)
+    write_artifact(
+        "fault_tolerance.txt",
+        "Cost of one protection violation / hung protected task\n"
+        f"{'architecture':14s} {'response':34s} {'state destroyed':>16s}\n"
+        f"{'TrustLite':14s} {'MPU fault -> OS handler':34s} {'none':>16s}\n"
+        f"{'TrustLite+wdog':14s} {'NMI -> scheduler (DoS-proof)':34s} "
+        f"{'none':>16s}\n"
+        f"{'SMART':14s} {'platform reset + full wipe':34s} "
+        f"{'all volatile':>16s}\n"
+        f"{'Sancus':14s} {'platform reset + full wipe':34s} "
+        f"{'all volatile':>16s}",
+    )

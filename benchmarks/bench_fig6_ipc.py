@@ -1,0 +1,147 @@
+"""Fig. 6 / Sec. 4.2: IPC costs — untrusted RPC and the trusted channel.
+
+Measures, on the simulated machine, the guest-cycle cost of one
+trustlet-to-trustlet message (sender save-state + call() + queue +
+return + resume), and at the protocol level the one-round trusted
+channel establishment (local attestation + syn/ack) plus per-message
+authentication.  The paper gives no absolute IPC numbers; the shape
+claims are that untrusted IPC is a jump-based RPC (tens of cycles, not
+a kernel round-trip) and that a trusted channel needs exactly one
+handshake round and one inspection of each peer.
+"""
+
+from benchmarks._util import write_artifact
+from repro.core.attestation import LocalAttestation
+from repro.core.ipc import TrustedEndpoint, establish_channel
+from repro.core.platform import TrustLitePlatform
+from repro.sw import trustlets
+from repro.sw.images import build_ipc_image, build_two_counter_image
+
+
+def _guest_cycles_per_message() -> float:
+    plat = TrustLitePlatform()
+    plat.boot(build_ipc_image(timer_period=2000))
+    plat.run(max_cycles=300_000)
+    sent = plat.read_trustlet_word("TL-SND", trustlets.SENDER_OFF_SENT)
+    assert sent > 100
+    return plat.cpu.cycles / sent
+
+
+def test_untrusted_ipc_guest_cycles_per_message(benchmark):
+    per_message = benchmark(_guest_cycles_per_message)
+    # RPC via entry-vector jump: a bounded low-three-digit cycle cost
+    # (save-state 17 words + queue + restore 17 words), with no kernel
+    # transition and no copying.  The figure includes the OS task's
+    # round-robin share of guest time (~1/3 of all cycles).
+    assert per_message < 600
+    write_artifact(
+        "fig6_ipc.txt",
+        f"guest cycles per sender->receiver message: {per_message:.1f}",
+    )
+
+
+def test_ipc_throughput_survives_preemption(benchmark):
+    """Messages per 100k guest cycles with the scheduler active."""
+
+    def throughput():
+        plat = TrustLitePlatform()
+        plat.boot(build_ipc_image(timer_period=600))
+        plat.run(max_cycles=100_000)
+        received = plat.read_trustlet_word(
+            "TL-RCV", trustlets.QUEUE_OFF_TOTAL
+        )
+        sent = plat.read_trustlet_word("TL-SND", trustlets.SENDER_OFF_SENT)
+        # No loss under preemption (the receiver may lead by the one
+        # message that is mid-flight when the cycle budget expires).
+        assert 0 <= received - sent <= 1
+        return received
+
+    assert benchmark(throughput) > 120
+
+
+def _platform_endpoints():
+    plat = TrustLitePlatform()
+    plat.boot(build_two_counter_image())
+    inspector = LocalAttestation(plat.table, plat.mpu, plat.bus)
+    return (
+        TrustedEndpoint("TL-A", inspector),
+        TrustedEndpoint("TL-B", inspector),
+    )
+
+
+def test_trusted_channel_establishment(benchmark):
+    """One-round handshake incl. two local attestations (Sec. 4.2.2)."""
+    a, b = _platform_endpoints()
+    token = benchmark(establish_channel, a, b)
+    assert len(token) == 16
+
+
+def test_local_attestation_inspection(benchmark):
+    """The initiator's findTask + verifyMPU + measure sequence."""
+    a, _ = _platform_endpoints()
+    report = benchmark(a.attestation.inspect, "TL-B")
+    assert report.trusted
+
+
+def test_authenticated_message_cost(benchmark):
+    a, b = _platform_endpoints()
+    establish_channel(a, b)
+
+    def seal_and_open():
+        sealed = a.seal("TL-B", b"reading=42")
+        return b.open("TL-A", sealed)
+
+    assert benchmark(seal_and_open) == b"reading=42"
+
+
+def test_guest_level_handshake_cycles(benchmark):
+    """The complete Fig. 6 flow as guest code: both trustlets attest
+    each other, exchange syn/ack and derive the token — measured in
+    guest cycles on the simulated platform."""
+    from repro.sw.handshake import (
+        DATA_OFF_STATUS,
+        STATUS_OK,
+        build_handshake_image,
+        expected_token,
+    )
+
+    def run_handshake():
+        plat = TrustLitePlatform()
+        image = build_handshake_image()
+        plat.boot(image)
+        plat.run_until(
+            lambda p: all(
+                p.read_trustlet_word(n, DATA_OFF_STATUS) == STATUS_OK
+                for n in ("TL-A", "TL-B")
+            ),
+            max_cycles=2_000_000,
+        )
+        lay = image.layout_of("TL-A")
+        token = plat.bus.read_bytes(lay.data_base + 8, 16)
+        assert token == expected_token()
+        return plat.cpu.cycles
+
+    cycles = benchmark(run_handshake)
+    # Two local attestations + two hashes + polling: a few thousand
+    # guest cycles, far below one crypto-less software MAC would cost.
+    assert cycles < 20_000
+    write_artifact(
+        "fig6_guest_handshake.txt",
+        f"guest cycles for full mutual handshake: {cycles}",
+    )
+
+
+def test_handshake_is_single_round(benchmark):
+    """Messages on the wire: exactly one syn and one ack."""
+
+    def count_messages():
+        a, b = _platform_endpoints()
+        wire = []
+        syn = a.initiate("TL-B")
+        wire.append(syn)
+        ack = b.respond(syn)
+        wire.append(ack)
+        a.finalize(ack)
+        return len(wire)
+
+    assert benchmark(count_messages) == 2

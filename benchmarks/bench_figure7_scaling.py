@@ -1,0 +1,82 @@
+"""Figure 7: hardware overhead versus number of protected modules.
+
+Regenerates all six series of the figure, writes them as a text table,
+and asserts the shape results: Sancus's cost rises roughly twice as
+fast per module, and at the 200%-of-openMSP430 design point Sancus
+fits 9 modules where TrustLite supports ~20.
+"""
+
+from benchmarks._util import write_artifact
+from repro.hwcost.figure7 import (
+    crossover_summary,
+    figure7_series,
+    format_figure7,
+)
+from repro.hwcost.model import sancus_total, trustlite_total
+
+
+def test_figure7_series_regeneration(benchmark):
+    fig = benchmark(figure7_series)
+    assert fig.module_counts == tuple(range(33))
+    # Paper-visible anchor points.
+    assert fig.trustlite[0] == 695        # extension base
+    assert fig.sancus[0] == 1724
+    assert fig.openmsp430_100 == 3320
+    write_artifact("figure7.txt", format_figure7(fig))
+
+
+def test_crossover_9_vs_20(benchmark):
+    """The figure's headline: 'only 9 protected modules at a design
+    point where TrustLite supports 20'."""
+    summary = benchmark(crossover_summary)
+    assert summary["sancus_modules"] == 9
+    assert round(summary["trustlite_crossover"]) == 20
+    write_artifact(
+        "figure7_crossover.txt",
+        "\n".join(f"{k}: {v}" for k, v in summary.items()),
+    )
+
+
+def test_sancus_slope_roughly_double(benchmark):
+    def slope_ratio():
+        sancus_pm = sancus_total(1).slices - sancus_total(0).slices
+        trustlite_pm = trustlite_total(1).slices - trustlite_total(0).slices
+        return sancus_pm / trustlite_pm
+
+    ratio = benchmark(slope_ratio)
+    assert 1.5 < ratio < 2.0
+
+
+def test_sancus_exceeds_2x_core_before_trustlite(benchmark):
+    """Sancus crosses the 200% line at less than half TrustLite's count."""
+
+    def counts():
+        fig = figure7_series()
+        sancus_cross = next(
+            n for n, c in zip(fig.module_counts, fig.sancus)
+            if c > fig.openmsp430_200
+        )
+        trustlite_cross = next(
+            n for n, c in zip(fig.module_counts, fig.trustlite)
+            if c > fig.openmsp430_200
+        )
+        return sancus_cross, trustlite_cross
+
+    sancus_cross, trustlite_cross = benchmark(counts)
+    assert sancus_cross == 10      # first count over budget (fits 9)
+    assert trustlite_cross == 20   # fits 19.95 ~ 20
+    assert trustlite_cross >= 2 * sancus_cross
+
+
+def test_exception_engine_cost_stays_marginal(benchmark):
+    """Fig. 7: the 'w. Exceptions' line hugs the base TrustLite line."""
+
+    def max_relative_gap():
+        fig = figure7_series()
+        return max(
+            (e - t) / t
+            for t, e in zip(fig.trustlite, fig.trustlite_exceptions)
+        )
+
+    gap = benchmark(max_relative_gap)
+    assert gap < 0.20

@@ -1,0 +1,60 @@
+"""Table 1: FPGA resource utilization of the security extensions.
+
+Regenerates the paper's Table 1 from the cost model, checks the derived
+claims of Sec. 5.2/5.3 (fixed cost ~50% of Sancus, per-module ~40%
+less, the 394-reg/599-LUT SMART-like instantiation), and benchmarks the
+model evaluation itself.
+"""
+
+from benchmarks._util import write_artifact
+from repro.hwcost.model import (
+    format_table1,
+    sancus_total,
+    smart_like_instantiation,
+    table1_rows,
+    trustlite_total,
+)
+
+
+def test_table1_regeneration(benchmark):
+    """Regenerate Table 1 and pin every printed constant."""
+    rows = benchmark(table1_rows)
+    by_label = {label: (t, s) for label, t, s in rows}
+    trustlite, sancus = by_label["Base Core Size"]
+    assert (trustlite.regs, trustlite.luts) == (5528, 14361)
+    assert (sancus.regs, sancus.luts) == (998, 2322)
+    trustlite, sancus = by_label["Extension Base Cost"]
+    assert (trustlite.regs, trustlite.luts) == (278, 417)
+    assert (sancus.regs, sancus.luts) == (586, 1138)
+    trustlite, sancus = by_label["Cost per Module"]
+    assert (trustlite.regs, trustlite.luts) == (116, 182)
+    assert (sancus.regs, sancus.luts) == (213, 307)
+    trustlite, _ = by_label["Exceptions Base Cost"]
+    assert (trustlite.regs, trustlite.luts) == (34, 22)
+    write_artifact("table1.txt", format_table1())
+
+
+def test_fixed_cost_ratio_vs_sancus(benchmark):
+    """Sec. 5.2: TrustLite's fixed costs ≈ 50% of Sancus."""
+    ratio = benchmark(
+        lambda: trustlite_total(0).slices / sancus_total(0).slices
+    )
+    assert 0.3 < ratio < 0.55
+
+
+def test_per_module_cost_reduction(benchmark):
+    """Sec. 5.2: per-module cost roughly 40% less than Sancus."""
+
+    def reduction():
+        trustlite_pm = trustlite_total(1).slices - trustlite_total(0).slices
+        sancus_pm = sancus_total(1).slices - sancus_total(0).slices
+        return 1 - trustlite_pm / sancus_pm
+
+    saving = benchmark(reduction)
+    assert 0.35 < saving < 0.50
+
+
+def test_smart_like_instantiation_cost(benchmark):
+    """Sec. 5.3: one-module config = 394 slice regs + 599 slice LUTs."""
+    cost = benchmark(smart_like_instantiation)
+    assert (cost.regs, cost.luts) == (394, 599)

@@ -1,0 +1,93 @@
+"""The ePay trustlet of paper Fig. 1 — a payment service on a hostile OS.
+
+The untrusted OS relays payment requests (amount, PIN attempt) to the
+ePay trustlet over a shared region.  The trustlet:
+
+* keeps the PIN in its private code (``code_readable=False`` — not
+  even readable for attestation),
+* authorizes only with the correct PIN, with a three-strikes lockout,
+* computes an authorization tag MAC(device key, amount) with its
+  *exclusive* crypto-engine grant — the key never leaves the device
+  and the OS cannot touch it,
+* so a fully compromised OS can at worst deny service: it cannot forge
+  an authorization, steal the PIN, or exceed the rate limit.
+
+Run:  python examples/epay_service.py
+"""
+
+from repro.core.platform import TrustLitePlatform
+from repro.machine.access import AccessType
+from repro.machine.devices import crypto_engine as ce
+from repro.machine.soc import CRYPTO_BASE
+from repro.sw.epay import (
+    EPAY_OFF_FAILS,
+    FLAG_AUTHORIZED,
+    OS_OFF_VERDICTS,
+    SHM_LABEL,
+    SHM_OFF_TAG,
+    build_epay_image,
+    expected_tag,
+)
+
+DEVICE_KEY = b"provider-key-16B"
+PIN = 0x2468
+
+REQUESTS = (
+    (100, PIN),      # legitimate purchase
+    (9999, 0x1111),  # attacker guesses a PIN
+    (9999, 0x2222),  # ...and again
+    (42, PIN),       # legitimate purchase still works (2 strikes only)
+)
+
+
+def main() -> None:
+    print("=== ePay: a payment trustlet under an untrusted OS ===\n")
+
+    image = build_epay_image(pin=PIN, requests=REQUESTS)
+    platform = TrustLitePlatform()
+    platform.crypto.set_key(DEVICE_KEY)
+    platform.boot(image)
+
+    os_ip = image.layout_of("OS").code_base + 0x40
+    epay_code = image.layout_of("EPAY").code_base + 0x40
+    print("What the compromised OS can reach:")
+    print(f"  ePay code (holds the PIN) : "
+          f"{'readable!' if platform.mpu.allows(os_ip, epay_code, 4, AccessType.READ) else 'unreadable'}")
+    key_addr = CRYPTO_BASE + ce.KEY
+    print(f"  crypto-engine key slot    : "
+          f"{'readable!' if platform.mpu.allows(os_ip, key_addr, 4, AccessType.READ) else 'unreachable'}")
+
+    print("\nProcessing the request schedule on the simulated CPU...")
+    last = OS_OFF_VERDICTS + 4 * (len(REQUESTS) - 1)
+    platform.run_until(
+        lambda p: p.read_trustlet_word("OS", last) != 0,
+        max_cycles=2_000_000,
+    )
+
+    for index, (amount, pin) in enumerate(REQUESTS):
+        verdict = platform.read_trustlet_word(
+            "OS", OS_OFF_VERDICTS + 4 * index
+        )
+        outcome = "AUTHORIZED" if verdict == FLAG_AUTHORIZED else "DENIED"
+        attempt = "correct PIN" if pin == PIN else f"wrong PIN {pin:#06x}"
+        print(f"  request {index}: pay {amount:5d} with {attempt:18s} "
+              f"-> {outcome}")
+
+    shm, _ = image.layout_of("OS").shared[SHM_LABEL]
+    tag = platform.bus.read_bytes(shm + SHM_OFF_TAG, 16)
+    backend = expected_tag(DEVICE_KEY, REQUESTS[-1][0])
+    print(f"\nAuthorization tag of the last payment : {tag.hex()}")
+    print(f"Provider backend recomputation        : {backend.hex()}")
+    assert tag == backend
+    fails = platform.read_trustlet_word("EPAY", EPAY_OFF_FAILS)
+    print(f"Failed PIN attempts recorded          : {fails} "
+          f"(lockout at 3)")
+    print(f"MPU faults during the whole run       : "
+          f"{platform.mpu.stats.faults}")
+
+    print("\nThe provider can trust authorizations from this device even")
+    print("though its OS, drivers and network stack are fully untrusted.")
+
+
+if __name__ == "__main__":
+    main()

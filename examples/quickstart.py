@@ -1,0 +1,72 @@
+"""Quickstart: boot a TrustLite platform and watch trustlets run.
+
+Builds a PROM image with an untrusted OS and two trustlets, boots it
+through the Secure Loader, and runs the platform while the OS timer
+preempts the trustlets — every context switch passing through the
+secure exception engine (registers cleared, state spilled to the
+trustlet's own stack, resume via the entry vector).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core.platform import TrustLitePlatform
+from repro.sw import trustlets
+from repro.sw.images import build_two_counter_image
+from repro.sw.kernel import DATA_OFF_TICKS
+
+
+def main() -> None:
+    print("=== TrustLite quickstart ===\n")
+
+    print("Building PROM image (OS + trustlets TL-A, TL-B)...")
+    image = build_two_counter_image(timer_period=400)
+    for name in image.module_order:
+        lay = image.layout_of(name)
+        print(
+            f"  {name:6s} code [{lay.code_base:#08x},{lay.code_end:#08x})"
+            f"  data [{lay.data_base:#08x},{lay.data_end:#08x})"
+        )
+
+    print("\nBooting through the Secure Loader (Fig. 5)...")
+    platform = TrustLitePlatform()
+    report = platform.boot(image)
+    print(f"  modules loaded : {', '.join(report.modules)}")
+    print(f"  MPU regions    : {report.mpu_regions_programmed} programmed, "
+          f"{report.mpu_register_writes} register writes")
+    print(f"  launched       : {report.launched}")
+    print("\nTrustlet Table after boot:")
+    for row in platform.table.rows():
+        kind = "OS      " if row.is_os else "trustlet"
+        print(
+            f"  [{row.index}] {row.tag_text:6s} {kind} "
+            f"code=[{row.code_base:#08x},{row.code_end:#08x}) "
+            f"measurement={row.measurement.hex()[:16]}…"
+        )
+
+    print("\nRunning 200k cycles of preemptive scheduling...")
+    platform.run(max_cycles=200_000)
+
+    ticks = platform.read_trustlet_word("OS", DATA_OFF_TICKS)
+    counter_a = platform.read_trustlet_word(
+        "TL-A", trustlets.COUNTER_OFF_VALUE
+    )
+    counter_b = platform.read_trustlet_word(
+        "TL-B", trustlets.COUNTER_OFF_VALUE
+    )
+    stats = platform.engine.stats
+    print(f"  timer interrupts        : {ticks}")
+    print(f"  trustlet interruptions  : {stats.trustlet_interruptions}")
+    print(f"  TL-A counter            : {counter_a}")
+    print(f"  TL-B counter            : {counter_b}")
+    print(f"  MPU faults              : {platform.mpu.stats.faults}")
+    print(f"  UART output             : {platform.uart.output_text()!r}")
+
+    assert counter_a > 0 and counter_b > 0
+    assert platform.mpu.stats.faults == 0
+    print("\nBoth trustlets progressed under an untrusted OS scheduler,")
+    print("with zero protection faults — state fully preserved across")
+    print(f"{stats.trustlet_interruptions} secure context switches.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+"""Trusted IPC: local attestation + one-round handshake (Fig. 6).
+
+Two trustlets establish a mutually authenticated channel with no
+trusted OS and no security kernel: each inspects the other's Trustlet
+Table row, checks the EA-MPU really isolates it (verifyMPU), hashes its
+code, then exchanges syn/ack nonces and derives
+``tk_AB = hash(A, B, NA, NB)``.  Also shows the guest-level untrusted
+RPC path running on the simulated CPU, and what happens when an
+attacker tampers with a message or when a peer's isolation is broken.
+
+Run:  python examples/trusted_channel.py
+"""
+
+from repro.core.attestation import LocalAttestation
+from repro.core.ipc import SealedMessage, TrustedEndpoint, establish_channel
+from repro.core.platform import TrustLitePlatform
+from repro.errors import IpcError
+from repro.sw import trustlets
+from repro.sw.images import build_ipc_image, build_two_counter_image
+
+
+def asm_level_rpc() -> None:
+    print("--- Untrusted RPC on the simulated CPU (Sec. 4.2.1) ---")
+    platform = TrustLitePlatform()
+    platform.boot(build_ipc_image(timer_period=600))
+    platform.run(max_cycles=150_000)
+    sent = platform.read_trustlet_word("TL-SND", trustlets.SENDER_OFF_SENT)
+    received = platform.read_trustlet_word(
+        "TL-RCV", trustlets.QUEUE_OFF_TOTAL
+    )
+    print(f"  sender save-state -> call() -> queue -> resume loop:")
+    print(f"  messages sent={sent} received={received} "
+          f"faults={platform.mpu.stats.faults}")
+    assert received - sent in (0, 1)
+    print()
+
+
+def trusted_channel() -> None:
+    print("--- Trusted channel establishment (Sec. 4.2.2) ---")
+    platform = TrustLitePlatform()
+    platform.boot(build_two_counter_image())
+    inspector = LocalAttestation(platform.table, platform.mpu, platform.bus)
+
+    alice = TrustedEndpoint("TL-A", inspector)
+    bob = TrustedEndpoint("TL-B", inspector)
+
+    print("  TL-A inspects TL-B (findTask, verifyMPU, measure):")
+    report = inspector.inspect("TL-B")
+    print(f"    row found={report.row_found} isolation={report.isolation_ok} "
+          f"measurement={report.measurement_ok}")
+
+    token = establish_channel(alice, bob)
+    print(f"  one-round handshake complete, tk_AB = {token.hex()}")
+
+    sealed = alice.seal("TL-B", b"transfer 40 coins to B")
+    print(f"  A->B sealed: {sealed.payload!r} tag={sealed.tag.hex()[:16]}…")
+    print(f"  B opens    : {bob.open('TL-A', sealed)!r}")
+
+    forged = SealedMessage(b"transfer 99 coins to E", sealed.counter + 1,
+                           sealed.tag)
+    try:
+        bob.open("TL-A", forged)
+    except IpcError as exc:
+        print(f"  forged message rejected: {exc}")
+    print()
+
+
+def broken_isolation_detected() -> None:
+    print("--- Attestation catches broken isolation ---")
+    platform = TrustLitePlatform()
+    platform.boot(build_two_counter_image())
+    inspector = LocalAttestation(platform.table, platform.mpu, platform.bus)
+
+    # Sabotage: a rule exposing TL-B's data to the world (as a buggy or
+    # malicious policy would).
+    from repro.mpu.regions import ANY_SUBJECT, Perm
+
+    row = inspector.find_task("TL-B")
+    index = platform.mpu.free_region_index()
+    platform.mpu.program_region(
+        index, row.data_base, row.data_end, Perm.R, subjects=ANY_SUBJECT
+    )
+
+    alice = TrustedEndpoint("TL-A", inspector)
+    try:
+        alice.initiate("TL-B")
+    except IpcError as exc:
+        print(f"  handshake refused: {exc}")
+    print()
+
+
+def main() -> None:
+    print("=== Trusted IPC between trustlets ===\n")
+    asm_level_rpc()
+    trusted_channel()
+    broken_isolation_detected()
+    print("Trusted channels require no security kernel: isolation is")
+    print("inspected, not assumed, and persists until platform reset.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""TrustLite (EuroSys 2014) reproduction.
+
+A complete ISA-level reproduction of "TrustLite: A Security
+Architecture for Tiny Embedded Devices" — execution-aware memory
+protection, a secure exception engine, the Secure Loader, trustlet
+software running as guest assembly, SMART/Sancus baselines and the
+paper's hardware-cost models.
+
+Most users start here::
+
+    from repro import TrustLitePlatform, build_two_counter_image
+
+    platform = TrustLitePlatform()
+    platform.boot(build_two_counter_image())
+    platform.run(max_cycles=200_000)
+
+See README.md for the architecture map and EXPERIMENTS.md for the
+paper-vs-measured result index.
+"""
+
+from repro.core.platform import TrustLitePlatform
+from repro.core.image import (
+    ImageBuilder,
+    MmioGrant,
+    SharedRegionRequest,
+    SoftwareModule,
+)
+from repro.sw.images import (
+    build_attestation_image,
+    build_ipc_image,
+    build_two_counter_image,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ImageBuilder",
+    "MmioGrant",
+    "SharedRegionRequest",
+    "SoftwareModule",
+    "TrustLitePlatform",
+    "build_attestation_image",
+    "build_ipc_image",
+    "build_two_counter_image",
+]

@@ -1,0 +1,38 @@
+"""Assembled program image."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import AssemblerError
+
+
+@dataclass
+class Program:
+    """The output of the assembler: a blob at an absolute base address.
+
+    ``symbols`` maps label names to absolute addresses.  ``end`` is the
+    first address past the image, so images can be packed back to back.
+    """
+
+    base: int
+    data: bytes
+    symbols: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+    @property
+    def end(self) -> int:
+        return self.base + len(self.data)
+
+    def symbol(self, name: str) -> int:
+        """Absolute address of label ``name``."""
+        try:
+            return self.symbols[name]
+        except KeyError:
+            raise AssemblerError(f"no symbol named {name!r}") from None
+
+    def contains(self, address: int) -> bool:
+        return self.base <= address < self.end

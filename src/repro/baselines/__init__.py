@@ -1,0 +1,26 @@
+"""Baseline architectures the paper compares against (Secs. 5 and 7).
+
+* :mod:`repro.baselines.smart` — SMART (El Defrawy et al., NDSS'12):
+  an IP-gated secret key plus a fixed attestation routine in ROM,
+  non-interruptible, no field updates, full memory wipe on reset.
+* :mod:`repro.baselines.sancus` — Sancus (Noorman et al., USENIX
+  Sec'13): CPU-implemented protected modules with one contiguous
+  code+data section each, hardware-derived per-module MAC keys, no
+  interrupt support, reset-wipes memory.
+* :mod:`repro.baselines.capabilities` — the qualitative feature matrix
+  TrustLite's Sec. 6/7 argument builds on, used by the comparison
+  benchmarks and the README.
+"""
+
+from repro.baselines.smart import SmartKeyGate, SmartPlatform
+from repro.baselines.sancus import SancusModule, SancusPlatform
+from repro.baselines.capabilities import capability_matrix, format_matrix
+
+__all__ = [
+    "SancusModule",
+    "SancusPlatform",
+    "SmartKeyGate",
+    "SmartPlatform",
+    "capability_matrix",
+    "format_matrix",
+]

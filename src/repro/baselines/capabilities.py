@@ -1,0 +1,57 @@
+"""Qualitative capability matrix: SMART vs Sancus vs TrustLite.
+
+Collects the feature comparisons scattered across the paper's Secs. 1,
+3, 6 and 7 into one table, consumed by the comparison benchmark and the
+README.  Each cell is ``True``/``False``/a short string.
+"""
+
+from __future__ import annotations
+
+ARCHITECTURES = ("SMART", "Sancus", "TrustLite")
+
+_MATRIX: dict[str, tuple] = {
+    # (SMART, Sancus, TrustLite)
+    "remote attestation": (True, True, True),
+    "trusted execution": (True, True, True),
+    "multiple concurrent trusted modules": (False, True, True),
+    "field update of trusted code": (False, True, True),
+    "field update of security policy": (False, False, True),
+    "interruptible trusted modules": (False, False, True),
+    "exception handling without reset": (False, False, True),
+    "protected state across invocations": (False, True, True),
+    "multiple regions per module": (False, False, True),
+    "exclusive peripheral (MMIO) grants": (False, "contiguous only", True),
+    "shared memory between modules": (False, False, True),
+    "reset without full memory wipe": (False, False, True),
+    "isolation independent of CPU ISA": (False, False, True),
+    "requires hardware hash engine": (False, True, False),
+    "requires dedicated ROM": ("4 kB", False, False),
+}
+
+
+def capability_matrix() -> dict[str, dict[str, object]]:
+    """The matrix as {feature: {architecture: value}}."""
+    return {
+        feature: dict(zip(ARCHITECTURES, values))
+        for feature, values in _MATRIX.items()
+    }
+
+
+def _render(value: object) -> str:
+    if value is True:
+        return "yes"
+    if value is False:
+        return "no"
+    return str(value)
+
+
+def format_matrix() -> str:
+    """Aligned text rendering for benchmark output and the README."""
+    width = max(len(feature) for feature in _MATRIX) + 2
+    lines = [
+        f"{'feature':{width}s}" + "".join(f"{a:>18s}" for a in ARCHITECTURES)
+    ]
+    for feature, values in _MATRIX.items():
+        cells = "".join(f"{_render(v):>18s}" for v in values)
+        lines.append(f"{feature:{width}s}{cells}")
+    return "\n".join(lines)

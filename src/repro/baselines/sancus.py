@@ -1,0 +1,194 @@
+"""Sancus baseline (Noorman et al. — USENIX Security 2013).
+
+Sancus extends the openMSP430 with CPU instructions that load,
+measure and isolate *software modules*: each protected module has one
+contiguous text section and one contiguous protected data section, a
+hardware-computed measurement, and a per-module key derived in hardware
+as ``K_module = kdf(kdf(K_master, vendor), module identity)``.
+
+Properties the TrustLite paper contrasts against (Secs. 3.3, 5, 7):
+
+* **contiguity**: all memory and MMIO a module touches must be wired
+  into its single data section — no multiple regions, no flexible
+  peripheral grants;
+* **no interrupts**: protected modules are not interruptible; faults
+  or violations reset the platform, and reset wipes memory;
+* **module count costs hardware**: each additional protected module
+  adds register/LUT cost in the CPU (see :mod:`repro.hwcost`);
+* module keys are cached in hardware registers (128 bits per module).
+
+The model enforces those restrictions so benchmarks can demonstrate
+where workloads that fit TrustLite fail on Sancus (e.g. a module
+needing both SRAM data and a distant MMIO window).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto import constant_time_equal, mac, sponge_hash
+from repro.errors import PlatformError
+
+KEY_SIZE = 16
+
+
+def _kdf(key: bytes, data: bytes) -> bytes:
+    """Hardware key-derivation: a MAC used as a KDF."""
+    return mac(key, data)
+
+
+@dataclass(frozen=True)
+class SancusModule:
+    """A protected module: one text section, one contiguous data section."""
+
+    name: str
+    vendor: str
+    text: bytes
+    text_base: int
+    data_base: int
+    data_size: int
+
+    @property
+    def identity(self) -> bytes:
+        """Module identity: text hash bound to its layout."""
+        material = (
+            self.text_base.to_bytes(4, "little")
+            + (self.text_base + len(self.text)).to_bytes(4, "little")
+            + self.data_base.to_bytes(4, "little")
+            + (self.data_base + self.data_size).to_bytes(4, "little")
+            + self.text
+        )
+        return sponge_hash(material)
+
+
+@dataclass
+class _LoadedModule:
+    module: SancusModule
+    key: bytes
+    measurement: bytes
+
+
+class SancusPlatform:
+    """Behavioural Sancus device."""
+
+    def __init__(
+        self,
+        *,
+        master_key: bytes,
+        max_modules: int = 4,
+        memory_words: int = 16 * 1024,
+    ) -> None:
+        if len(master_key) != KEY_SIZE:
+            raise PlatformError(f"master key must be {KEY_SIZE} bytes")
+        self._master = bytes(master_key)
+        self.max_modules = max_modules
+        self.memory_words = memory_words
+        self._loaded: dict[str, _LoadedModule] = {}
+        self.resets = 0
+        self.wiped_words = 0
+
+    # ------------------------------------------------------------------
+
+    def vendor_key(self, vendor: str) -> bytes:
+        """kdf(K_master, vendor) — what a vendor can compute offline."""
+        return _kdf(self._master, vendor.encode("ascii"))
+
+    def module_key(self, module: SancusModule) -> bytes:
+        """kdf(kdf(K_master, vendor), module identity)."""
+        return _kdf(self.vendor_key(module.vendor), module.identity)
+
+    # ------------------------------------------------------------------
+
+    def protect(self, module: SancusModule) -> bytes:
+        """The ``protect`` instruction: load, measure, isolate, derive key.
+
+        Returns the module's measurement.  Enforces the hardware module
+        budget and the single-contiguous-section restriction.
+        """
+        if module.name in self._loaded:
+            raise PlatformError(f"module {module.name!r} already protected")
+        if len(self._loaded) >= self.max_modules:
+            raise PlatformError(
+                f"Sancus instantiation supports {self.max_modules} modules; "
+                "more modules require a larger (costlier) CPU"
+            )
+        if module.data_size <= 0 or not module.text:
+            raise PlatformError("module needs non-empty text and data")
+        measurement = module.identity
+        self._loaded[module.name] = _LoadedModule(
+            module=module,
+            key=self.module_key(module),
+            measurement=measurement,
+        )
+        return measurement
+
+    def unprotect(self, name: str) -> None:
+        """Tear down a module (clears its key registers)."""
+        if name not in self._loaded:
+            raise PlatformError(f"module {name!r} not protected")
+        del self._loaded[name]
+
+    def require_single_region(
+        self, data_windows: list[tuple[int, int]]
+    ) -> None:
+        """Reject workloads needing disjoint data/MMIO windows.
+
+        The TrustLite paper's point (Sec. 3.3): Sancus requires "all
+        memory and MMIO accessible for a trustlet [to be] wired into
+        the same contiguous data region".
+        """
+        if len(data_windows) <= 1:
+            return
+        windows = sorted(data_windows)
+        for (_, end), (start, _) in zip(windows, windows[1:]):
+            if start > end:
+                raise PlatformError(
+                    "Sancus module cannot span disjoint regions "
+                    f"({end:#x}..{start:#x} gap); TrustLite grants each "
+                    "window with a separate EA-MPU rule"
+                )
+
+    # ------------------------------------------------------------------
+
+    def attest(self, name: str, nonce: bytes) -> bytes:
+        """MAC the module's measurement under its hardware key."""
+        loaded = self._require(name)
+        return mac(loaded.key, nonce + loaded.measurement)
+
+    def verify_attestation(
+        self, module: SancusModule, nonce: bytes, report: bytes
+    ) -> bool:
+        """Vendor-side verification from offline-derivable values."""
+        expected = mac(self.module_key(module), nonce + module.identity)
+        return constant_time_equal(expected, report)
+
+    def seal_message(self, name: str, message: bytes) -> bytes:
+        """Authenticated IPC: MAC under the module key."""
+        return mac(self._require(name).key, message)
+
+    def _require(self, name: str) -> _LoadedModule:
+        try:
+            return self._loaded[name]
+        except KeyError:
+            raise PlatformError(f"module {name!r} not protected") from None
+
+    # ------------------------------------------------------------------
+
+    def interrupt(self) -> int:
+        """Interrupt during protected execution → platform reset + wipe.
+
+        Returns the wipe cost in words (the boot/fault-tolerance unit
+        in the comparison benchmarks).
+        """
+        return self.reset()
+
+    def reset(self) -> int:
+        """Reset wipes all volatile memory and unloads every module."""
+        self._loaded.clear()
+        self.resets += 1
+        self.wiped_words += self.memory_words
+        return self.memory_words
+
+    @property
+    def loaded_modules(self) -> tuple[str, ...]:
+        return tuple(self._loaded)

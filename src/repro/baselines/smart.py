@@ -1,0 +1,173 @@
+"""SMART baseline (El Defrawy, Francillon, Perito, Tsudik — NDSS 2012).
+
+SMART adds a single rule to the memory bus of a low-end MCU: a secret
+key in memory is readable **only** while the instruction pointer lies
+inside an immutable attestation routine in ROM, and that routine may
+only be entered at its first instruction.  With the key, the routine
+MACs an arbitrary memory region for a remote verifier (remote
+attestation) and can branch to verified code (trusted execution).
+
+The properties the TrustLite paper contrasts against (Secs. 1, 7):
+
+* the routine and key are fixed at manufacturing — **no field update**;
+* attestation is **non-interruptible**: interrupts are disabled during
+  the routine, and any violation triggers a platform reset that wipes
+  all volatile memory;
+* there is exactly **one** trusted service; concurrent trusted
+  applications must spill and reload their state on every invocation.
+
+:class:`SmartKeyGate` is the bus access-control rule, implemented with
+the same ``check()`` interface as the MPUs so it can guard a real
+simulated machine.  :class:`SmartPlatform` is the behavioural platform
+model used by the comparison benchmarks (boot cost, update attempts,
+invocation overhead).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto import mac
+from repro.errors import MemoryProtectionFault, PlatformError
+from repro.machine.access import AccessType
+
+KEY_SIZE = 16
+
+# Paper Sec. 5.2: the original SMART instantiation requires an extra
+# 4 kB ROM for the attestation routine.
+SMART_ROM_BYTES = 4 * 1024
+
+
+@dataclass(frozen=True)
+class RomRegion:
+    """The immutable attestation routine's address range."""
+
+    base: int
+    end: int
+
+    def contains(self, address: int) -> bool:
+        return self.base <= address < self.end
+
+
+class SmartKeyGate:
+    """The SMART memory-bus access rule (CPU ``mpu`` hook compatible).
+
+    * the key region is readable only when ``subject_ip`` is inside the
+      ROM routine;
+    * the key region is never writable;
+    * the ROM routine is never writable (it is ROM);
+    * the ROM routine may only be *entered* at its first instruction:
+      a fetch inside the ROM is allowed only if the previous
+      instruction was also in the ROM or the fetch targets its base
+      (SMART's instruction-pointer rule);
+    * everything else is allowed — SMART provides no general isolation.
+    """
+
+    def __init__(self, rom: RomRegion, key_base: int) -> None:
+        self.rom = rom
+        self.key_base = key_base
+        self.key_end = key_base + KEY_SIZE
+        self.violations = 0
+
+    def _in_key(self, address: int, size: int) -> bool:
+        return address < self.key_end and self.key_base < address + size
+
+    def check(
+        self, subject_ip: int, address: int, size: int, access: AccessType
+    ) -> None:
+        allowed = True
+        if self._in_key(address, size):
+            if access is AccessType.WRITE:
+                allowed = False
+            elif not self.rom.contains(subject_ip):
+                allowed = False
+        if self.rom.contains(address) and access is AccessType.WRITE:
+            allowed = False
+        if (
+            access is AccessType.FETCH
+            and self.rom.contains(address)
+            and not self.rom.contains(subject_ip)
+            and address != self.rom.base
+        ):
+            allowed = False  # mid-routine entry: the SMART IP rule
+        if allowed:
+            return
+        self.violations += 1
+        raise MemoryProtectionFault(
+            f"SMART gate denied {access.name.lower()} at {address:#010x} "
+            f"from {subject_ip:#010x}",
+            subject_ip=subject_ip,
+            address=address,
+            access=access.permission_letter,
+        )
+
+
+class SmartPlatform:
+    """Behavioural SMART device for the comparison benchmarks."""
+
+    def __init__(self, *, key: bytes, memory_words: int = 16 * 1024) -> None:
+        if len(key) != KEY_SIZE:
+            raise PlatformError(f"SMART key must be {KEY_SIZE} bytes")
+        self._key = bytes(key)
+        self.memory_words = memory_words
+        self.memory = bytearray(4 * memory_words)
+        self.resets = 0
+        self.wiped_words = 0
+        self.attestations = 0
+
+    # ------------------------------------------------------------------
+
+    def load(self, offset: int, blob: bytes) -> None:
+        self.memory[offset:offset + len(blob)] = blob
+
+    def attest(self, nonce: bytes, base: int, length: int) -> bytes:
+        """The ROM routine: MAC(key, nonce || memory[base:base+length]).
+
+        Runs with interrupts disabled; there is no way to preempt it.
+        """
+        if base < 0 or base + length > len(self.memory):
+            raise PlatformError("attested range outside memory")
+        self.attestations += 1
+        region = bytes(self.memory[base:base + length])
+        return mac(self._key, nonce + region)
+
+    def verify(self, nonce: bytes, base: int, length: int, report: bytes,
+               expected_content: bytes) -> bool:
+        """Verifier side, holding a copy of the key and reference code."""
+        return mac(self._key, nonce + expected_content) == report and \
+            bytes(self.memory[base:base + length]) == expected_content
+
+    # ------------------------------------------------------------------
+
+    def reset(self) -> int:
+        """Platform reset: hardware wipes ALL volatile memory.
+
+        Returns the number of words wiped — the boot-cost unit the
+        Fig. 5 comparison benchmark charges, versus the TrustLite
+        Secure Loader's selective re-initialization.
+        """
+        for i in range(len(self.memory)):
+            self.memory[i] = 0
+        self.resets += 1
+        self.wiped_words += self.memory_words
+        return self.memory_words
+
+    def update_routine(self, _new_code: bytes) -> None:
+        """SMART cannot update its attestation code or key in the field."""
+        raise PlatformError(
+            "SMART stores its attestation routine in mask ROM; neither the "
+            "code nor the key can be updated after manufacturing"
+        )
+
+    def concurrent_services(self) -> int:
+        """SMART sustains exactly one trusted execution environment."""
+        return 1
+
+    def invocation_state_words(self, state_words: int) -> int:
+        """Words spilled+reloaded per trusted invocation.
+
+        SMART applications must store and restore their state on each
+        invocation (paper Sec. 7), costing two memory transfers of the
+        application state; TrustLite keeps state resident (cost 0).
+        """
+        return 2 * state_words

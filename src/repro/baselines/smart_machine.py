@@ -1,0 +1,162 @@
+"""SMART running on the simulated SP32 machine.
+
+Where :mod:`repro.baselines.smart` models SMART's properties
+behaviourally, this module actually *runs* it: the attestation routine
+is SP32 assembly in ROM, the secret key sits in a gated memory window,
+and :class:`~repro.baselines.smart.SmartKeyGate` is installed as the
+CPU's bus access-control rule.  Untrusted code can invoke the routine
+(only at its first instruction), but any attempt to read the key or to
+jump into the middle of the routine faults.
+
+Calling convention of the ROM routine (entered at ``ROM_BASE``):
+
+* ``r0`` — base address of the region to attest,
+* ``r1`` — length of the region in bytes (word multiple),
+* the verifier's 8-byte nonce is at :data:`NONCE_ADDR`,
+* the 16-byte report is written to :data:`REPORT_ADDR`; the CPU halts.
+
+The report equals ``mac(key, nonce || memory[region])`` with the MAC
+construction of :mod:`repro.crypto.mac`, computed via the platform's
+crypto engine — so a host-side verifier with the key can recompute it.
+"""
+
+from __future__ import annotations
+
+from repro.asm import assemble
+from repro.baselines.smart import KEY_SIZE, RomRegion, SmartKeyGate
+from repro.crypto import mac
+from repro.errors import PlatformError
+from repro.machine.devices import crypto_engine as ce
+from repro.machine.soc import CRYPTO_BASE, SRAM_BASE, SoC
+
+ROM_BASE = 0x0000_0000
+KEY_ADDR = SRAM_BASE
+NONCE_ADDR = SRAM_BASE + 0x100
+NONCE_SIZE = 8
+REPORT_ADDR = SRAM_BASE + 0x140
+
+# Untrusted application code is placed here in PROM.
+APP_BASE = 0x0000_2000
+
+
+def _attest_routine_source() -> str:
+    """The ROM attestation routine (SMART's trusted code)."""
+    return f"""
+.equ CRYPTO, {CRYPTO_BASE:#x}
+.equ KEY, {KEY_ADDR:#x}
+.equ NONCE, {NONCE_ADDR:#x}
+.equ REPORT, {REPORT_ADDR:#x}
+
+attest:                         ; the ONLY legal entry point
+    nop                         ; single-word landing pad: the entry
+                                ; fetch is attributed to the caller,
+                                ; so it must not span two words
+    movi r4, CRYPTO
+    movi r5, {ce.CTRL_RESET}
+    stw r5, [r4+{ce.CTRL}]
+    movi r5, {KEY_SIZE}
+    stw r5, [r4+{ce.DATA_IN}]   ; MAC: absorb len(key) first
+    movi r6, KEY
+    ldw r7, [r6+0]
+    stw r7, [r4+{ce.DATA_IN}]   ; key words: only ROM code may read these
+    ldw r7, [r6+4]
+    stw r7, [r4+{ce.DATA_IN}]
+    ldw r7, [r6+8]
+    stw r7, [r4+{ce.DATA_IN}]
+    ldw r7, [r6+12]
+    stw r7, [r4+{ce.DATA_IN}]
+    movi r6, NONCE
+    ldw r7, [r6+0]
+    stw r7, [r4+{ce.DATA_IN}]
+    ldw r7, [r6+4]
+    stw r7, [r4+{ce.DATA_IN}]
+    add r1, r0, r1              ; r1 = region end
+absorb:
+    cmp r0, r1
+    bgeu finalize
+    ldw r7, [r0]
+    stw r7, [r4+{ce.DATA_IN}]
+    addi r0, r0, 4
+    jmp absorb
+finalize:
+    movi r5, {ce.CTRL_FINALIZE}
+    stw r5, [r4+{ce.CTRL}]
+    movi r6, REPORT
+    ldw r7, [r4+{ce.DIGEST + 0}]
+    stw r7, [r6+0]
+    ldw r7, [r4+{ce.DIGEST + 4}]
+    stw r7, [r6+4]
+    ldw r7, [r4+{ce.DIGEST + 8}]
+    stw r7, [r6+8]
+    ldw r7, [r4+{ce.DIGEST + 12}]
+    stw r7, [r6+12]
+    halt
+mid_routine:                    ; a tempting illegal entry for tests
+    nop
+    jmp attest
+"""
+
+
+class SmartMachine:
+    """A SoC running SMART: gated key + ROM routine, no other protection."""
+
+    def __init__(self, key: bytes) -> None:
+        if len(key) != KEY_SIZE:
+            raise PlatformError(f"SMART key must be {KEY_SIZE} bytes")
+        self._key = bytes(key)
+        self.soc = SoC()
+        self.routine = assemble(_attest_routine_source(), base=ROM_BASE)
+        self.soc.prom.load(ROM_BASE, self.routine.data)
+        self.rom = RomRegion(ROM_BASE, ROM_BASE + self.routine.size)
+        self.gate = SmartKeyGate(self.rom, KEY_ADDR)
+        self.soc.cpu.mpu = self.gate
+        # Key provisioning happens out of band at manufacturing time.
+        self.soc.sram.load(KEY_ADDR - SRAM_BASE, self._key)
+
+    @property
+    def cpu(self):
+        return self.soc.cpu
+
+    @property
+    def bus(self):
+        return self.soc.bus
+
+    def load_app(self, source: str) -> int:
+        """Place untrusted application code at APP_BASE; returns entry."""
+        program = assemble(source, base=APP_BASE)
+        self.soc.prom.load(APP_BASE, program.data)
+        return APP_BASE
+
+    def attest(
+        self, nonce: bytes, region_base: int, region_len: int,
+        max_cycles: int = 2_000_000,
+    ) -> bytes:
+        """Invoke the ROM routine and return the 16-byte report."""
+        if len(nonce) != NONCE_SIZE:
+            raise PlatformError(f"nonce must be {NONCE_SIZE} bytes")
+        if region_len % 4:
+            raise PlatformError("region length must be a word multiple")
+        self.bus.write_bytes(NONCE_ADDR, nonce)
+        cpu = self.cpu
+        cpu.halted = False
+        cpu.ip = self.rom.base
+        cpu.curr_ip = self.rom.base
+        cpu.regs[0] = region_base
+        cpu.regs[1] = region_len
+        cpu.sp = SRAM_BASE + 0x1000
+        self.soc.run(max_cycles=max_cycles)
+        if not cpu.halted:
+            raise PlatformError("attestation routine did not complete")
+        return self.bus.read_bytes(REPORT_ADDR, 16)
+
+    def expected_report(
+        self, nonce: bytes, region_base: int, region_len: int
+    ) -> bytes:
+        """Verifier-side recomputation (holds a copy of the key)."""
+        region = self.bus.read_bytes(region_base, region_len)
+        return mac(self._key, nonce + region)
+
+    @property
+    def mid_routine_address(self) -> int:
+        """An illegal ROM entry point (for the IP-rule tests)."""
+        return self.routine.symbol("mid_routine")

@@ -1,0 +1,156 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands regenerate the paper's tables/figures or run live demos on
+the simulated platform:
+
+* ``table1``    — Table 1 FPGA resource utilization
+* ``figure7``   — Fig. 7 cost-scaling series + crossover summary
+* ``matrix``    — the capability matrix (SMART / Sancus / TrustLite)
+* ``fig3``      — the live access-control matrix of a booted platform
+* ``demo``      — boot and run the two-trustlet scheduling demo
+* ``disasm``    — disassemble a module of the demo image
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.machine.access import AccessType
+
+
+def _cmd_table1(_args) -> int:
+    from repro.hwcost.model import format_table1
+
+    print(format_table1())
+    return 0
+
+
+def _cmd_figure7(_args) -> int:
+    from repro.hwcost.figure7 import crossover_summary, format_figure7
+
+    print(format_figure7())
+    print()
+    for key, value in crossover_summary().items():
+        print(f"{key}: {value}")
+    return 0
+
+
+def _cmd_matrix(_args) -> int:
+    from repro.baselines.capabilities import format_matrix
+
+    print(format_matrix())
+    return 0
+
+
+def _cmd_fig3(_args) -> int:
+    from repro.core.platform import TrustLitePlatform
+    from repro.sw.images import build_two_counter_image
+
+    platform = TrustLitePlatform()
+    image = build_two_counter_image()
+    platform.boot(image)
+    names = ("TL-A", "TL-B", "OS")
+    subjects = {n: image.layout_of(n).code_base + 0x40 for n in names}
+    print(f"{'object':16s}" + "".join(f"{n:>8s}" for n in names))
+    for name in names:
+        lay = image.layout_of(name)
+        for label, addr in (
+            (f"{name} entry", lay.entry),
+            (f"{name} code", lay.code_base + 0x40),
+            (f"{name} data", lay.data_base),
+            (f"{name} stack", lay.stack_base),
+        ):
+            cells = ""
+            for subject in names:
+                letters = "".join(
+                    letter
+                    for letter, access in (
+                        ("r", AccessType.READ),
+                        ("w", AccessType.WRITE),
+                        ("x", AccessType.FETCH),
+                    )
+                    if platform.mpu.allows(subjects[subject], addr, 4, access)
+                )
+                cells += f"{letters or '-':>8s}"
+            print(f"{label:16s}{cells}")
+    return 0
+
+
+def _cmd_demo(args) -> int:
+    from repro.core.platform import TrustLitePlatform
+    from repro.sw.images import build_two_counter_image
+    from repro.sw import trustlets
+
+    platform = TrustLitePlatform()
+    platform.boot(build_two_counter_image(timer_period=args.period))
+    platform.run(max_cycles=args.cycles)
+    stats = platform.engine.stats
+    print(f"cycles run           : {platform.cpu.cycles}")
+    print(f"timer interrupts     : {stats.interrupts}")
+    print(f"trustlet preemptions : {stats.trustlet_interruptions}")
+    for name in ("TL-A", "TL-B"):
+        counter = platform.read_trustlet_word(
+            name, trustlets.COUNTER_OFF_VALUE
+        )
+        print(f"{name} counter        : {counter}")
+    print(f"MPU faults           : {platform.mpu.stats.faults}")
+    return 0
+
+
+def _cmd_disasm(args) -> int:
+    from repro.isa.disasm import disassemble, format_listing
+    from repro.sw.images import build_two_counter_image
+
+    image = build_two_counter_image()
+    try:
+        lay = image.layout_of(args.module)
+    except Exception:
+        print(f"unknown module {args.module!r}; "
+              f"choose from {', '.join(image.module_order)}",
+              file=sys.stderr)
+        return 1
+    code = image.prom[lay.code_base:lay.code_end]
+    print(format_listing(disassemble(code, base=lay.code_base)))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="TrustLite (EuroSys 2014) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("table1", help="Table 1 resource utilization") \
+        .set_defaults(func=_cmd_table1)
+    sub.add_parser("figure7", help="Fig. 7 scaling + crossover") \
+        .set_defaults(func=_cmd_figure7)
+    sub.add_parser("matrix", help="capability matrix") \
+        .set_defaults(func=_cmd_matrix)
+    sub.add_parser("fig3", help="live access-control matrix") \
+        .set_defaults(func=_cmd_fig3)
+    demo = sub.add_parser("demo", help="run the scheduling demo")
+    demo.add_argument("--cycles", type=int, default=200_000)
+    demo.add_argument("--period", type=int, default=400)
+    demo.set_defaults(func=_cmd_demo)
+    disasm = sub.add_parser("disasm", help="disassemble a demo module")
+    disasm.add_argument("module", help="module name (OS, TL-A, TL-B)")
+    disasm.set_defaults(func=_cmd_disasm)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output was piped into something like `head`; exit quietly.
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,38 @@
+"""TrustLite proper: the paper's contribution assembled from the substrates.
+
+Module map (paper section in parentheses):
+
+* :mod:`repro.core.layout` — address-space and entry-vector conventions.
+* :mod:`repro.core.trustlet_table` — the write-protected Trustlet Table
+  (Sec. 3.4, Fig. 4) in on-chip SRAM.
+* :mod:`repro.core.exception_engine` — regular CPU exception engine and
+  the TrustLite secure variant with exact Sec. 5.4 cycle accounting.
+* :mod:`repro.core.image` — trustlet/OS metadata format in PROM and the
+  image builder (the paper's linker-script role, Sec. 5.1).
+* :mod:`repro.core.loader` — the Secure Loader boot sequence (Fig. 5).
+* :mod:`repro.core.platform` — one-call assembly of a TrustLite SoC.
+* :mod:`repro.core.attestation` — measurement, local attestation and
+  the verifyMPU check (Sec. 4.2.2).
+* :mod:`repro.core.ipc` — untrusted RPC-style IPC and the trusted
+  one-round syn/ack channel protocol (Sec. 4.2, Fig. 6).
+"""
+
+from repro.core.exception_engine import (
+    RegularExceptionEngine,
+    SecureExceptionEngine,
+)
+from repro.core.image import ImageBuilder, SoftwareModule
+from repro.core.loader import SecureLoader
+from repro.core.platform import TrustLitePlatform
+from repro.core.trustlet_table import TrustletRow, TrustletTable
+
+__all__ = [
+    "ImageBuilder",
+    "RegularExceptionEngine",
+    "SecureExceptionEngine",
+    "SecureLoader",
+    "SoftwareModule",
+    "TrustLitePlatform",
+    "TrustletRow",
+    "TrustletTable",
+]

@@ -1,0 +1,192 @@
+"""Measurement and attestation (paper Secs. 3.6, 4.2.2, 6).
+
+Local attestation in TrustLite needs no cryptography at all: because
+trustlet regions are fixed until reset and the MPU registers and
+Trustlet Table are world-readable but write-locked, an initiator can
+*inspect* a peer — look up its row, check that the MPU really isolates
+its regions (``verifyMPU``), and hash its code — without any software
+being able to manipulate the outcome (Sec. 6 "Attestation").
+
+:class:`LocalAttestation` implements that inspection against live
+platform state.  :class:`RemoteAttestor` models the SMART-like remote
+attestation instantiation (Sec. 3.6): a challenge-response MAC over the
+platform's measurements under a device key that only the attestation
+trustlet can reach (enforced by an EA-MPU rule on the crypto engine's
+key slot).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.trustlet_table import TrustletRow, TrustletTable
+from repro.crypto import constant_time_equal, mac, sponge_hash
+from repro.errors import AttestationError
+from repro.machine.access import AccessType
+from repro.machine.bus import Bus
+from repro.mpu.ea_mpu import EaMpu
+from repro.mpu.regions import ANY_SUBJECT, Perm
+
+
+def measure_code(bus: Bus, code_base: int, code_end: int) -> bytes:
+    """Hash a code region exactly as the Secure Loader does."""
+    if code_end <= code_base:
+        raise AttestationError(
+            f"empty code region [{code_base:#x}, {code_end:#x})"
+        )
+    return sponge_hash(bus.read_bytes(code_base, code_end - code_base))
+
+
+@dataclass
+class InspectionReport:
+    """Outcome of one local attestation of a peer trustlet."""
+
+    peer: str
+    row_found: bool = False
+    isolation_ok: bool = False
+    measurement_ok: bool = False
+    problems: list[str] = field(default_factory=list)
+
+    @property
+    def trusted(self) -> bool:
+        return self.row_found and self.isolation_ok and self.measurement_ok
+
+
+class LocalAttestation:
+    """The initiator-side inspection of Fig. 6 (findTask / verifyMPU / attest)."""
+
+    def __init__(self, table: TrustletTable, mpu: EaMpu, bus: Bus) -> None:
+        self.table = table
+        self.mpu = mpu
+        self.bus = bus
+
+    # ------------------------------------------------------------------
+
+    def find_task(self, name: str) -> TrustletRow:
+        """Fig. 6 ``findTask``: locate the peer in the Trustlet Table."""
+        row = self.table.find_by_name(name)
+        if row is None:
+            raise AttestationError(f"no trustlet named {name!r} in table")
+        return row
+
+    def verify_mpu(self, row: TrustletRow) -> list[str]:
+        """Fig. 6 ``verifyMPU``: check the peer's regions are isolated.
+
+        Returns a list of problems (empty = correctly isolated):
+        the peer's private data and stack must be inaccessible to any
+        subject other than the peer's own code region, and its code
+        must not be writable by anyone.
+        """
+        problems: list[str] = []
+        own_mask = 0
+        for index, region in enumerate(self.mpu.regions):
+            if not region.valid:
+                continue
+            if region.base <= row.code_base and row.code_end <= region.end \
+                    and region.perm & Perm.X \
+                    and region.subjects != ANY_SUBJECT:
+                own_mask |= region.subjects
+
+        def foreign_access(base: int, end: int, perm_bit: Perm) -> bool:
+            for region in self.mpu.regions:
+                if not region.valid or not region.perm & perm_bit:
+                    continue
+                if region.base < end and base < region.end:
+                    subjects = region.subjects
+                    if subjects == ANY_SUBJECT or subjects & ~own_mask:
+                        return True
+            return False
+
+        if own_mask == 0:
+            problems.append("peer has no execute rule of its own")
+        for label, base, end in (
+            ("data", row.data_base, row.data_end),
+            ("stack", row.stack_base, row.stack_end),
+        ):
+            if end <= base:
+                continue
+            for perm_bit, verb in ((Perm.R, "readable"), (Perm.W, "writable")):
+                if foreign_access(base, end, perm_bit):
+                    problems.append(f"peer {label} {verb} by foreign subject")
+        if foreign_access(row.code_base, row.code_end, Perm.W):
+            problems.append("peer code writable")
+        return problems
+
+    def attest(self, row: TrustletRow, expected: bytes | None = None) -> bool:
+        """Fig. 6 ``attest``: measure the peer's code and compare.
+
+        With ``expected=None`` the peer's live code hash is compared to
+        the load-time measurement in the Trustlet Table (detects
+        post-boot tampering); otherwise to a caller-supplied reference
+        (detects loading of a wrong/outdated program version).
+        """
+        live = measure_code(self.bus, row.code_base, row.code_end)
+        reference = expected if expected is not None else row.measurement
+        return constant_time_equal(live, reference)
+
+    # ------------------------------------------------------------------
+
+    def inspect(
+        self, name: str, expected_measurement: bytes | None = None
+    ) -> InspectionReport:
+        """The complete contact() inspection sequence of Fig. 6."""
+        report = InspectionReport(peer=name)
+        try:
+            row = self.find_task(name)
+        except AttestationError as exc:
+            report.problems.append(str(exc))
+            return report
+        report.row_found = True
+        problems = self.verify_mpu(row)
+        report.problems.extend(problems)
+        report.isolation_ok = not problems
+        report.measurement_ok = self.attest(row, expected_measurement)
+        if not report.measurement_ok:
+            report.problems.append("code measurement mismatch")
+        return report
+
+
+class RemoteAttestor:
+    """SMART-like remote attestation service (Sec. 3.6 instantiation).
+
+    The device key never leaves the crypto engine's key slot; policy
+    restricts the slot to the attestation trustlet.  The verifier holds
+    a copy of the key (symmetric scheme, as in SMART).
+    """
+
+    def __init__(self, table: TrustletTable, bus: Bus, device_key: bytes) -> None:
+        self.table = table
+        self.bus = bus
+        self._key = bytes(device_key)
+
+    def quote(self, nonce: bytes) -> bytes:
+        """Device-side: MAC over the nonce and every table measurement."""
+        material = bytearray(nonce)
+        for row in self.table.rows():
+            material += row.name_tag.to_bytes(4, "little")
+            material += row.measurement
+        return mac(self._key, bytes(material))
+
+    def verify_quote(
+        self,
+        nonce: bytes,
+        quote: bytes,
+        expected_measurements: dict[str, bytes],
+    ) -> bool:
+        """Verifier-side: recompute the quote from reference values.
+
+        ``expected_measurements`` keys are full module names; they are
+        matched against rows by the table's 4-byte name tag.
+        """
+        from repro.core.trustlet_table import name_tag
+
+        by_tag = {
+            name_tag(name): digest
+            for name, digest in expected_measurements.items()
+        }
+        material = bytearray(nonce)
+        for row in self.table.rows():
+            reference = by_tag.get(row.name_tag, row.measurement)
+            material += row.name_tag.to_bytes(4, "little")
+            material += reference
+        return constant_time_equal(mac(self._key, bytes(material)), quote)

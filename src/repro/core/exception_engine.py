@@ -1,0 +1,264 @@
+"""CPU exception engines: the regular flow and the TrustLite secure flow.
+
+The regular engine models a conventional embedded exception unit: it
+pushes the flags and return IP onto the *current* stack (plus fault
+details for faults), masks interrupts and vectors to the handler; the
+software ISR is responsible for saving any general-purpose registers it
+uses — which is precisely the information-leak channel Sec. 3.4.1
+identifies.
+
+The secure engine (Fig. 4) extends that flow.  When the interrupted
+instruction lies inside a non-OS row of the Trustlet Table it:
+
+1. pushes the *complete* CPU state (saved IP, flags, and the 15 GPRs
+   other than SP) onto the trustlet's current stack,
+2. stores the resulting stack pointer into the trustlet's table row and
+   clears every general-purpose register,
+3. switches to the OS stack (the saved SP of the table's OS row) and
+   builds a regular-looking frame there whose return IP is *sanitized*
+   to the trustlet's ``continue()`` entry vector — so an ISR that simply
+   IRETs transparently resumes the trustlet, and the OS never observes
+   the trustlet's registers or true interruption point,
+4. vectors to the handler as usual.
+
+Cycle accounting reproduces Sec. 5.4 exactly: the regular entry flow
+costs :data:`REGULAR_ENTRY_CYCLES` = 21; the secure engine adds
+:data:`SECURE_DETECT_CYCLES` = 2 always, plus
+:data:`SECURE_SAVE_CYCLES` = 10 and :data:`SECURE_CLEAR_CYCLES` = 9
+when a trustlet is interrupted (21 extra in total, a 100% overhead).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import (
+    InvalidInstruction,
+    MachineError,
+    MemoryProtectionFault,
+)
+from repro.machine.cpu import Cpu, CpuFlags
+from repro.machine.irq import Interrupt
+from repro.core.trustlet_table import TrustletRow, TrustletTable
+
+REGULAR_ENTRY_CYCLES = 21
+SECURE_DETECT_CYCLES = 2
+SECURE_SAVE_CYCLES = 10
+SECURE_CLEAR_CYCLES = 9
+
+IRET_CYCLES = 8
+
+# Vector numbers for non-IRQ exceptions.
+VEC_FAULT = 0
+VEC_INVALID = 1
+VEC_SOFTWARE = 2
+
+# Error codes pushed with fault frames.
+ERR_MPU_FAULT = 0x10
+ERR_INVALID_INSTRUCTION = 0x11
+
+
+@dataclass
+class EngineStats:
+    """Delivery counters for the evaluation harness."""
+
+    interrupts: int = 0
+    faults: int = 0
+    software: int = 0
+    trustlet_interruptions: int = 0
+    engine_cycles: int = 0
+    last_entry_cycles: int = 0
+
+
+class RegularExceptionEngine:
+    """Conventional exception engine (minimal state save, Sec. 3.4.1)."""
+
+    def __init__(self) -> None:
+        self.irq_vectors: dict[int, int] = {}
+        self.exception_vectors: dict[int, int] = {}
+        self.stats = EngineStats()
+
+    # ------------------------------------------------------------------
+    # Configuration (performed by boot firmware / the OS model).
+
+    def set_irq_vector(self, line: int, handler: int) -> None:
+        self.irq_vectors[line] = handler
+
+    def set_exception_vector(self, vector: int, handler: int) -> None:
+        self.exception_vectors[vector] = handler
+
+    # ------------------------------------------------------------------
+    # Hardware-path stack access (bypasses the MPU by construction).
+
+    @staticmethod
+    def _push(cpu: Cpu, value: int) -> None:
+        cpu.sp = cpu.sp - 4
+        cpu.bus.write_word(cpu.sp, value & 0xFFFF_FFFF)
+
+    @staticmethod
+    def _pop(cpu: Cpu) -> int:
+        value = cpu.bus.read_word(cpu.sp)
+        cpu.sp = cpu.sp + 4
+        return value
+
+    # ------------------------------------------------------------------
+    # Entry flows.
+
+    def _enter(self, cpu: Cpu, handler: int, error_words: tuple[int, ...]) -> int:
+        """Common frame build: [flags][return ip][error words...]."""
+        self._push(cpu, cpu.flags.to_word())
+        self._push(cpu, cpu.ip)
+        for word in error_words:
+            self._push(cpu, word)
+        cpu.flags.ie = False
+        cpu.ip = handler
+        cpu.curr_ip = handler
+        self._account(REGULAR_ENTRY_CYCLES)
+        return REGULAR_ENTRY_CYCLES
+
+    def _account(self, cycles: int) -> None:
+        self.stats.engine_cycles += cycles
+        self.stats.last_entry_cycles = cycles
+
+    def _handler_for_irq(self, interrupt: Interrupt) -> int:
+        if interrupt.handler is not None:
+            return interrupt.handler
+        if interrupt.line not in self.irq_vectors:
+            raise MachineError(
+                f"no handler installed for IRQ line {interrupt.line}"
+            )
+        return self.irq_vectors[interrupt.line]
+
+    def _handler_for_exception(self, vector: int) -> int:
+        if vector not in self.exception_vectors:
+            raise MachineError(f"no handler installed for exception {vector}")
+        return self.exception_vectors[vector]
+
+    def deliver_interrupt(self, cpu: Cpu, interrupt: Interrupt) -> int:
+        self.stats.interrupts += 1
+        return self._enter(cpu, self._handler_for_irq(interrupt), ())
+
+    def deliver_fault(self, cpu: Cpu, fault: MemoryProtectionFault) -> int:
+        self.stats.faults += 1
+        # The faulting instruction was invalidated; the frame reports
+        # the violating IP and requested access (Sec. 3.2.2).
+        return self._enter(
+            cpu,
+            self._handler_for_exception(VEC_FAULT),
+            (fault.address, ERR_MPU_FAULT),
+        )
+
+    def deliver_invalid(self, cpu: Cpu, bad: InvalidInstruction) -> int:
+        self.stats.faults += 1
+        return self._enter(
+            cpu,
+            self._handler_for_exception(VEC_INVALID),
+            (bad.ip or 0, ERR_INVALID_INSTRUCTION),
+        )
+
+    def deliver_software(self, cpu: Cpu, number: int) -> int:
+        self.stats.software += 1
+        return self._enter(
+            cpu, self._handler_for_exception(VEC_SOFTWARE), (number,)
+        )
+
+    def iret(self, cpu: Cpu) -> int:
+        """Return from exception: pop return IP, then flags."""
+        cpu.ip = self._pop(cpu)
+        cpu.flags = CpuFlags.from_word(self._pop(cpu))
+        return IRET_CYCLES
+
+
+class SecureExceptionEngine(RegularExceptionEngine):
+    """The TrustLite secure exception engine (Fig. 4, Sec. 3.4)."""
+
+    def __init__(self, table: TrustletTable) -> None:
+        super().__init__()
+        self.table = table
+
+    def _interrupted_trustlet(self, cpu: Cpu) -> TrustletRow | None:
+        row = self.table.row_for_ip(cpu.curr_ip)
+        if row is not None and not row.is_os:
+            return row
+        return None
+
+    def _spill_trustlet_state(self, cpu: Cpu, row: TrustletRow) -> None:
+        # Step 1 (Fig. 4): the complete CPU state goes onto the
+        # *trustlet's* stack.  Push order matches the trustlet's
+        # continue() prologue: saved IP deepest, then flags, then
+        # fp, lr, r12..r0 so r0 ends on top.
+        self._push(cpu, cpu.ip)
+        self._push(cpu, cpu.flags.to_word())
+        for reg_index in (14, 13, 12, 11, 10, 9, 8, 7, 6, 5, 4, 3, 2, 1, 0):
+            self._push(cpu, cpu.regs[reg_index])
+        # Step 2: saved SP into the Trustlet Table, registers cleared.
+        self.table.write_saved_sp(row.index, cpu.sp)
+        cpu.clear_gprs()
+
+    def _switch_to_os_stack(self, cpu: Cpu) -> None:
+        os_row = self.table.os_row()
+        if os_row is None:
+            raise MachineError(
+                "secure exception engine: trustlet table has no OS row"
+            )
+        cpu.sp = os_row.saved_sp
+
+    def _secure_enter(
+        self, cpu: Cpu, handler: int, error_words: tuple[int, ...]
+    ) -> int:
+        row = self._interrupted_trustlet(cpu)
+        if row is None:
+            # Not a trustlet: regular flow plus the detection cost.
+            cycles = self._enter(cpu, handler, error_words)
+            self._account_extra(SECURE_DETECT_CYCLES)
+            return cycles + SECURE_DETECT_CYCLES
+        self.stats.trustlet_interruptions += 1
+        self._spill_trustlet_state(cpu, row)
+        self._switch_to_os_stack(cpu)
+        # Step 3 continued: regular-looking frame on the OS stack with
+        # the return IP sanitized to the trustlet's entry vector.
+        self._push(cpu, CpuFlags(ie=True).to_word())
+        self._push(cpu, row.entry)
+        for word in error_words:
+            self._push(cpu, word)
+        cpu.flags.ie = False
+        cpu.ip = handler
+        cpu.curr_ip = handler
+        cycles = (
+            REGULAR_ENTRY_CYCLES
+            + SECURE_DETECT_CYCLES
+            + SECURE_SAVE_CYCLES
+            + SECURE_CLEAR_CYCLES
+        )
+        self._account(cycles)
+        return cycles
+
+    def _account_extra(self, cycles: int) -> None:
+        self.stats.engine_cycles += cycles
+        self.stats.last_entry_cycles += cycles
+
+    def deliver_interrupt(self, cpu: Cpu, interrupt: Interrupt) -> int:
+        self.stats.interrupts += 1
+        return self._secure_enter(cpu, self._handler_for_irq(interrupt), ())
+
+    def deliver_fault(self, cpu: Cpu, fault: MemoryProtectionFault) -> int:
+        self.stats.faults += 1
+        return self._secure_enter(
+            cpu,
+            self._handler_for_exception(VEC_FAULT),
+            (fault.address, ERR_MPU_FAULT),
+        )
+
+    def deliver_invalid(self, cpu: Cpu, bad: InvalidInstruction) -> int:
+        self.stats.faults += 1
+        return self._secure_enter(
+            cpu,
+            self._handler_for_exception(VEC_INVALID),
+            (bad.ip or 0, ERR_INVALID_INSTRUCTION),
+        )
+
+    def deliver_software(self, cpu: Cpu, number: int) -> int:
+        self.stats.software += 1
+        return self._secure_enter(
+            cpu, self._handler_for_exception(VEC_SOFTWARE), (number,)
+        )

@@ -1,0 +1,177 @@
+"""One-call assembly of a TrustLite platform (paper Fig. 1).
+
+``TrustLitePlatform`` wires the SoC substrate to the TrustLite hardware
+blocks — EA-MPU (with its MMIO frontend), Trustlet Table, and a secure
+or regular exception engine — and owns the Secure Loader.  ``boot()``
+takes a built PROM image, programs the PROM, wires interrupt vectors
+from the OS module's well-known symbols, and runs the loader.
+
+ISR symbol convention (resolved from the launched module's symbol
+table, playing the role of the IDT the OS would otherwise program)::
+
+    isr_timer    IRQ line 0 (the alarm timer)
+    isr_fault    memory protection faults
+    isr_invalid  invalid instructions
+    isr_swi      software interrupts
+"""
+
+from __future__ import annotations
+
+from repro.core.exception_engine import (
+    RegularExceptionEngine,
+    SecureExceptionEngine,
+    VEC_FAULT,
+    VEC_INVALID,
+    VEC_SOFTWARE,
+)
+from repro.core import layout
+from repro.core.image import BuiltImage
+from repro.core.loader import BootReport, SecureLoader
+from repro.core.trustlet_table import TrustletTable
+from repro.errors import PlatformError
+from repro.machine.soc import (
+    MPU_MMIO_BASE,
+    SoC,
+    TIMER_IRQ_LINE,
+    WATCHDOG_IRQ_LINE,
+)
+from repro.mpu.ea_mpu import EaMpu
+from repro.mpu.mmio import MpuMmioFrontend
+from repro.mpu.regions import Perm
+
+DEFAULT_MPU_REGIONS = 24
+
+_ISR_SYMBOLS = {
+    "isr_fault": ("exception", VEC_FAULT),
+    "isr_invalid": ("exception", VEC_INVALID),
+    "isr_swi": ("exception", VEC_SOFTWARE),
+    "isr_timer": ("irq", TIMER_IRQ_LINE),
+    "isr_watchdog": ("irq", WATCHDOG_IRQ_LINE),
+}
+
+
+class TrustLitePlatform:
+    """A TrustLite SoC: substrate + EA-MPU + secure exceptions + loader."""
+
+    def __init__(
+        self,
+        *,
+        num_mpu_regions: int = DEFAULT_MPU_REGIONS,
+        secure_exceptions: bool = True,
+        table_capacity: int = layout.TRUSTLET_TABLE_CAPACITY,
+        os_extra_regions: tuple[tuple[int, int, Perm], ...] = (),
+        flash_prom: bool = False,
+        with_dma: bool = False,
+        checked_dma: bool = True,
+    ) -> None:
+        self.soc = SoC(flash_prom=flash_prom, with_dma=with_dma)
+        self.mpu = EaMpu(num_regions=num_mpu_regions)
+        self.mpu_frontend = MpuMmioFrontend(self.mpu)
+        self.soc.bus.attach(MPU_MMIO_BASE, self.mpu_frontend)
+        self.table = TrustletTable(
+            self.soc.bus, layout.TRUSTLET_TABLE_BASE, table_capacity
+        )
+        if secure_exceptions:
+            self.engine: RegularExceptionEngine = SecureExceptionEngine(
+                self.table
+            )
+        else:
+            self.engine = RegularExceptionEngine()
+        self.secure_exceptions = secure_exceptions
+        self.cpu.mpu = self.mpu
+        self.cpu.exception_engine = self.engine
+        if self.soc.dma is not None and checked_dma:
+            # The future-work extension (Sec. 6): DMA transfers are
+            # validated by the EA-MPU under the owner's identity.
+            self.soc.dma.mpu = self.mpu
+        self.loader = SecureLoader(
+            self.soc.bus,
+            self.cpu,
+            self.mpu,
+            self.table,
+            mpu_mmio_base=MPU_MMIO_BASE,
+            mpu_mmio_size=self.mpu_frontend.size,
+            os_extra_regions=os_extra_regions,
+        )
+        self.image: BuiltImage | None = None
+        self.boot_report: BootReport | None = None
+
+    # Convenience pass-throughs to the substrate.
+    @property
+    def cpu(self):
+        return self.soc.cpu
+
+    @property
+    def bus(self):
+        return self.soc.bus
+
+    @property
+    def uart(self):
+        return self.soc.uart
+
+    @property
+    def timer(self):
+        return self.soc.timer
+
+    @property
+    def crypto(self):
+        return self.soc.crypto
+
+    # ------------------------------------------------------------------
+
+    def boot(self, image: BuiltImage, *, wipe_data: bool = True) -> BootReport:
+        """Program the PROM with ``image`` and run the Secure Loader."""
+        if len(image.prom) > self.soc.prom.size:
+            raise PlatformError(
+                f"image ({len(image.prom)} bytes) exceeds PROM "
+                f"({self.soc.prom.size} bytes)"
+            )
+        self.soc.prom.load(0, image.prom)
+        self.image = image
+        report = self.loader.boot(wipe_data=wipe_data)
+        self._wire_vectors(image, report)
+        self.boot_report = report
+        return report
+
+    def warm_reset(self, *, wipe_data: bool = False) -> BootReport:
+        """Platform reset: CPU reset + Secure Loader re-initialization.
+
+        Unlike SMART/Sancus, no hardware memory wipe is needed — the
+        loader merely re-establishes the protection rules (Sec. 6,
+        "Fast Startup").
+        """
+        if self.image is None:
+            raise PlatformError("warm_reset before boot")
+        self.cpu.reset()
+        report = self.loader.boot(wipe_data=wipe_data)
+        self._wire_vectors(self.image, report)
+        self.boot_report = report
+        return report
+
+    def _wire_vectors(self, image: BuiltImage, report: BootReport) -> None:
+        if report.launched is None:
+            return
+        symbols = image.layout_of(report.launched).symbols
+        for name, (kind, number) in _ISR_SYMBOLS.items():
+            if name not in symbols:
+                continue
+            if kind == "irq":
+                self.engine.set_irq_vector(number, symbols[name])
+            else:
+                self.engine.set_exception_vector(number, symbols[name])
+
+    # ------------------------------------------------------------------
+
+    def run(self, max_cycles: int = 1_000_000) -> int:
+        """Run the booted platform; returns cycles consumed."""
+        return self.soc.run(max_cycles)
+
+    def run_until(self, predicate, max_cycles: int = 1_000_000) -> int:
+        return self.soc.run_until(lambda _soc: predicate(self), max_cycles)
+
+    def read_trustlet_word(self, module: str, offset: int) -> int:
+        """Host-side peek into a module's data region (for assertions)."""
+        if self.image is None:
+            raise PlatformError("platform not booted")
+        lay = self.image.layout_of(module)
+        return self.bus.read_word(lay.data_base + offset)

@@ -1,0 +1,30 @@
+"""Keyed MAC on top of the sponge hash.
+
+A sponge with the key absorbed first is a secure MAC construction for
+sponge hashes (no length-extension issue), so the MAC is simply
+``H(len(key) || key || message)``.  Used by the SMART baseline's
+attestation routine and the remote-attestation trustlet model.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.sponge import SpongeHash
+
+
+def mac(key: bytes, message: bytes) -> bytes:
+    """128-bit authentication tag over ``message`` under ``key``."""
+    hasher = SpongeHash()
+    hasher.update(len(key).to_bytes(4, "little"))
+    hasher.update(key)
+    hasher.update(message)
+    return hasher.digest()
+
+
+def constant_time_equal(a: bytes, b: bytes) -> bool:
+    """Compare two byte strings without early exit on mismatch."""
+    if len(a) != len(b):
+        return False
+    diff = 0
+    for x, y in zip(a, b):
+        diff |= x ^ y
+    return diff == 0

@@ -1,0 +1,106 @@
+"""Sponge-construction hash with Spongent-like parameters.
+
+Layout: 256-bit state (eight 32-bit words), 64-bit rate, 192-bit
+capacity, 128-bit digest.  The permutation is an ARX network of
+ChaCha-style quarter-rounds with distinct round constants — chosen for
+clear, dependency-free Python rather than for cryptanalytic strength
+(see the package docstring).  Padding is the standard pad10*1 sponge
+padding at byte granularity (0x80 ... 0x01, or 0x81 for a single byte).
+"""
+
+from __future__ import annotations
+
+DIGEST_SIZE = 16
+RATE = 8
+STATE_WORDS = 8
+ROUNDS = 12
+
+_MASK = 0xFFFF_FFFF
+
+# Round constants: first 32 bits of the fractional parts of sqrt of the
+# first primes (the SHA-2 trick), precomputed so the module has no
+# runtime dependency on floating point behaviour.
+_ROUND_CONSTANTS = (
+    0x6A09E667, 0xBB67AE85, 0x3C6EF372, 0xA54FF53A,
+    0x510E527F, 0x9B05688C, 0x1F83D9AB, 0x5BE0CD19,
+    0xCBBB9D5D, 0x629A292A, 0x9159015A, 0x152FECD8,
+)
+
+
+def _rotl(value: int, amount: int) -> int:
+    value &= _MASK
+    return ((value << amount) | (value >> (32 - amount))) & _MASK
+
+
+def _quarter_round(state: list[int], a: int, b: int, c: int, d: int) -> None:
+    state[a] = (state[a] + state[b]) & _MASK
+    state[d] = _rotl(state[d] ^ state[a], 16)
+    state[c] = (state[c] + state[d]) & _MASK
+    state[b] = _rotl(state[b] ^ state[c], 12)
+    state[a] = (state[a] + state[b]) & _MASK
+    state[d] = _rotl(state[d] ^ state[a], 8)
+    state[c] = (state[c] + state[d]) & _MASK
+    state[b] = _rotl(state[b] ^ state[c], 7)
+
+
+def _permute(state: list[int]) -> None:
+    for round_index in range(ROUNDS):
+        state[0] ^= _ROUND_CONSTANTS[round_index]
+        _quarter_round(state, 0, 1, 2, 3)
+        _quarter_round(state, 4, 5, 6, 7)
+        _quarter_round(state, 0, 5, 2, 7)
+        _quarter_round(state, 4, 1, 6, 3)
+
+
+class SpongeHash:
+    """Incremental sponge hash (absorb bytes, squeeze a 128-bit digest)."""
+
+    def __init__(self) -> None:
+        self._state = [0] * STATE_WORDS
+        self._buffer = bytearray()
+        self._finalized: bytes | None = None
+
+    def update(self, data: bytes) -> "SpongeHash":
+        """Absorb ``data``; chainable.  Rejects use after finalization."""
+        if self._finalized is not None:
+            raise ValueError("cannot update a finalized hash")
+        self._buffer.extend(data)
+        while len(self._buffer) >= RATE:
+            self._absorb_block(bytes(self._buffer[:RATE]))
+            del self._buffer[:RATE]
+        return self
+
+    def _absorb_block(self, block: bytes) -> None:
+        assert len(block) == RATE
+        self._state[0] ^= int.from_bytes(block[0:4], "little")
+        self._state[1] ^= int.from_bytes(block[4:8], "little")
+        _permute(self._state)
+
+    def digest(self) -> bytes:
+        """Finalize (idempotent) and return the 16-byte digest."""
+        if self._finalized is None:
+            block = bytearray(self._buffer)
+            if len(block) == RATE - 1:
+                block.append(0x81)
+            else:
+                block.append(0x80)
+                while len(block) < RATE - 1:
+                    block.append(0x00)
+                block.append(0x01)
+            self._absorb_block(bytes(block))
+            self._buffer.clear()
+            out = bytearray()
+            while len(out) < DIGEST_SIZE:
+                out += self._state[0].to_bytes(4, "little")
+                out += self._state[1].to_bytes(4, "little")
+                _permute(self._state)
+            self._finalized = bytes(out[:DIGEST_SIZE])
+        return self._finalized
+
+    def hexdigest(self) -> str:
+        return self.digest().hex()
+
+
+def sponge_hash(data: bytes) -> bytes:
+    """One-shot 128-bit hash of ``data``."""
+    return SpongeHash().update(data).digest()

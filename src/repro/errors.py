@@ -1,0 +1,90 @@
+"""Exception hierarchy shared across the TrustLite reproduction.
+
+Simulator-level errors (bad guest behaviour observed by the hardware
+model) are kept distinct from host-level usage errors (bad arguments to
+the Python API) so tests can assert precisely which layer failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class IsaError(ReproError):
+    """Invalid use of the SP32 ISA layer (bad register, bad operand)."""
+
+
+class EncodingError(IsaError):
+    """An instruction cannot be encoded or decoded."""
+
+
+class AssemblerError(ReproError):
+    """Assembly source is malformed (syntax, unknown label, overflow)."""
+
+
+class MachineError(ReproError):
+    """Base class for errors raised by the simulated machine."""
+
+
+class BusError(MachineError):
+    """A memory access hit an unmapped address or overlapped devices."""
+
+    def __init__(self, message: str, address: int | None = None) -> None:
+        super().__init__(message)
+        self.address = address
+
+
+class AlignmentError(BusError):
+    """A word access was not naturally aligned."""
+
+
+class InvalidInstruction(MachineError):
+    """The CPU fetched a word that does not decode to an instruction."""
+
+    def __init__(self, message: str, ip: int | None = None) -> None:
+        super().__init__(message)
+        self.ip = ip
+
+
+class MemoryProtectionFault(MachineError):
+    """The MPU denied an access.
+
+    Carries enough context for the exception engine to report the
+    violating instruction address and the requested access, as the
+    paper's Sec. 3.2.2 requires.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        subject_ip: int,
+        address: int,
+        access: str,
+    ) -> None:
+        super().__init__(message)
+        self.subject_ip = subject_ip
+        self.address = address
+        self.access = access
+
+
+class PlatformError(ReproError):
+    """Invalid platform construction or configuration."""
+
+
+class LoaderError(ReproError):
+    """The Secure Loader rejected a PROM image or trustlet metadata."""
+
+
+class ImageError(LoaderError):
+    """A trustlet/OS binary image is malformed."""
+
+
+class AttestationError(ReproError):
+    """A measurement or attestation check failed."""
+
+
+class IpcError(ReproError):
+    """Trusted IPC protocol violation (bad nonce, unknown peer, replay)."""

@@ -1,0 +1,38 @@
+"""SP32: the 32-bit RISC instruction set used as the CPU substrate.
+
+The paper prototypes TrustLite on the Intel Siskiyou Peak research core,
+a 32-bit, single-issue embedded processor.  That core is not publicly
+available, and the paper stresses (Sec. 1, Sec. 6 "Field Updates") that
+the TrustLite mechanisms are independent of the CPU instruction set, so
+this reproduction substitutes a small from-scratch RISC ISA with the
+properties the architecture actually relies on:
+
+* a 32-bit physical address space accessed through a bus that
+  distinguishes instruction fetches from data reads/writes (the EA-MPU
+  needs both the executing instruction address and the data address),
+* memory-mapped I/O,
+* a conventional exception/interrupt engine that can be swapped for the
+  TrustLite secure variant.
+
+Public surface: :class:`Reg`, :class:`Op`, :class:`Instruction`,
+:func:`encode`, :func:`decode`, and the :mod:`repro.isa.cycles` cost
+table used by the machine's timing model.
+"""
+
+from repro.isa.registers import NUM_REGS, Reg
+from repro.isa.opcodes import Cond, Op
+from repro.isa.instruction import Instruction
+from repro.isa.encoding import decode, encode, instruction_length
+from repro.isa.cycles import cycle_cost
+
+__all__ = [
+    "NUM_REGS",
+    "Reg",
+    "Op",
+    "Cond",
+    "Instruction",
+    "encode",
+    "decode",
+    "instruction_length",
+    "cycle_cost",
+]

@@ -1,0 +1,58 @@
+"""Per-instruction cycle cost model for the SP32 core.
+
+The Siskiyou Peak core is a 5-stage, single-issue pipeline.  We do not
+model the pipeline structurally; instead each instruction charges the
+number of cycles such a core typically retires it in (1 for simple ALU
+ops, extra for memory and taken control flow, a multi-cycle multiplier).
+The paper's only cycle-precise claims are about the exception engine
+(Sec. 5.4), which is modelled separately and exactly in
+:mod:`repro.core.exception_engine`; this table provides a consistent
+background clock so that boot, IPC and scheduling benchmarks report
+meaningful relative numbers.
+"""
+
+from __future__ import annotations
+
+from repro.isa.opcodes import Op
+
+# Baseline costs.  Branches add ``BRANCH_TAKEN_PENALTY`` when taken
+# (pipeline refill on a 5-stage core).
+_ALU = 1
+_MUL = 3
+_MEM = 2
+_FLOW = 1
+
+BRANCH_TAKEN_PENALTY = 2
+
+_COSTS: dict[Op, int] = {
+    Op.ADD: _ALU, Op.SUB: _ALU, Op.AND: _ALU, Op.OR: _ALU, Op.XOR: _ALU,
+    Op.SHL: _ALU, Op.SHR: _ALU, Op.SAR: _ALU, Op.MUL: _MUL,
+    Op.ADDI: _ALU, Op.SUBI: _ALU, Op.ANDI: _ALU, Op.ORI: _ALU,
+    Op.XORI: _ALU, Op.SHLI: _ALU, Op.SHRI: _ALU, Op.SARI: _ALU,
+    Op.MULI: _MUL,
+    Op.MOV: _ALU, Op.MOVI: _ALU, Op.NOT: _ALU, Op.NEG: _ALU,
+    Op.CMP: _ALU, Op.CMPI: _ALU, Op.TEST: _ALU,
+    Op.LDW: _MEM, Op.STW: _MEM, Op.LDB: _MEM, Op.STB: _MEM,
+    # Unconditional flow always pays the refill penalty.
+    Op.JMP: _FLOW + BRANCH_TAKEN_PENALTY,
+    Op.JMPR: _FLOW + BRANCH_TAKEN_PENALTY,
+    Op.CALL: _FLOW + BRANCH_TAKEN_PENALTY,
+    Op.CALLR: _FLOW + BRANCH_TAKEN_PENALTY,
+    Op.RET: _FLOW + BRANCH_TAKEN_PENALTY,
+    # Conditional branches: base cost here, taken penalty added by the CPU.
+    Op.BEQ: _FLOW, Op.BNE: _FLOW, Op.BLT: _FLOW, Op.BGE: _FLOW,
+    Op.BGT: _FLOW, Op.BLE: _FLOW, Op.BLTU: _FLOW, Op.BGEU: _FLOW,
+    Op.PUSH: _MEM, Op.POP: _MEM,
+    Op.PUSHF: _MEM, Op.POPF: _MEM,
+    Op.RETS: _MEM + BRANCH_TAKEN_PENALTY,
+    Op.NOP: 1, Op.HALT: 1, Op.CLI: 1, Op.STI: 1,
+    # IRET restores ip/flags/sp from the stack: three loads plus refill.
+    Op.IRET: 3 * _MEM + BRANCH_TAKEN_PENALTY,
+    # SWI cost is dominated by the exception engine, charged separately.
+    Op.SWI: 1,
+}
+
+
+def cycle_cost(op: Op) -> int:
+    """Base retire cost for ``op`` (excluding branch-taken penalty)."""
+    return _COSTS[op]

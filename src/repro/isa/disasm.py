@@ -1,0 +1,85 @@
+"""SP32 disassembler.
+
+Turns raw instruction memory back into assembler text — used by the
+execution tracer, by debugging sessions against guest images, and by
+the property tests that check ``assemble ∘ disassemble`` stability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import EncodingError
+from repro.isa.encoding import decode, instruction_length
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Op
+
+
+@dataclass(frozen=True)
+class DisassembledLine:
+    """One decoded instruction with its location and raw words."""
+
+    address: int
+    instruction: Instruction
+    words: tuple[int, ...]
+
+    @property
+    def size(self) -> int:
+        return 4 * len(self.words)
+
+    def __str__(self) -> str:
+        raw = " ".join(f"{w:08x}" for w in self.words)
+        return f"{self.address:#010x}:  {raw:<18s} {self.instruction}"
+
+
+def disassemble_word(
+    blob: bytes, offset: int, address: int
+) -> DisassembledLine:
+    """Decode the instruction at ``offset`` within ``blob``."""
+    if offset + 4 > len(blob):
+        raise EncodingError(f"truncated instruction at offset {offset:#x}")
+    word = int.from_bytes(blob[offset:offset + 4], "little")
+    opcode = (word >> 24) & 0xFF
+    try:
+        op = Op(opcode)
+    except ValueError:
+        raise EncodingError(
+            f"invalid opcode {opcode:#04x} at offset {offset:#x}"
+        ) from None
+    if instruction_length(op) == 8:
+        if offset + 8 > len(blob):
+            raise EncodingError(
+                f"truncated extension word at offset {offset:#x}"
+            )
+        ext = int.from_bytes(blob[offset + 4:offset + 8], "little")
+        return DisassembledLine(address, decode(word, ext), (word, ext))
+    return DisassembledLine(address, decode(word), (word,))
+
+
+def disassemble(
+    blob: bytes, base: int = 0, *, stop_on_error: bool = False
+) -> list[DisassembledLine]:
+    """Linear-sweep disassembly of ``blob`` loaded at ``base``.
+
+    Data words that do not decode are skipped one word at a time unless
+    ``stop_on_error`` is set (embedded images mix code and data, so the
+    permissive mode is the default).
+    """
+    lines: list[DisassembledLine] = []
+    offset = 0
+    while offset + 4 <= len(blob):
+        try:
+            line = disassemble_word(blob, offset, base + offset)
+        except EncodingError:
+            if stop_on_error:
+                raise
+            offset += 4
+            continue
+        lines.append(line)
+        offset += line.size
+    return lines
+
+
+def format_listing(lines: list[DisassembledLine]) -> str:
+    """Render a disassembly listing."""
+    return "\n".join(str(line) for line in lines)

@@ -1,0 +1,129 @@
+"""SP32 binary encoding.
+
+Word layout (little-endian in memory)::
+
+    bits 31..24   opcode
+    bits 23..20   rd
+    bits 19..16   rs1
+    bits 15..12   rs2
+    bits 11..0    imm12 (sign-extended where the format says so)
+
+Instructions whose format carries a 32-bit immediate (``*_IMM32``,
+``IMM32``) place it verbatim in the following word.  ``SWI`` and the
+memory offset field use the in-word 12-bit immediate.
+"""
+
+from __future__ import annotations
+
+from repro.errors import EncodingError
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import FORMATS, Fmt, Op, has_extension_word
+from repro.isa.registers import Reg
+
+_OPCODE_SHIFT = 24
+_RD_SHIFT = 20
+_RS1_SHIFT = 16
+_RS2_SHIFT = 12
+_IMM12_MASK = 0xFFF
+
+_VALID_OPCODES = {int(op) for op in Op}
+
+
+def instruction_length(op: Op) -> int:
+    """Size of the encoded instruction in bytes (4 or 8)."""
+    return 8 if has_extension_word(op) else 4
+
+
+def _imm12_encode(value: int) -> int:
+    if not -2048 <= value <= 4095:
+        raise EncodingError(f"imm12 out of range: {value}")
+    return value & _IMM12_MASK
+
+
+def _imm12_decode(raw: int, signed: bool) -> int:
+    raw &= _IMM12_MASK
+    if signed and raw >= 0x800:
+        return raw - 0x1000
+    return raw
+
+
+def encode(instr: Instruction) -> list[int]:
+    """Encode ``instr`` to one or two 32-bit words."""
+    fmt = FORMATS[instr.op]
+    word = int(instr.op) << _OPCODE_SHIFT
+    if instr.rd is not None:
+        word |= int(instr.rd) << _RD_SHIFT
+    if instr.rs1 is not None:
+        word |= int(instr.rs1) << _RS1_SHIFT
+    if instr.rs2 is not None:
+        word |= int(instr.rs2) << _RS2_SHIFT
+
+    if fmt in (Fmt.MEM_LOAD, Fmt.MEM_STORE, Fmt.IMM12):
+        word |= _imm12_encode(instr.imm)
+        return [word]
+    if has_extension_word(instr.op):
+        imm = instr.imm & 0xFFFF_FFFF
+        return [word, imm]
+    if instr.imm:
+        raise EncodingError(
+            f"{instr.op.name} does not carry an immediate (got {instr.imm})"
+        )
+    return [word]
+
+
+def decode(word: int, ext_word: int | None = None) -> Instruction:
+    """Decode an instruction from its opcode word.
+
+    ``ext_word`` must be supplied for two-word instructions; passing it
+    for a one-word instruction is an error so that callers notice when
+    they mis-track instruction lengths.
+    """
+    opcode = (word >> _OPCODE_SHIFT) & 0xFF
+    if opcode not in _VALID_OPCODES:
+        raise EncodingError(f"invalid opcode byte {opcode:#04x}")
+    op = Op(opcode)
+    fmt = FORMATS[op]
+
+    if has_extension_word(op):
+        if ext_word is None:
+            raise EncodingError(f"{op.name} requires an extension word")
+        imm = ext_word & 0xFFFF_FFFF
+    else:
+        if ext_word is not None:
+            raise EncodingError(f"{op.name} does not take an extension word")
+        imm = 0
+
+    rd = Reg((word >> _RD_SHIFT) & 0xF)
+    rs1 = Reg((word >> _RS1_SHIFT) & 0xF)
+    rs2 = Reg((word >> _RS2_SHIFT) & 0xF)
+
+    kwargs: dict = {"op": op, "imm": imm}
+    if fmt is Fmt.RD_RS1_RS2:
+        kwargs.update(rd=rd, rs1=rs1, rs2=rs2)
+    elif fmt is Fmt.RD_RS1:
+        kwargs.update(rd=rd, rs1=rs1)
+    elif fmt is Fmt.RD_IMM32:
+        kwargs.update(rd=rd)
+    elif fmt is Fmt.RD_RS1_IMM32:
+        kwargs.update(rd=rd, rs1=rs1)
+    elif fmt is Fmt.RS1_RS2:
+        kwargs.update(rs1=rs1, rs2=rs2)
+    elif fmt is Fmt.RS1_IMM32:
+        kwargs.update(rs1=rs1)
+    elif fmt is Fmt.MEM_LOAD:
+        kwargs.update(rd=rd, rs1=rs1, imm=_imm12_decode(word, signed=True))
+    elif fmt is Fmt.MEM_STORE:
+        kwargs.update(rs2=rs2, rs1=rs1, imm=_imm12_decode(word, signed=True))
+    elif fmt is Fmt.IMM32:
+        pass
+    elif fmt is Fmt.RS1:
+        kwargs.update(rs1=rs1)
+    elif fmt is Fmt.RD:
+        kwargs.update(rd=rd)
+    elif fmt is Fmt.IMM12:
+        kwargs.update(imm=_imm12_decode(word, signed=False))
+    elif fmt is Fmt.NONE:
+        pass
+    else:
+        raise EncodingError(f"unhandled format {fmt}")
+    return Instruction(**kwargs)

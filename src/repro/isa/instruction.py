@@ -1,0 +1,95 @@
+"""Decoded SP32 instruction representation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import IsaError
+from repro.isa.opcodes import FORMATS, Fmt, Op
+from repro.isa.registers import Reg
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded SP32 instruction.
+
+    Only the fields required by the instruction's format are meaningful;
+    the rest default to ``None``/zero.  :meth:`validate` enforces that
+    the populated fields match the format, which keeps hand-constructed
+    instructions (tests, the assembler) honest.
+    """
+
+    op: Op
+    rd: Reg | None = None
+    rs1: Reg | None = None
+    rs2: Reg | None = None
+    imm: int = 0
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    @property
+    def fmt(self) -> Fmt:
+        """The operand format of this instruction's opcode."""
+        return FORMATS[self.op]
+
+    def validate(self) -> None:
+        """Raise :class:`IsaError` if operands do not match the format."""
+        fmt = self.fmt
+        need_rd = fmt in (
+            Fmt.RD_RS1_RS2, Fmt.RD_RS1, Fmt.RD_IMM32, Fmt.RD_RS1_IMM32,
+            Fmt.MEM_LOAD, Fmt.RD,
+        )
+        need_rs1 = fmt in (
+            Fmt.RD_RS1_RS2, Fmt.RD_RS1, Fmt.RD_RS1_IMM32, Fmt.RS1_RS2,
+            Fmt.RS1_IMM32, Fmt.MEM_LOAD, Fmt.MEM_STORE, Fmt.RS1,
+        )
+        need_rs2 = fmt in (Fmt.RD_RS1_RS2, Fmt.RS1_RS2, Fmt.MEM_STORE)
+        if need_rd and self.rd is None:
+            raise IsaError(f"{self.op.name} requires rd")
+        if need_rs1 and self.rs1 is None:
+            raise IsaError(f"{self.op.name} requires rs1")
+        if need_rs2 and self.rs2 is None:
+            raise IsaError(f"{self.op.name} requires rs2")
+        if not need_rd and self.rd is not None:
+            raise IsaError(f"{self.op.name} does not take rd")
+        if not need_rs1 and self.rs1 is not None:
+            raise IsaError(f"{self.op.name} does not take rs1")
+        if not need_rs2 and self.rs2 is not None:
+            raise IsaError(f"{self.op.name} does not take rs2")
+        if fmt is Fmt.IMM12 or fmt in (Fmt.MEM_LOAD, Fmt.MEM_STORE):
+            if not -2048 <= self.imm <= 4095:
+                raise IsaError(
+                    f"{self.op.name} immediate {self.imm} exceeds 12 bits"
+                )
+
+    def __str__(self) -> str:
+        fmt = self.fmt
+        name = self.op.name.lower()
+        if fmt is Fmt.NONE:
+            return name
+        if fmt is Fmt.RD_RS1_RS2:
+            return f"{name} {self.rd.asm_name}, {self.rs1.asm_name}, {self.rs2.asm_name}"
+        if fmt is Fmt.RD_RS1:
+            return f"{name} {self.rd.asm_name}, {self.rs1.asm_name}"
+        if fmt is Fmt.RD_IMM32:
+            return f"{name} {self.rd.asm_name}, #{self.imm:#x}"
+        if fmt is Fmt.RD_RS1_IMM32:
+            return f"{name} {self.rd.asm_name}, {self.rs1.asm_name}, #{self.imm:#x}"
+        if fmt is Fmt.RS1_RS2:
+            return f"{name} {self.rs1.asm_name}, {self.rs2.asm_name}"
+        if fmt is Fmt.RS1_IMM32:
+            return f"{name} {self.rs1.asm_name}, #{self.imm:#x}"
+        if fmt is Fmt.MEM_LOAD:
+            return f"{name} {self.rd.asm_name}, [{self.rs1.asm_name}+{self.imm}]"
+        if fmt is Fmt.MEM_STORE:
+            return f"{name} {self.rs2.asm_name}, [{self.rs1.asm_name}+{self.imm}]"
+        if fmt is Fmt.IMM32:
+            return f"{name} #{self.imm:#x}"
+        if fmt is Fmt.RS1:
+            return f"{name} {self.rs1.asm_name}"
+        if fmt is Fmt.RD:
+            return f"{name} {self.rd.asm_name}"
+        if fmt is Fmt.IMM12:
+            return f"{name} #{self.imm}"
+        raise IsaError(f"unhandled format {fmt}")

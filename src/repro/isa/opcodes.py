@@ -1,0 +1,187 @@
+"""SP32 opcode space and instruction formats.
+
+Every instruction occupies one 32-bit word; instructions carrying a full
+32-bit immediate occupy a second *extension word* holding the immediate
+verbatim.  The format table below is the single source of truth used by
+the encoder, the decoder, the assembler and the CPU execute stage.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Fmt(enum.Enum):
+    """Operand layout of an instruction."""
+
+    NONE = "none"                    # e.g. NOP, HALT
+    RD_RS1_RS2 = "rd_rs1_rs2"        # ADD rd, rs1, rs2
+    RD_RS1 = "rd_rs1"                # MOV rd, rs1
+    RD_IMM32 = "rd_imm32"            # MOVI rd, #imm32
+    RD_RS1_IMM32 = "rd_rs1_imm32"    # ADDI rd, rs1, #imm32
+    RS1_RS2 = "rs1_rs2"              # CMP rs1, rs2
+    RS1_IMM32 = "rs1_imm32"          # CMPI rs1, #imm32
+    MEM_LOAD = "mem_load"            # LDW rd, [rs1 + imm12]
+    MEM_STORE = "mem_store"          # STW rs2, [rs1 + imm12]
+    IMM32 = "imm32"                  # JMP #imm32
+    RS1 = "rs1"                      # JMPR rs1
+    RD = "rd"                        # POP rd
+    IMM12 = "imm12"                  # SWI #imm12
+
+
+class Op(enum.IntEnum):
+    """SP32 opcodes (8-bit opcode field)."""
+
+    # ALU register-register.
+    ADD = 0x01
+    SUB = 0x02
+    AND = 0x03
+    OR = 0x04
+    XOR = 0x05
+    SHL = 0x06
+    SHR = 0x07
+    SAR = 0x08
+    MUL = 0x09
+    # ALU register-immediate (32-bit extension word).
+    ADDI = 0x11
+    SUBI = 0x12
+    ANDI = 0x13
+    ORI = 0x14
+    XORI = 0x15
+    SHLI = 0x16
+    SHRI = 0x17
+    SARI = 0x18
+    MULI = 0x19
+    # Moves and unary ops.
+    MOV = 0x20
+    MOVI = 0x21
+    NOT = 0x22
+    NEG = 0x23
+    # Comparisons (set flags only).
+    CMP = 0x28
+    CMPI = 0x29
+    TEST = 0x2A
+    # Memory.
+    LDW = 0x30
+    STW = 0x31
+    LDB = 0x32
+    STB = 0x33
+    # Unconditional control flow.
+    JMP = 0x40
+    JMPR = 0x41
+    CALL = 0x42
+    CALLR = 0x43
+    RET = 0x44
+    # Conditional branches (absolute target in extension word).
+    BEQ = 0x50
+    BNE = 0x51
+    BLT = 0x52
+    BGE = 0x53
+    BGT = 0x54
+    BLE = 0x55
+    BLTU = 0x56
+    BGEU = 0x57
+    # Stack.
+    PUSH = 0x60
+    POP = 0x61
+    PUSHF = 0x62   # push flags word
+    POPF = 0x63    # pop flags word
+    RETS = 0x64    # pop return address from stack and jump (ip = [sp]; sp += 4)
+    # System.
+    NOP = 0x70
+    HALT = 0x71
+    IRET = 0x72
+    CLI = 0x73
+    STI = 0x74
+    SWI = 0x75
+
+
+class Cond(enum.Enum):
+    """Branch conditions, evaluated against the flags register."""
+
+    EQ = "eq"
+    NE = "ne"
+    LT = "lt"
+    GE = "ge"
+    GT = "gt"
+    LE = "le"
+    LTU = "ltu"
+    GEU = "geu"
+
+
+BRANCH_CONDITIONS: dict[Op, Cond] = {
+    Op.BEQ: Cond.EQ,
+    Op.BNE: Cond.NE,
+    Op.BLT: Cond.LT,
+    Op.BGE: Cond.GE,
+    Op.BGT: Cond.GT,
+    Op.BLE: Cond.LE,
+    Op.BLTU: Cond.LTU,
+    Op.BGEU: Cond.GEU,
+}
+
+FORMATS: dict[Op, Fmt] = {
+    Op.ADD: Fmt.RD_RS1_RS2,
+    Op.SUB: Fmt.RD_RS1_RS2,
+    Op.AND: Fmt.RD_RS1_RS2,
+    Op.OR: Fmt.RD_RS1_RS2,
+    Op.XOR: Fmt.RD_RS1_RS2,
+    Op.SHL: Fmt.RD_RS1_RS2,
+    Op.SHR: Fmt.RD_RS1_RS2,
+    Op.SAR: Fmt.RD_RS1_RS2,
+    Op.MUL: Fmt.RD_RS1_RS2,
+    Op.ADDI: Fmt.RD_RS1_IMM32,
+    Op.SUBI: Fmt.RD_RS1_IMM32,
+    Op.ANDI: Fmt.RD_RS1_IMM32,
+    Op.ORI: Fmt.RD_RS1_IMM32,
+    Op.XORI: Fmt.RD_RS1_IMM32,
+    Op.SHLI: Fmt.RD_RS1_IMM32,
+    Op.SHRI: Fmt.RD_RS1_IMM32,
+    Op.SARI: Fmt.RD_RS1_IMM32,
+    Op.MULI: Fmt.RD_RS1_IMM32,
+    Op.MOV: Fmt.RD_RS1,
+    Op.MOVI: Fmt.RD_IMM32,
+    Op.NOT: Fmt.RD_RS1,
+    Op.NEG: Fmt.RD_RS1,
+    Op.CMP: Fmt.RS1_RS2,
+    Op.CMPI: Fmt.RS1_IMM32,
+    Op.TEST: Fmt.RS1_RS2,
+    Op.LDW: Fmt.MEM_LOAD,
+    Op.STW: Fmt.MEM_STORE,
+    Op.LDB: Fmt.MEM_LOAD,
+    Op.STB: Fmt.MEM_STORE,
+    Op.JMP: Fmt.IMM32,
+    Op.JMPR: Fmt.RS1,
+    Op.CALL: Fmt.IMM32,
+    Op.CALLR: Fmt.RS1,
+    Op.RET: Fmt.NONE,
+    Op.BEQ: Fmt.IMM32,
+    Op.BNE: Fmt.IMM32,
+    Op.BLT: Fmt.IMM32,
+    Op.BGE: Fmt.IMM32,
+    Op.BGT: Fmt.IMM32,
+    Op.BLE: Fmt.IMM32,
+    Op.BLTU: Fmt.IMM32,
+    Op.BGEU: Fmt.IMM32,
+    Op.PUSH: Fmt.RS1,
+    Op.POP: Fmt.RD,
+    Op.PUSHF: Fmt.NONE,
+    Op.POPF: Fmt.NONE,
+    Op.RETS: Fmt.NONE,
+    Op.NOP: Fmt.NONE,
+    Op.HALT: Fmt.NONE,
+    Op.IRET: Fmt.NONE,
+    Op.CLI: Fmt.NONE,
+    Op.STI: Fmt.NONE,
+    Op.SWI: Fmt.IMM12,
+}
+
+# Formats whose immediate travels in a 32-bit extension word.
+EXTENDED_FORMATS = frozenset(
+    {Fmt.RD_IMM32, Fmt.RD_RS1_IMM32, Fmt.RS1_IMM32, Fmt.IMM32}
+)
+
+
+def has_extension_word(op: Op) -> bool:
+    """True if ``op`` occupies two words (opcode word + immediate word)."""
+    return FORMATS[op] in EXTENDED_FORMATS

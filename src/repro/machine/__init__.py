@@ -1,0 +1,31 @@
+"""The simulated SoC substrate: bus, memories, MMIO devices, CPU.
+
+This package models the hardware platform of Fig. 1 in the paper: a CPU
+core, PROM, on-chip SRAM, external DRAM, a timer, a UART and a crypto
+accelerator, all attached to a single physical address space with
+memory-mapped I/O.  Memory protection is *not* implemented here — the
+CPU exposes hook points (``cpu.mpu`` and ``cpu.exception_engine``) that
+:mod:`repro.mpu` and :mod:`repro.core` plug into, mirroring how the
+EA-MPU and the secure exception engine are add-on hardware blocks in
+the paper.
+"""
+
+from repro.machine.access import AccessType
+from repro.machine.bus import Bus
+from repro.machine.memories import Dram, Prom, Ram
+from repro.machine.cpu import Cpu, CpuFlags
+from repro.machine.irq import Interrupt, InterruptController
+from repro.machine.soc import SoC
+
+__all__ = [
+    "AccessType",
+    "Bus",
+    "Cpu",
+    "CpuFlags",
+    "Dram",
+    "Interrupt",
+    "InterruptController",
+    "Prom",
+    "Ram",
+    "SoC",
+]

@@ -1,0 +1,25 @@
+"""Memory access classification.
+
+The EA-MPU (paper Fig. 2) monitors three access streams separately:
+instruction fetches (``next_IP`` from the fetch unit), data reads
+(``read_addr``) and data writes (``write_addr``).  Every bus access in
+the simulator is tagged with one of these types so the MPU models can
+apply the correct permission bit.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class AccessType(enum.Enum):
+    """Kind of memory access as seen by the MPU."""
+
+    FETCH = "x"
+    READ = "r"
+    WRITE = "w"
+
+    @property
+    def permission_letter(self) -> str:
+        """The r/w/x letter this access needs in an MPU rule."""
+        return self.value

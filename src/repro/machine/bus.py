@@ -1,0 +1,125 @@
+"""The physical address space: device windows and access dispatch.
+
+The bus is the *unchecked* hardware path.  Software running on the CPU
+never talks to the bus directly — the CPU routes every fetch/load/store
+through the MPU hook first.  Hardware blocks (the exception engine, the
+Secure Loader model, devices) use the bus directly, which is exactly
+the authority they have in the paper's design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AlignmentError, BusError
+from repro.machine.device import Device
+
+
+@dataclass(frozen=True)
+class Mapping:
+    """A device window in the physical address space."""
+
+    base: int
+    device: Device
+
+    @property
+    def end(self) -> int:
+        """One past the last byte of the window."""
+        return self.base + self.device.size
+
+    def contains(self, address: int) -> bool:
+        return self.base <= address < self.end
+
+
+class Bus:
+    """Single flat 32-bit physical address space with MMIO dispatch."""
+
+    def __init__(self) -> None:
+        self._mappings: list[Mapping] = []
+
+    def attach(self, base: int, device: Device) -> Mapping:
+        """Map ``device`` at ``base``; windows must not overlap."""
+        if base < 0 or base + device.size > 0x1_0000_0000:
+            raise BusError(
+                f"device {device.name!r} at {base:#x} exceeds 32-bit space"
+            )
+        new = Mapping(base, device)
+        for existing in self._mappings:
+            if new.base < existing.end and existing.base < new.end:
+                raise BusError(
+                    f"mapping for {device.name!r} at {base:#x} overlaps "
+                    f"{existing.device.name!r} at {existing.base:#x}"
+                )
+        self._mappings.append(new)
+        self._mappings.sort(key=lambda m: m.base)
+        return new
+
+    @property
+    def mappings(self) -> tuple[Mapping, ...]:
+        """All device windows, sorted by base address."""
+        return tuple(self._mappings)
+
+    def find(self, address: int) -> Mapping:
+        """The mapping covering ``address``; raises :class:`BusError`."""
+        for mapping in self._mappings:
+            if mapping.contains(address):
+                return mapping
+        raise BusError(f"unmapped address {address:#010x}", address=address)
+
+    def device_named(self, name: str) -> Device:
+        """Look up an attached device by name."""
+        for mapping in self._mappings:
+            if mapping.device.name == name:
+                return mapping.device
+        raise BusError(f"no device named {name!r}")
+
+    def base_of(self, name: str) -> int:
+        """Base address of the device named ``name``."""
+        for mapping in self._mappings:
+            if mapping.device.name == name:
+                return mapping.base
+        raise BusError(f"no device named {name!r}")
+
+    def _locate(self, address: int, size: int) -> tuple[Device, int]:
+        if size == 4 and address % 4 != 0:
+            raise AlignmentError(
+                f"unaligned word access at {address:#010x}", address=address
+            )
+        mapping = self.find(address)
+        if address + size > mapping.end:
+            raise BusError(
+                f"access at {address:#010x} crosses the end of device "
+                f"{mapping.device.name!r}",
+                address=address,
+            )
+        return mapping.device, address - mapping.base
+
+    def read(self, address: int, size: int = 4) -> int:
+        """Read ``size`` bytes (1 or 4) from the physical address space."""
+        device, offset = self._locate(address, size)
+        return device.read(offset, size)
+
+    def write(self, address: int, value: int, size: int = 4) -> None:
+        """Write ``size`` bytes (1 or 4) to the physical address space."""
+        device, offset = self._locate(address, size)
+        device.write(offset, size, value)
+
+    def read_word(self, address: int) -> int:
+        return self.read(address, 4)
+
+    def write_word(self, address: int, value: int) -> None:
+        self.write(address, value, 4)
+
+    def read_bytes(self, address: int, length: int) -> bytes:
+        """Read ``length`` bytes, byte by byte (host-side convenience)."""
+        return bytes(self.read(address + i, 1) for i in range(length))
+
+    def write_bytes(self, address: int, blob: bytes) -> None:
+        """Write ``blob``, byte by byte (host-side convenience)."""
+        for i, byte in enumerate(blob):
+            self.write(address + i, byte, 1)
+
+    def tick(self, cycles: int) -> None:
+        """Advance time on every attached device."""
+        for mapping in self._mappings:
+            mapping.device.tick(cycles)

@@ -1,0 +1,46 @@
+"""Bus device protocol.
+
+A device occupies a contiguous window of the physical address space and
+services reads and writes at byte granularity with offsets relative to
+its own base.  Devices never see absolute addresses; the bus handles
+decoding.  Devices that need a notion of time (the timer) implement
+:meth:`Device.tick`, which the SoC calls with the number of CPU cycles
+that elapsed.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.errors import BusError
+
+
+class Device(abc.ABC):
+    """A memory-mapped component on the system bus."""
+
+    def __init__(self, name: str, size: int) -> None:
+        if size <= 0:
+            raise BusError(f"device {name!r} must have positive size")
+        self.name = name
+        self.size = size
+
+    @abc.abstractmethod
+    def read(self, offset: int, size: int) -> int:
+        """Read ``size`` bytes (1 or 4) at ``offset``; returns the value."""
+
+    @abc.abstractmethod
+    def write(self, offset: int, size: int, value: int) -> None:
+        """Write ``size`` bytes (1 or 4) of ``value`` at ``offset``."""
+
+    def tick(self, cycles: int) -> None:
+        """Advance device time; default devices are timeless."""
+
+    def _check_offset(self, offset: int, size: int) -> None:
+        if offset < 0 or offset + size > self.size:
+            raise BusError(
+                f"offset {offset:#x}+{size} outside device {self.name!r} "
+                f"of size {self.size:#x}"
+            )
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r} size={self.size:#x}>"

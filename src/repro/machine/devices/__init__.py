@@ -1,0 +1,7 @@
+"""MMIO peripherals of the simulated SoC."""
+
+from repro.machine.devices.timer import Timer
+from repro.machine.devices.uart import Uart
+from repro.machine.devices.crypto_engine import CryptoEngine
+
+__all__ = ["CryptoEngine", "Timer", "Uart"]

@@ -1,0 +1,131 @@
+"""DMA controller — implementing the paper's future-work extension.
+
+Sec. 6 ("Secure Peripherals") ends with: "For future work, we want to
+extend this secure interaction to (possibly untrusted) devices with
+Direct Memory Access (DMA) capability, which were shown to be
+problematic for certain security architectures."  The problem: a DMA
+master reads and writes physical memory *without* executing CPU
+instructions, so an execution-aware MPU never sees a subject IP and a
+malicious driver can exfiltrate trustlet memory through the device.
+
+This controller demonstrates both the attack and the natural EA-MPU
+extension:
+
+* **Legacy mode** (no owner configured): transfers go straight to the
+  bus, unchecked — the documented attack vector.
+* **Owned mode**: the OWNER register holds an instruction address
+  inside the owning trustlet's code region; every transferred word is
+  then checked against the EA-MPU *as if the owner's code performed
+  the access*.  Because the OWNER register lives in the controller's
+  MMIO window, whoever holds the (exclusive) MMIO grant controls the
+  DMA identity — the same ownership logic as every other secure
+  peripheral, with no new protection hardware beyond one comparator
+  per transfer.
+
+Register map::
+
+    0x00  SRC     r/w  source address
+    0x04  DST     r/w  destination address
+    0x08  LEN     r/w  transfer length in bytes (word multiple)
+    0x0C  CTRL    w    1 = start transfer
+    0x10  STATUS  r    bit0 = done, bit1 = fault
+    0x14  OWNER   r/w  subject IP for checked transfers (0 = legacy)
+"""
+
+from __future__ import annotations
+
+from repro.errors import BusError, MemoryProtectionFault
+from repro.machine.access import AccessType
+from repro.machine.device import Device
+
+SRC = 0x00
+DST = 0x04
+LEN = 0x08
+CTRL = 0x0C
+STATUS = 0x10
+OWNER = 0x14
+
+SIZE = 0x18
+
+CTRL_START = 1
+STATUS_DONE = 0x1
+STATUS_FAULT = 0x2
+
+
+class DmaController(Device):
+    """Word-copy DMA engine with optional execution-aware checking."""
+
+    def __init__(self, bus, name: str = "dma") -> None:
+        super().__init__(name, SIZE)
+        self._bus = bus
+        self.mpu = None  # installed by the platform; None = legacy SoC
+        self.src = 0
+        self.dst = 0
+        self.length = 0
+        self.owner = 0
+        self.done = False
+        self.faulted = False
+        self.transfers = 0
+        self.words_copied = 0
+
+    def read(self, offset: int, size: int) -> int:
+        self._check_offset(offset, size)
+        if size != 4:
+            raise BusError("DMA registers require word access")
+        if offset == SRC:
+            return self.src
+        if offset == DST:
+            return self.dst
+        if offset == LEN:
+            return self.length
+        if offset == STATUS:
+            status = STATUS_DONE if self.done else 0
+            status |= STATUS_FAULT if self.faulted else 0
+            return status
+        if offset == OWNER:
+            return self.owner
+        raise BusError(f"unreadable DMA register offset {offset:#x}")
+
+    def write(self, offset: int, size: int, value: int) -> None:
+        self._check_offset(offset, size)
+        if size != 4:
+            raise BusError("DMA registers require word access")
+        if offset == SRC:
+            self.src = value
+        elif offset == DST:
+            self.dst = value
+        elif offset == LEN:
+            if value % 4:
+                raise BusError("DMA length must be a word multiple")
+            self.length = value
+        elif offset == CTRL:
+            if value & CTRL_START:
+                self._transfer()
+        elif offset == OWNER:
+            self.owner = value
+        else:
+            raise BusError(f"unwritable DMA register offset {offset:#x}")
+
+    def _check(self, address: int, access: AccessType) -> None:
+        if self.mpu is None or self.owner == 0:
+            return  # legacy mode: the documented attack surface
+        self.mpu.check(self.owner, address, 4, access)
+
+    def _transfer(self) -> None:
+        self.done = False
+        self.faulted = False
+        self.transfers += 1
+        try:
+            for offset in range(0, self.length, 4):
+                self._check(self.src + offset, AccessType.READ)
+                word = self._bus.read_word(self.src + offset)
+                self._check(self.dst + offset, AccessType.WRITE)
+                self._bus.write_word(self.dst + offset, word)
+                self.words_copied += 1
+        except MemoryProtectionFault:
+            # The device aborts and latches the fault; it cannot raise
+            # a CPU exception on its own (it is a bus master, not the
+            # CPU) — software polls STATUS.
+            self.faulted = True
+            return
+        self.done = True

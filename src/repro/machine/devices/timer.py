@@ -1,0 +1,101 @@
+"""Programmable alarm timer.
+
+Register map (paper Fig. 3 shows exactly the ``period`` and ``handler``
+rows as MPU-controllable objects)::
+
+    0x00  PERIOD   r/w  ticks between interrupts (0 disables)
+    0x04  HANDLER  r/w  ISR address delivered with the interrupt
+    0x08  CTRL     r/w  bit0 = enable
+    0x0C  COUNT    r    current down-counter value
+
+Whoever has write access to this MMIO window — the OS, or a trustlet
+given exclusive access by the Secure Loader — controls preemption on
+the platform (Sec. 3.3: the device "can be setup to leverage or disable
+such an OS scheduler").
+"""
+
+from __future__ import annotations
+
+from repro.errors import BusError
+from repro.machine.device import Device
+from repro.machine.irq import Interrupt, InterruptController
+
+PERIOD = 0x00
+HANDLER = 0x04
+CTRL = 0x08
+COUNT = 0x0C
+
+SIZE = 0x10
+
+CTRL_ENABLE = 0x1
+
+
+class Timer(Device):
+    """Down-counting alarm timer raising a fixed IRQ line."""
+
+    def __init__(
+        self,
+        irq_controller: InterruptController,
+        line: int = 0,
+        name: str = "timer",
+    ) -> None:
+        super().__init__(name, SIZE)
+        self._irq = irq_controller
+        self.line = line
+        self.period = 0
+        self.handler = 0
+        self.enabled = False
+        self._count = 0
+        self.fired = 0
+
+    def read(self, offset: int, size: int) -> int:
+        self._check_offset(offset, size)
+        if size != 4:
+            raise BusError(f"timer {self.name!r} requires word access")
+        if offset == PERIOD:
+            return self.period
+        if offset == HANDLER:
+            return self.handler
+        if offset == CTRL:
+            return CTRL_ENABLE if self.enabled else 0
+        if offset == COUNT:
+            return self._count
+        raise BusError(f"unknown timer register offset {offset:#x}")
+
+    def write(self, offset: int, size: int, value: int) -> None:
+        self._check_offset(offset, size)
+        if size != 4:
+            raise BusError(f"timer {self.name!r} requires word access")
+        if offset == PERIOD:
+            self.period = value
+            self._count = value
+        elif offset == HANDLER:
+            self.handler = value
+        elif offset == CTRL:
+            self.enabled = bool(value & CTRL_ENABLE)
+            if self.enabled and self._count == 0:
+                self._count = self.period
+        elif offset == COUNT:
+            raise BusError("timer COUNT register is read-only")
+        else:
+            raise BusError(f"unknown timer register offset {offset:#x}")
+
+    def tick(self, cycles: int) -> None:
+        """Advance the down-counter; fires the IRQ when it reaches zero."""
+        if not self.enabled or self.period == 0:
+            return
+        remaining = cycles
+        while remaining > 0:
+            if self._count > remaining:
+                self._count -= remaining
+                return
+            remaining -= self._count
+            self._count = self.period
+            self.fired += 1
+            self._irq.raise_line(
+                Interrupt(
+                    line=self.line,
+                    source=self.name,
+                    handler=self.handler or None,
+                )
+            )

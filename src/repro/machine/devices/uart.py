@@ -1,0 +1,60 @@
+"""Console UART.
+
+A write-only transmit register and a status register, enough for guest
+software to emit diagnostics that host-side tests can assert on.  The
+prototype in the paper includes a 16550 UART in its base core figures
+(Sec. 5.2); this model stands in for it.
+
+Register map::
+
+    0x00  TX      w   transmit one byte
+    0x04  STATUS  r   bit0 = tx ready (always set; infinite FIFO)
+"""
+
+from __future__ import annotations
+
+from repro.errors import BusError
+from repro.machine.device import Device
+
+TX = 0x00
+STATUS = 0x04
+
+SIZE = 0x08
+
+STATUS_TX_READY = 0x1
+
+
+class Uart(Device):
+    """Capture-everything UART with an unbounded host-visible log."""
+
+    def __init__(self, name: str = "uart") -> None:
+        super().__init__(name, SIZE)
+        self._output = bytearray()
+
+    def read(self, offset: int, size: int) -> int:
+        self._check_offset(offset, size)
+        if offset == STATUS:
+            return STATUS_TX_READY
+        if offset == TX:
+            raise BusError("UART TX register is write-only")
+        raise BusError(f"unknown UART register offset {offset:#x}")
+
+    def write(self, offset: int, size: int, value: int) -> None:
+        self._check_offset(offset, size)
+        if offset == TX:
+            self._output.append(value & 0xFF)
+            return
+        raise BusError(f"UART register at offset {offset:#x} is read-only")
+
+    @property
+    def output(self) -> bytes:
+        """Everything the guest has transmitted so far."""
+        return bytes(self._output)
+
+    def output_text(self) -> str:
+        """Transmitted bytes decoded as latin-1 (never fails)."""
+        return self._output.decode("latin-1")
+
+    def clear(self) -> None:
+        """Drop captured output (between test phases)."""
+        self._output.clear()

@@ -1,0 +1,91 @@
+"""Watchdog timer with a non-maskable interrupt.
+
+The paper's Fault Tolerance requirement (Sec. 6) includes "preventing
+trivial denial-of-service attacks": a malicious or buggy task that
+disables interrupts and spins would freeze a platform whose only
+preemption source is the maskable alarm timer.  A watchdog whose
+expiry is **non-maskable** closes that hole — the secure exception
+engine still banks the offender's state and hands control to the OS
+scheduler, which can keep every other trustlet running.
+
+Register map::
+
+    0x00  PERIOD  r/w  cycles between NMI firings (0 disables)
+    0x04  CTRL    r/w  bit0 = enable
+    0x08  COUNT   r    current down-counter
+"""
+
+from __future__ import annotations
+
+from repro.errors import BusError
+from repro.machine.device import Device
+from repro.machine.irq import Interrupt, InterruptController
+
+PERIOD = 0x00
+CTRL = 0x04
+COUNT = 0x08
+
+SIZE = 0x0C
+
+CTRL_ENABLE = 0x1
+
+
+class Watchdog(Device):
+    """Auto-reloading NMI source on a dedicated IRQ line."""
+
+    def __init__(
+        self,
+        irq_controller: InterruptController,
+        line: int = 1,
+        name: str = "watchdog",
+    ) -> None:
+        super().__init__(name, SIZE)
+        self._irq = irq_controller
+        self.line = line
+        self.period = 0
+        self.enabled = False
+        self._count = 0
+        self.fired = 0
+
+    def read(self, offset: int, size: int) -> int:
+        self._check_offset(offset, size)
+        if size != 4:
+            raise BusError("watchdog registers require word access")
+        if offset == PERIOD:
+            return self.period
+        if offset == CTRL:
+            return CTRL_ENABLE if self.enabled else 0
+        if offset == COUNT:
+            return self._count
+        raise BusError(f"unknown watchdog register offset {offset:#x}")
+
+    def write(self, offset: int, size: int, value: int) -> None:
+        self._check_offset(offset, size)
+        if size != 4:
+            raise BusError("watchdog registers require word access")
+        if offset == PERIOD:
+            self.period = value
+            self._count = value
+        elif offset == CTRL:
+            self.enabled = bool(value & CTRL_ENABLE)
+            if self.enabled and self._count == 0:
+                self._count = self.period
+        elif offset == COUNT:
+            raise BusError("watchdog COUNT register is read-only")
+        else:
+            raise BusError(f"unknown watchdog register offset {offset:#x}")
+
+    def tick(self, cycles: int) -> None:
+        if not self.enabled or self.period == 0:
+            return
+        remaining = cycles
+        while remaining > 0:
+            if self._count > remaining:
+                self._count -= remaining
+                return
+            remaining -= self._count
+            self._count = self.period
+            self.fired += 1
+            self._irq.raise_line(
+                Interrupt(line=self.line, source=self.name, nmi=True)
+            )

@@ -1,0 +1,85 @@
+"""Memory devices: on-chip SRAM, PROM and external DRAM.
+
+The distinction matters to the architecture (paper Sec. 3.1): trustlet
+code and confidential data live in on-chip RAM/PROM inside the SoC
+security boundary, while external DRAM holds only the untrusted OS bulk
+and integrity-protected public data.  Functionally all three are byte
+arrays; PROM additionally rejects guest writes (it is programmed by the
+image builder before boot, via :meth:`Prom.load`).
+"""
+
+from __future__ import annotations
+
+from repro.errors import BusError
+from repro.machine.device import Device
+
+
+class Ram(Device):
+    """Volatile random-access memory backed by a bytearray."""
+
+    def __init__(self, name: str, size: int, fill: int = 0x00) -> None:
+        super().__init__(name, size)
+        self._data = bytearray([fill & 0xFF]) * size
+
+    def read(self, offset: int, size: int) -> int:
+        self._check_offset(offset, size)
+        return int.from_bytes(self._data[offset:offset + size], "little")
+
+    def write(self, offset: int, size: int, value: int) -> None:
+        self._check_offset(offset, size)
+        self._data[offset:offset + size] = (value & ((1 << (8 * size)) - 1)) \
+            .to_bytes(size, "little")
+
+    def load(self, offset: int, blob: bytes) -> None:
+        """Bulk-initialize memory contents (host-side, not a bus access)."""
+        self._check_offset(offset, max(len(blob), 1))
+        self._data[offset:offset + len(blob)] = blob
+
+    def dump(self, offset: int = 0, length: int | None = None) -> bytes:
+        """Snapshot memory contents (host-side, not a bus access)."""
+        if length is None:
+            length = self.size - offset
+        self._check_offset(offset, max(length, 1))
+        return bytes(self._data[offset:offset + length])
+
+    def wipe(self) -> None:
+        """Clear all contents, as SMART/Sancus require on every reset."""
+        for i in range(len(self._data)):
+            self._data[i] = 0
+
+
+class Dram(Ram):
+    """External DRAM: same behaviour, different trust domain.
+
+    Kept as a distinct type so platform assembly code and tests can
+    assert that confidential trustlet regions were never placed here.
+    """
+
+
+class Flash(Ram):
+    """In-system-programmable code memory.
+
+    Behaves like PROM for ordinary software (code executes in place),
+    but accepts bus writes — the storage technology behind the paper's
+    field-update story (Sec. 3.6: a trustlet's "code region [declared]
+    as writable to itself or to a separate software update service").
+    Write *policy* is the EA-MPU's job; this device only provides the
+    write port.  Erase granularity is not modelled.
+    """
+
+
+class Prom(Ram):
+    """Programmable ROM: readable and executable, never writable by software.
+
+    The CPU boots from a hardwired location inside this device (paper
+    Sec. 2).  Writes arriving over the bus raise :class:`BusError`,
+    modelling the absent write port; :meth:`Ram.load` remains available
+    to the host-side image builder, which models the out-of-band
+    programming of the PROM at manufacturing/update time.
+    """
+
+    def write(self, offset: int, size: int, value: int) -> None:
+        raise BusError(
+            f"write to PROM {self.name!r} at offset {offset:#x} "
+            "(PROM has no write port)"
+        )

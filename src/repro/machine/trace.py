@@ -1,0 +1,78 @@
+"""Execution tracer for the simulated CPU.
+
+Hooks ``cpu.on_retire`` and records each retired instruction with its
+address, disassembly and (optionally) the register file — the tool you
+reach for when a guest image misbehaves.  Also aggregates per-opcode
+statistics for workload characterization benchmarks.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.isa.instruction import Instruction
+from repro.machine.cpu import Cpu
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One retired instruction."""
+
+    index: int
+    address: int
+    text: str
+    sp: int
+
+    def __str__(self) -> str:
+        return f"{self.index:6d}  {self.address:#010x}  {self.text}"
+
+
+@dataclass
+class Tracer:
+    """Ring-buffer instruction tracer with per-opcode statistics."""
+
+    capacity: int = 1024
+    entries: list[TraceEntry] = field(default_factory=list)
+    opcode_counts: Counter = field(default_factory=Counter)
+    retired: int = 0
+    _attached_cpu: Cpu | None = None
+    _previous_hook: object = None
+
+    def attach(self, cpu: Cpu) -> "Tracer":
+        """Install on ``cpu`` (chains any existing on_retire hook)."""
+        self._attached_cpu = cpu
+        self._previous_hook = cpu.on_retire
+        cpu.on_retire = self._record
+        return self
+
+    def detach(self) -> None:
+        if self._attached_cpu is not None:
+            self._attached_cpu.on_retire = self._previous_hook
+            self._attached_cpu = None
+
+    def _record(self, cpu: Cpu, instr: Instruction) -> None:
+        self.retired += 1
+        self.opcode_counts[instr.op.name] += 1
+        entry = TraceEntry(
+            index=self.retired,
+            address=cpu.curr_ip,
+            text=str(instr),
+            sp=cpu.sp,
+        )
+        self.entries.append(entry)
+        if len(self.entries) > self.capacity:
+            del self.entries[: len(self.entries) - self.capacity]
+        if callable(self._previous_hook):
+            self._previous_hook(cpu, instr)
+
+    def tail(self, count: int = 20) -> list[TraceEntry]:
+        """The most recent ``count`` entries."""
+        return self.entries[-count:]
+
+    def format_tail(self, count: int = 20) -> str:
+        return "\n".join(str(e) for e in self.tail(count))
+
+    def hottest(self, count: int = 5) -> list[tuple[str, int]]:
+        """Most frequently retired opcodes."""
+        return self.opcode_counts.most_common(count)

@@ -1,0 +1,35 @@
+"""Memory protection units.
+
+Two MPU models share the region-register vocabulary of
+:mod:`repro.mpu.regions`:
+
+* :class:`~repro.mpu.ea_mpu.EaMpu` — the paper's contribution: an
+  execution-aware MPU whose rules name both the *subject* (the region
+  the currently executing instruction lies in) and the *object* (the
+  accessed address range), enforcing Fig. 3-style access matrices with
+  no OS involvement.
+* :class:`~repro.mpu.standard.StandardMpu` — a conventional MPU whose
+  rules depend only on the accessed address, requiring a privileged OS
+  to reprogram regions on every task switch.  Kept as the ablation
+  baseline showing what execution-awareness buys.
+
+Both plug into ``cpu.mpu`` and are programmable over MMIO through
+:class:`~repro.mpu.mmio.MpuMmioFrontend`; the EA-MPU's "lock" is not a
+special mode but ordinary self-protection — the Secure Loader simply
+leaves no rule that would allow writes to the MPU's own MMIO window
+(paper Sec. 3.3).
+"""
+
+from repro.mpu.regions import ANY_SUBJECT, Perm, RegionRegister
+from repro.mpu.ea_mpu import EaMpu
+from repro.mpu.standard import StandardMpu
+from repro.mpu.mmio import MpuMmioFrontend
+
+__all__ = [
+    "ANY_SUBJECT",
+    "EaMpu",
+    "MpuMmioFrontend",
+    "Perm",
+    "RegionRegister",
+    "StandardMpu",
+]

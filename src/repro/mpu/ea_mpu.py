@@ -1,0 +1,234 @@
+"""The Execution-Aware Memory Protection Unit (paper Sec. 3.2.1, Fig. 2).
+
+Every CPU access is validated against the region registers with *two*
+inputs: the accessed address (object) and the address of the currently
+executing instruction (``curr_IP``, the subject).  An access is granted
+iff some valid region
+
+1. wholly covers the accessed range,
+2. carries the permission bit the access needs (r/w/x), and
+3. names a subject region containing ``curr_IP`` in its subject mask
+   (or is marked ANY-subject).
+
+When the MPU is disabled (platform reset state) all accesses pass; the
+Secure Loader enables it after programming the policy.  Denials raise
+:class:`~repro.errors.MemoryProtectionFault`, which the CPU converts
+into an exception — invalidating the faulting instruction exactly as
+Sec. 3.2.2 describes.
+
+The model also keeps the counters the evaluation needs: programmed
+register writes (Sec. 5.3's three-writes-per-region claim is asserted
+against this) and per-access check statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import MemoryProtectionFault, PlatformError
+from repro.machine.access import AccessType
+from repro.mpu.regions import (
+    ANY_SUBJECT,
+    Perm,
+    RegionRegister,
+    pack_attr,
+)
+
+DEFAULT_NUM_REGIONS = 16
+
+_PERM_FOR_ACCESS = {
+    AccessType.READ: Perm.R,
+    AccessType.WRITE: Perm.W,
+    AccessType.FETCH: Perm.X,
+}
+
+
+@dataclass
+class MpuStats:
+    """Observable counters for the evaluation harness."""
+
+    checks: int = 0
+    faults: int = 0
+    register_writes: int = 0
+    regions_scanned: int = 0
+
+
+class EaMpu:
+    """Execution-aware MPU with a fixed set of region registers."""
+
+    def __init__(self, num_regions: int = DEFAULT_NUM_REGIONS) -> None:
+        if num_regions <= 0:
+            raise PlatformError("EA-MPU needs at least one region register")
+        self.num_regions = num_regions
+        self.regions = [RegionRegister() for _ in range(num_regions)]
+        self.enabled = False
+        self.fault_address = 0
+        self.fault_ip = 0
+        self.stats = MpuStats()
+        # Sec. 3.6: "designers may decide to hardwire certain MPU
+        # regions ... to provide 'hardware trustlets'".  Hardwired
+        # region registers are mask-programmed: no write — not even by
+        # the Secure Loader — can alter or clear them.
+        self._hardwired: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Programming interface (used by the Secure Loader and the MMIO
+    # frontend; each call models one hardware register write).
+
+    def _writable_region(self, index: int) -> RegionRegister:
+        if index in self._hardwired:
+            raise PlatformError(
+                f"MPU region {index} is hardwired (mask-programmed) and "
+                "cannot be modified"
+            )
+        return self._region(index)
+
+    def write_base(self, index: int, value: int) -> None:
+        self._writable_region(index).base = value & 0xFFFF_FFFF
+        self.stats.register_writes += 1
+
+    def write_end(self, index: int, value: int) -> None:
+        self._writable_region(index).end = value & 0xFFFF_FFFF
+        self.stats.register_writes += 1
+
+    def write_attr(self, index: int, value: int) -> None:
+        self._writable_region(index).attr = value & 0xFFFF_FFFF
+        self.stats.register_writes += 1
+
+    def program_region(
+        self,
+        index: int,
+        base: int,
+        end: int,
+        perm: Perm,
+        subjects: int = ANY_SUBJECT,
+    ) -> None:
+        """Program one region: exactly three register writes (Sec. 5.3)."""
+        if end < base:
+            raise PlatformError(
+                f"region {index}: end {end:#x} precedes base {base:#x}"
+            )
+        self.write_base(index, base)
+        self.write_end(index, end)
+        self.write_attr(index, pack_attr(perm, subjects))
+
+    def clear_region(self, index: int) -> None:
+        """Invalidate a region (three writes, mirroring hardware)."""
+        self.write_base(index, 0)
+        self.write_end(index, 0)
+        self.write_attr(index, 0)
+
+    def clear_all(self) -> None:
+        """Invalidate every non-hardwired region (Loader step 1, Fig. 5)."""
+        for index in range(self.num_regions):
+            if index not in self._hardwired:
+                self.clear_region(index)
+
+    def hardwire_region(
+        self,
+        index: int,
+        base: int,
+        end: int,
+        perm: Perm,
+        subjects: int = ANY_SUBJECT,
+    ) -> None:
+        """Mask-program a region at fabrication time (Sec. 3.6).
+
+        A hardwired region provides a "hardware trustlet": its rule
+        survives reset and resists every software write, including the
+        Secure Loader's.  Must be called before the platform runs
+        (i.e., by the SoC designer, not by guest software).
+        """
+        self.program_region(index, base, end, perm, subjects=subjects)
+        self._hardwired.add(index)
+
+    def is_hardwired(self, index: int) -> bool:
+        self._region(index)  # bounds check
+        return index in self._hardwired
+
+    def set_enabled(self, enabled: bool) -> None:
+        self.enabled = enabled
+
+    def _region(self, index: int) -> RegionRegister:
+        if not 0 <= index < self.num_regions:
+            raise PlatformError(
+                f"region index {index} out of range 0..{self.num_regions - 1}"
+            )
+        return self.regions[index]
+
+    def free_region_index(self) -> int:
+        """Lowest invalid (unprogrammed) region index."""
+        for index, region in enumerate(self.regions):
+            if not region.valid:
+                return index
+        raise PlatformError(
+            f"all {self.num_regions} MPU regions are in use; the paper's "
+            "Sec. 8 notes the region budget as the key limitation"
+        )
+
+    # ------------------------------------------------------------------
+    # Enforcement (called by the CPU on every fetch/load/store).
+
+    def subject_mask_for(self, instruction_pointer: int) -> int:
+        """Bitmask of regions containing ``instruction_pointer``."""
+        mask = 0
+        for index, region in enumerate(self.regions):
+            if region.contains(instruction_pointer):
+                mask |= 1 << index
+        return mask
+
+    def allows(
+        self,
+        subject_ip: int,
+        address: int,
+        size: int,
+        access: AccessType,
+    ) -> bool:
+        """Non-raising permission query (used by attestation trustlets)."""
+        if not self.enabled:
+            return True
+        needed = _PERM_FOR_ACCESS[access]
+        subject_mask = self.subject_mask_for(subject_ip)
+        for region in self.regions:
+            self.stats.regions_scanned += 1
+            if not region.covers(address, size):
+                continue
+            if not region.perm & needed:
+                continue
+            subjects = region.subjects
+            if subjects == ANY_SUBJECT or subjects & subject_mask:
+                return True
+        return False
+
+    def check(
+        self,
+        subject_ip: int,
+        address: int,
+        size: int,
+        access: AccessType,
+    ) -> None:
+        """CPU hook: raise :class:`MemoryProtectionFault` on denial."""
+        self.stats.checks += 1
+        if self.allows(subject_ip, address, size, access):
+            return
+        self.stats.faults += 1
+        self.fault_address = address
+        self.fault_ip = subject_ip
+        raise MemoryProtectionFault(
+            f"EA-MPU denied {access.name.lower()} of {size} byte(s) at "
+            f"{address:#010x} by instruction at {subject_ip:#010x}",
+            subject_ip=subject_ip,
+            address=address,
+            access=access.permission_letter,
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection (readable state, e.g. for local attestation).
+
+    def describe(self) -> str:
+        """Human-readable dump of the programmed policy."""
+        lines = [f"EA-MPU enabled={self.enabled} regions={self.num_regions}"]
+        for index, region in enumerate(self.regions):
+            if region.valid:
+                lines.append(f"  #{index:2d} {region.describe()}")
+        return "\n".join(lines)

@@ -1,0 +1,91 @@
+"""Memory-mapped register frontend for the EA-MPU.
+
+Fig. 3 of the paper lists the MPU's own ``flags`` and ``regions`` MMIO
+rows as protectable objects: software configures the MPU by writing
+this window, and the Secure Loader "locks" the MPU simply by leaving no
+EA-MPU rule that permits writes here (Sec. 3.3).  Because the CPU
+routes *all* data accesses — including ones targeting this window —
+through the MPU check first, that self-referential protection needs no
+special hardware mode.
+
+Register map::
+
+    0x00  CTRL        rw  bit0 = enable
+    0x04  NUM_REGIONS r   number of region registers
+    0x08  FAULT_ADDR  r   address of the last denied access
+    0x0C  FAULT_IP    r   subject IP of the last denied access
+    0x10 + i*12       rw  region i: BASE, END, ATTR words
+"""
+
+from __future__ import annotations
+
+from repro.errors import BusError
+from repro.machine.device import Device
+from repro.mpu.ea_mpu import EaMpu
+
+CTRL = 0x00
+NUM_REGIONS = 0x04
+FAULT_ADDR = 0x08
+FAULT_IP = 0x0C
+REGIONS = 0x10
+
+REGION_STRIDE = 12
+
+CTRL_ENABLE = 0x1
+
+
+def mmio_size(num_regions: int) -> int:
+    """Size of the MPU register window for ``num_regions`` regions."""
+    return REGIONS + num_regions * REGION_STRIDE
+
+
+class MpuMmioFrontend(Device):
+    """Exposes an :class:`EaMpu`'s registers on the system bus."""
+
+    def __init__(self, mpu: EaMpu, name: str = "mpu") -> None:
+        super().__init__(name, mmio_size(mpu.num_regions))
+        self._mpu = mpu
+
+    def _region_field(self, offset: int) -> tuple[int, int]:
+        index, field = divmod(offset - REGIONS, REGION_STRIDE)
+        if index >= self._mpu.num_regions or field % 4 != 0:
+            raise BusError(f"bad MPU region register offset {offset:#x}")
+        return index, field
+
+    def read(self, offset: int, size: int) -> int:
+        self._check_offset(offset, size)
+        if size != 4:
+            raise BusError("MPU registers require word access")
+        if offset == CTRL:
+            return CTRL_ENABLE if self._mpu.enabled else 0
+        if offset == NUM_REGIONS:
+            return self._mpu.num_regions
+        if offset == FAULT_ADDR:
+            return self._mpu.fault_address
+        if offset == FAULT_IP:
+            return self._mpu.fault_ip
+        if offset >= REGIONS:
+            index, field = self._region_field(offset)
+            region = self._mpu.regions[index]
+            return (region.base, region.end, region.attr)[field // 4]
+        raise BusError(f"unknown MPU register offset {offset:#x}")
+
+    def write(self, offset: int, size: int, value: int) -> None:
+        self._check_offset(offset, size)
+        if size != 4:
+            raise BusError("MPU registers require word access")
+        if offset == CTRL:
+            self._mpu.set_enabled(bool(value & CTRL_ENABLE))
+            return
+        if offset in (NUM_REGIONS, FAULT_ADDR, FAULT_IP):
+            raise BusError(f"MPU register at {offset:#x} is read-only")
+        if offset >= REGIONS:
+            index, field = self._region_field(offset)
+            writer = (
+                self._mpu.write_base,
+                self._mpu.write_end,
+                self._mpu.write_attr,
+            )[field // 4]
+            writer(index, value)
+            return
+        raise BusError(f"unknown MPU register offset {offset:#x}")

@@ -1,0 +1,136 @@
+"""Region registers and permission encoding shared by both MPU models.
+
+A region register holds ``base``, ``end`` (exclusive) and an attribute
+word.  The attribute word packs everything the paper's "permission"
+write carries (Sec. 5.3 counts *three* MPU register writes per region:
+start, end, permission)::
+
+    bit  0      R   data read allowed
+    bit  1      W   data write allowed
+    bit  2      X   instruction fetch allowed
+    bit  3      ANY any subject may access (subject mask ignored)
+    bits 4..31  subject mask: bit 4+i set = region *i* is a subject
+
+The subject mask limits an EA-MPU instantiation to
+:data:`MAX_SUBJECT_REGIONS` regions that can act as subjects; the
+hardware-cost model in :mod:`repro.hwcost` is not bound by this
+simulation detail and sweeps to the paper's 32 regions.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import PlatformError
+
+MAX_SUBJECT_REGIONS = 28
+
+ANY_SUBJECT = -1
+
+_R, _W, _X, _ANY = 1 << 0, 1 << 1, 1 << 2, 1 << 3
+_SUBJECT_SHIFT = 4
+
+
+class Perm(enum.IntFlag):
+    """r/w/x permission bits of a region attribute word."""
+
+    NONE = 0
+    R = _R
+    W = _W
+    X = _X
+    RW = _R | _W
+    RX = _R | _X
+    RWX = _R | _W | _X
+
+    @classmethod
+    def parse(cls, text: str) -> "Perm":
+        """Parse a Fig. 3-style permission string such as ``"rx"``."""
+        perm = cls.NONE
+        for letter in text.lower():
+            if letter == "r":
+                perm |= cls.R
+            elif letter == "w":
+                perm |= cls.W
+            elif letter == "x":
+                perm |= cls.X
+            elif letter in ("-", " "):
+                continue
+            else:
+                raise PlatformError(f"unknown permission letter {letter!r}")
+        return perm
+
+    def letters(self) -> str:
+        """Render as the paper's r/w/x notation."""
+        out = ""
+        out += "r" if self & Perm.R else "-"
+        out += "w" if self & Perm.W else "-"
+        out += "x" if self & Perm.X else "-"
+        return out
+
+
+def pack_attr(perm: Perm, subjects: int) -> int:
+    """Build an attribute word from permissions and a subject spec.
+
+    ``subjects`` is either :data:`ANY_SUBJECT` or a bitmask over region
+    indices (bit ``i`` = region ``i`` may act as subject).
+    """
+    word = int(perm) & 0x7
+    if subjects == ANY_SUBJECT:
+        return word | _ANY
+    if subjects < 0 or subjects >= (1 << MAX_SUBJECT_REGIONS):
+        raise PlatformError(
+            f"subject mask {subjects:#x} exceeds "
+            f"{MAX_SUBJECT_REGIONS} supported subject regions"
+        )
+    return word | (subjects << _SUBJECT_SHIFT)
+
+
+def unpack_attr(word: int) -> tuple[Perm, int]:
+    """Inverse of :func:`pack_attr`."""
+    perm = Perm(word & 0x7)
+    if word & _ANY:
+        return perm, ANY_SUBJECT
+    return perm, word >> _SUBJECT_SHIFT
+
+
+@dataclass
+class RegionRegister:
+    """One MPU region register (mutable hardware state)."""
+
+    base: int = 0
+    end: int = 0
+    attr: int = 0
+
+    @property
+    def valid(self) -> bool:
+        """A region takes part in checks only when ``end > base``."""
+        return self.end > self.base
+
+    @property
+    def perm(self) -> Perm:
+        return unpack_attr(self.attr)[0]
+
+    @property
+    def subjects(self) -> int:
+        return unpack_attr(self.attr)[1]
+
+    def contains(self, address: int) -> bool:
+        return self.valid and self.base <= address < self.end
+
+    def covers(self, address: int, size: int) -> bool:
+        """Whole access range inside the region (no straddling)."""
+        return self.valid and self.base <= address and \
+            address + size <= self.end
+
+    def clear(self) -> None:
+        self.base = 0
+        self.end = 0
+        self.attr = 0
+
+    def describe(self) -> str:
+        perm, subjects = unpack_attr(self.attr)
+        who = "any" if subjects == ANY_SUBJECT else f"mask={subjects:#x}"
+        return (
+            f"[{self.base:#010x},{self.end:#010x}) {perm.letters()} {who}"
+        )

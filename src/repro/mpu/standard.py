@@ -1,0 +1,128 @@
+"""Conventional (execution-unaware) MPU — the ablation baseline.
+
+A regular embedded MPU (ARMv7-M PMSA, TI KeyStone, Infineon XC2000
+style, paper Sec. 3.2) checks only the accessed address against region
+permissions; it cannot tell *which code* performed the access.  To
+isolate multiple tasks, a privileged OS must therefore reprogram the
+user-visible regions on **every context switch** so that only the next
+task's regions are accessible — making the OS a single point of failure
+(Sec. 3.2: the embedded OS "becomes a single point of failure for
+platform security enforcement").
+
+The model captures exactly those two properties for the ablation
+benchmarks:
+
+* :meth:`StandardMpu.switch_task` performs the per-switch register
+  writes that the EA-MPU avoids, and counts them;
+* whoever can call ``switch_task``/``program_region`` (i.e. the OS) can
+  grant itself access to anything — there is no hardware notion of a
+  per-trustlet policy that survives a compromised OS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MemoryProtectionFault, PlatformError
+from repro.machine.access import AccessType
+from repro.mpu.ea_mpu import MpuStats
+from repro.mpu.regions import Perm, RegionRegister, pack_attr, ANY_SUBJECT
+
+
+@dataclass(frozen=True)
+class TaskRegions:
+    """The region set a conventional OS programs for one task."""
+
+    name: str
+    regions: tuple[tuple[int, int, Perm], ...]
+
+
+class StandardMpu:
+    """Execution-unaware MPU: object-address checks only."""
+
+    def __init__(self, num_regions: int = 8) -> None:
+        if num_regions <= 0:
+            raise PlatformError("MPU needs at least one region register")
+        self.num_regions = num_regions
+        self.regions = [RegionRegister() for _ in range(num_regions)]
+        self.enabled = False
+        self.stats = MpuStats()
+        self.context_switches = 0
+        self.current_task: str | None = None
+
+    def program_region(self, index: int, base: int, end: int, perm: Perm) -> None:
+        """Three register writes, like the EA-MPU (same hardware budget)."""
+        if not 0 <= index < self.num_regions:
+            raise PlatformError(f"region index {index} out of range")
+        if end < base:
+            raise PlatformError("region end precedes base")
+        region = self.regions[index]
+        region.base = base
+        region.end = end
+        region.attr = pack_attr(perm, ANY_SUBJECT)
+        self.stats.register_writes += 3
+
+    def clear_all(self) -> None:
+        for region in self.regions:
+            region.clear()
+        self.stats.register_writes += 3 * self.num_regions
+
+    def set_enabled(self, enabled: bool) -> None:
+        self.enabled = enabled
+
+    def switch_task(self, task: TaskRegions) -> int:
+        """Reprogram all regions for ``task``; returns register writes spent.
+
+        This is the recurring cost (and the trusted-OS dependency) that
+        execution-aware protection eliminates: the EA-MPU is programmed
+        once at boot and never touched again.
+        """
+        if len(task.regions) > self.num_regions:
+            raise PlatformError(
+                f"task {task.name!r} needs {len(task.regions)} regions, "
+                f"MPU has {self.num_regions}"
+            )
+        before = self.stats.register_writes
+        for index in range(self.num_regions):
+            if index < len(task.regions):
+                base, end, perm = task.regions[index]
+                self.program_region(index, base, end, perm)
+            elif self.regions[index].valid:
+                self.regions[index].clear()
+                self.stats.register_writes += 3
+        self.context_switches += 1
+        self.current_task = task.name
+        return self.stats.register_writes - before
+
+    def allows(
+        self, subject_ip: int, address: int, size: int, access: AccessType
+    ) -> bool:
+        """Check ignoring the subject — the defining non-feature."""
+        if not self.enabled:
+            return True
+        needed = {
+            AccessType.READ: Perm.R,
+            AccessType.WRITE: Perm.W,
+            AccessType.FETCH: Perm.X,
+        }[access]
+        for region in self.regions:
+            self.stats.regions_scanned += 1
+            if region.covers(address, size) and region.perm & needed:
+                return True
+        return False
+
+    def check(
+        self, subject_ip: int, address: int, size: int, access: AccessType
+    ) -> None:
+        """CPU hook with the same signature as the EA-MPU."""
+        self.stats.checks += 1
+        if self.allows(subject_ip, address, size, access):
+            return
+        self.stats.faults += 1
+        raise MemoryProtectionFault(
+            f"MPU denied {access.name.lower()} of {size} byte(s) at "
+            f"{address:#010x}",
+            subject_ip=subject_ip,
+            address=address,
+            access=access.permission_letter,
+        )

@@ -1,0 +1,32 @@
+"""Guest software: SP32 assembly for the OS kernel and reference trustlets.
+
+The paper deploys a homegrown OS and fits its bootstrapping routine to
+act as the Secure Loader (Sec. 5.1).  This package is the reproduction's
+software stack, written in SP32 assembly emitted by Python builder
+functions (the :class:`~repro.core.image.SoftwareModule` ``source``
+callables):
+
+* :mod:`repro.sw.runtime` — the trustlet runtime: entry-vector layout,
+  the ``continue()`` prologue restoring state from the Trustlet Table,
+  and the voluntary-yield ``resume()`` path.
+* :mod:`repro.sw.kernel` — the embedded OS: timer ISR, round-robin
+  trustlet scheduler, fault handler, UART logging.
+* :mod:`repro.sw.trustlets` — reference trustlets: counters, an IPC
+  queue receiver, a MAC-computing attestation trustlet with exclusive
+  crypto-engine access, and adversarial probe trustlets used by the
+  security test-suite.
+* :mod:`repro.sw.images` — canned PROM images combining the above for
+  tests, examples and benchmarks.
+"""
+
+from repro.sw.images import (
+    build_attestation_image,
+    build_ipc_image,
+    build_two_counter_image,
+)
+
+__all__ = [
+    "build_attestation_image",
+    "build_ipc_image",
+    "build_two_counter_image",
+]

@@ -1,0 +1,202 @@
+"""The ePay scenario — the payment trustlet of paper Fig. 1.
+
+A third-party payment service deployed as a trustlet on a device whose
+OS is untrusted:
+
+* the **ePay trustlet** holds the user's PIN (compiled into its code,
+  which is *not* world-readable: ``code_readable=False``) and exclusive
+  access to the crypto engine whose key slot holds the payment
+  provider's device key;
+* the **OS** relays payment requests from the outside world through a
+  shared memory region: ``(amount, PIN attempt)`` in, ``(verdict,
+  authorization tag)`` out;
+* the trustlet authorizes a request only with the correct PIN, rate
+  limits failures (three strikes → permanently locked until reset),
+  and computes the authorization tag ``MAC(device key, amount)`` that
+  the provider's backend can verify;
+* the OS never sees the PIN or the key — a fully compromised OS can at
+  worst deny service.
+
+Shared-region layout (label ``epay-req``)::
+
+    +0  amount      +4  PIN attempt
+    +8  flag: 1 = request pending, 2 = authorized, 3 = denied
+    +12 authorization tag (16 bytes, valid when flag == 2)
+
+ePay data region::
+
+    +4  failed-attempt counter (>= 3 → locked)
+    +8  total requests served
+
+OS data region (on top of the kernel's fields)::
+
+    +20 verdict of request #1     +24 verdict of request #2 ...
+        (the demo OS stores each response verdict sequentially)
+"""
+
+from __future__ import annotations
+
+from repro.core.image import (
+    ImageBuilder,
+    MmioGrant,
+    ModuleLayout,
+    SharedRegionRequest,
+    SoftwareModule,
+)
+from repro.crypto import mac
+from repro.machine import soc as socmap
+from repro.machine.devices import crypto_engine as ce
+from repro.sw import kernel, runtime
+
+SHM_LABEL = "epay-req"
+
+SHM_OFF_AMOUNT = 0
+SHM_OFF_PIN = 4
+SHM_OFF_FLAG = 8
+SHM_OFF_TAG = 12
+
+FLAG_REQUEST = 1
+FLAG_AUTHORIZED = 2
+FLAG_DENIED = 3
+
+EPAY_OFF_FAILS = 4
+EPAY_OFF_SERVED = 8
+
+OS_OFF_VERDICTS = 20
+
+MAX_PIN_FAILURES = 3
+
+
+def epay_source(pin: int):
+    """The payment trustlet; ``pin`` is baked into its private code."""
+
+    def source(lay: ModuleLayout) -> str:
+        shm, _ = lay.shared[SHM_LABEL]
+        return f"""
+{runtime.entry_vector()}
+.equ CRYPTO, {socmap.CRYPTO_BASE:#x}
+.equ SHM, {shm:#x}
+.equ FAILS, {lay.data_base + EPAY_OFF_FAILS:#x}
+.equ SERVED, {lay.data_base + EPAY_OFF_SERVED:#x}
+.equ PIN, {pin:#x}
+
+main:
+    movi r9, SHM
+poll:
+    ldw r5, [r9+{SHM_OFF_FLAG}]
+    cmpi r5, {FLAG_REQUEST}
+    bne poll
+    movi r4, FAILS
+    ldw r5, [r4]
+    cmpi r5, {MAX_PIN_FAILURES}
+    bgeu deny               ; locked: never consult the PIN again
+    ldw r5, [r9+{SHM_OFF_PIN}]
+    cmpi r5, PIN
+    bne bad_pin
+    ; Authorized: tag = MAC(device key, amount).
+    cli
+    movi r4, CRYPTO
+    movi r6, {ce.CTRL_RESET}
+    stw r6, [r4+{ce.CTRL}]
+    ldw r6, [r9+{SHM_OFF_AMOUNT}]
+    stw r6, [r4+{ce.DATA_IN}]
+    movi r6, {ce.CTRL_FINALIZE_MAC}
+    stw r6, [r4+{ce.CTRL}]
+    ldw r6, [r4+{ce.DIGEST + 0}]
+    stw r6, [r9+{SHM_OFF_TAG + 0}]
+    ldw r6, [r4+{ce.DIGEST + 4}]
+    stw r6, [r9+{SHM_OFF_TAG + 4}]
+    ldw r6, [r4+{ce.DIGEST + 8}]
+    stw r6, [r9+{SHM_OFF_TAG + 8}]
+    ldw r6, [r4+{ce.DIGEST + 12}]
+    stw r6, [r9+{SHM_OFF_TAG + 12}]
+    sti
+    movi r4, SERVED
+    ldw r5, [r4]
+    addi r5, r5, 1
+    stw r5, [r4]
+    movi r6, {FLAG_AUTHORIZED}
+    stw r6, [r9+{SHM_OFF_FLAG}]
+    jmp poll
+bad_pin:
+    movi r4, FAILS
+    ldw r5, [r4]
+    addi r5, r5, 1
+    stw r5, [r4]
+deny:
+    movi r6, {FLAG_DENIED}
+    stw r6, [r9+{SHM_OFF_FLAG}]
+    jmp poll
+{runtime.continue_impl(lay)}
+{runtime.halt_stub()}
+"""
+
+    return source
+
+
+def _os_main_body(lay: ModuleLayout, requests) -> str:
+    """OS task submitting payment requests and recording the verdicts."""
+    shm, _ = lay.shared[SHM_LABEL]
+    parts = [f".equ SHM, {shm:#x}", "    movi r9, SHM"]
+    for index, (amount, pin) in enumerate(requests):
+        parts.append(f"""
+    movi r5, {amount}
+    stw r5, [r9+{SHM_OFF_AMOUNT}]
+    movi r5, {pin:#x}
+    stw r5, [r9+{SHM_OFF_PIN}]
+    movi r5, {FLAG_REQUEST}
+    stw r5, [r9+{SHM_OFF_FLAG}]
+req_wait_{index}:
+    ldw r5, [r9+{SHM_OFF_FLAG}]
+    cmpi r5, {FLAG_REQUEST}
+    beq req_wait_{index}
+    movi r6, DATA+{OS_OFF_VERDICTS + 4 * index}
+    stw r5, [r6]
+""")
+    parts.append("os_idle:\n    jmp os_idle")
+    return "\n".join(parts)
+
+
+def build_epay_image(
+    *,
+    pin: int = 0x1234,
+    requests=((100, 0x1234),),
+    timer_period: int = 400,
+):
+    """OS + ePay trustlet with the request schedule baked into the OS."""
+    shm = SharedRegionRequest(label=SHM_LABEL, size=0x20)
+    builder = ImageBuilder()
+    builder.add_module(
+        SoftwareModule(
+            name="OS",
+            source=lambda lay: kernel.os_source(
+                lay,
+                timer_period=timer_period,
+                main_body=_os_main_body(lay, requests),
+            ),
+            data_size=0x100,
+            stack_size=0x200,
+            is_os=True,
+            entry_size=kernel.OS_ENTRY_SIZE,
+            mmio_grants=(
+                MmioGrant(socmap.TIMER_BASE, 0x10),
+                MmioGrant(socmap.UART_BASE, 0x08),
+            ),
+            shared=(shm,),
+        )
+    )
+    builder.add_module(
+        SoftwareModule(
+            name="EPAY",
+            source=epay_source(pin),
+            code_readable=False,  # the PIN lives in this code
+            mmio_grants=(MmioGrant(socmap.CRYPTO_BASE, ce.SIZE),),
+            shared=(shm,),
+        )
+    )
+    return builder.build()
+
+
+def expected_tag(device_key: bytes, amount: int) -> bytes:
+    """Backend-side recomputation of an authorization tag."""
+    return mac(device_key, amount.to_bytes(4, "little"))

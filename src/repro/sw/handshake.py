@@ -1,0 +1,317 @@
+"""The Fig. 6 trusted-IPC handshake as guest code.
+
+Two trustlets establish a shared session token entirely on the
+simulated CPU — no host-side protocol model involved:
+
+1. The initiator performs the paper's ``findTask``: it walks the
+   world-readable Trustlet Table at runtime comparing id tags.
+2. It attests the responder by hashing the responder's (world-readable)
+   code region with the crypto engine and comparing the digest against
+   the loader's measurement in the table row.
+3. It derives a nonce, writes ``syn(A, B, NA)`` into an EA-MPU-shared
+   memory region, and sets the handshake flag.
+4. The responder (polling its side) attests the initiator the same
+   way, answers ``ack`` with its own nonce, and both sides compute
+   ``token = H(tag_A || tag_B || NA || NB)`` — each storing it in its
+   *private* data region, where only the host (acting as hardware) can
+   compare them.
+
+Crypto-engine sessions are wrapped in ``cli``/``sti`` so a preemption
+cannot interleave the two trustlets' use of the shared accelerator —
+the standard discipline for an exclusive peripheral driver.  Nonces
+are derived deterministically from the trustlet tags (a real device
+would mix in an entropy source); the *protocol mechanics* are what
+this module reproduces.
+
+Data-region layout (both sides)::
+
+    +4   status: 1 = handshake complete, 0xBAD = attestation failed
+    +8   session token (16 bytes)
+
+Shared-region layout::
+
+    +0  initiator tag   +4  responder tag
+    +8  NA (8 bytes)    +16 flag: 1 = syn sent, 2 = ack sent
+    +20 NB (8 bytes)
+"""
+
+from __future__ import annotations
+
+from repro.core import layout as lay_consts
+from repro.core.image import (
+    ImageBuilder,
+    MmioGrant,
+    ModuleLayout,
+    SharedRegionRequest,
+    SoftwareModule,
+)
+from repro.core.trustlet_table import (
+    HEADER_SIZE,
+    OFF_CODE_BASE,
+    OFF_CODE_END,
+    OFF_MEASUREMENT,
+    ROW_SIZE,
+    name_tag,
+)
+from repro.crypto import sponge_hash
+from repro.machine import soc as socmap
+from repro.machine.devices import crypto_engine as ce
+from repro.sw import runtime
+from repro.sw.images import os_module
+
+DATA_OFF_STATUS = 4
+DATA_OFF_TOKEN = 8
+
+SHM_OFF_INITIATOR = 0
+SHM_OFF_RESPONDER = 4
+SHM_OFF_NA = 8
+SHM_OFF_FLAG = 16
+SHM_OFF_NB = 20
+
+FLAG_SYN = 1
+FLAG_ACK = 2
+
+STATUS_OK = 1
+STATUS_FAILED = 0xBAD
+
+SHM_LABEL = "hs-shm"
+
+
+def _attest_fragment(prefix: str, tag_expr: str) -> str:
+    """Find the row tagged ``tag_expr``, hash its code, compare.
+
+    On success falls through with r5 = row base; on any mismatch jumps
+    to ``fail``.  Clobbers r4-r9, r11, r12.  Interrupts are masked
+    around the crypto-engine session.
+    """
+    return f"""
+    movi r10, TABLE
+    ldw r11, [r10]          ; row count
+    movi r12, 0
+{prefix}_find:
+    cmp r12, r11
+    bgeu fail
+    muli r4, r12, {ROW_SIZE}
+    addi r5, r4, TABLE+{HEADER_SIZE}
+    ldw r6, [r5+0]
+    cmpi r6, {tag_expr}
+    beq {prefix}_found
+    addi r12, r12, 1
+    jmp {prefix}_find
+{prefix}_found:
+    ldw r7, [r5+{OFF_CODE_BASE}]
+    ldw r8, [r5+{OFF_CODE_END}]
+    cli                     ; exclusive crypto session
+    movi r4, CRYPTO
+    movi r6, {ce.CTRL_RESET}
+    stw r6, [r4+{ce.CTRL}]
+{prefix}_hash:
+    cmp r7, r8
+    bgeu {prefix}_hashed
+    ldw r6, [r7]
+    stw r6, [r4+{ce.DATA_IN}]
+    addi r7, r7, 4
+    jmp {prefix}_hash
+{prefix}_hashed:
+    movi r6, {ce.CTRL_FINALIZE}
+    stw r6, [r4+{ce.CTRL}]
+    ldw r6, [r4+{ce.DIGEST + 0}]
+    ldw r7, [r5+{OFF_MEASUREMENT + 0}]
+    cmp r6, r7
+    bne fail_sti
+    ldw r6, [r4+{ce.DIGEST + 4}]
+    ldw r7, [r5+{OFF_MEASUREMENT + 4}]
+    cmp r6, r7
+    bne fail_sti
+    ldw r6, [r4+{ce.DIGEST + 8}]
+    ldw r7, [r5+{OFF_MEASUREMENT + 8}]
+    cmp r6, r7
+    bne fail_sti
+    ldw r6, [r4+{ce.DIGEST + 12}]
+    ldw r7, [r5+{OFF_MEASUREMENT + 12}]
+    cmp r6, r7
+    bne fail_sti
+    sti
+"""
+
+
+def _nonce_fragment(tag_expr: str) -> str:
+    """Derive an 8-byte nonce H(tag) into r0:r1 (crypto session)."""
+    return f"""
+    cli
+    movi r4, CRYPTO
+    movi r6, {ce.CTRL_RESET}
+    stw r6, [r4+{ce.CTRL}]
+    movi r6, {tag_expr}
+    stw r6, [r4+{ce.DATA_IN}]
+    movi r6, {ce.CTRL_FINALIZE}
+    stw r6, [r4+{ce.CTRL}]
+    ldw r0, [r4+{ce.DIGEST + 0}]
+    ldw r1, [r4+{ce.DIGEST + 4}]
+    sti
+"""
+
+
+def _token_fragment() -> str:
+    """token = H(ATAG||BTAG||NA||NB); NA in r0:r1, NB in r2:r3.
+
+    Writes the 16-byte token to the trustlet's private DATA+8 and sets
+    the status word.
+    """
+    return f"""
+    cli
+    movi r4, CRYPTO
+    movi r6, {ce.CTRL_RESET}
+    stw r6, [r4+{ce.CTRL}]
+    movi r6, ATAG
+    stw r6, [r4+{ce.DATA_IN}]
+    movi r6, BTAG
+    stw r6, [r4+{ce.DATA_IN}]
+    stw r0, [r4+{ce.DATA_IN}]
+    stw r1, [r4+{ce.DATA_IN}]
+    stw r2, [r4+{ce.DATA_IN}]
+    stw r3, [r4+{ce.DATA_IN}]
+    movi r6, {ce.CTRL_FINALIZE}
+    stw r6, [r4+{ce.CTRL}]
+    movi r5, DATA+{DATA_OFF_TOKEN}
+    ldw r6, [r4+{ce.DIGEST + 0}]
+    stw r6, [r5+0]
+    ldw r6, [r4+{ce.DIGEST + 4}]
+    stw r6, [r5+4]
+    ldw r6, [r4+{ce.DIGEST + 8}]
+    stw r6, [r5+8]
+    ldw r6, [r4+{ce.DIGEST + 12}]
+    stw r6, [r5+12]
+    sti
+    movi r5, DATA+{DATA_OFF_STATUS}
+    movi r6, {STATUS_OK}
+    stw r6, [r5]
+spin:
+    jmp spin
+fail_sti:
+    sti
+fail:
+    movi r5, DATA+{DATA_OFF_STATUS}
+    movi r6, {STATUS_FAILED}
+    stw r6, [r5]
+fail_spin:
+    jmp fail_spin
+"""
+
+
+def _common_equates(lay: ModuleLayout, initiator: str, responder: str) -> str:
+    shm_base, _end = lay.shared[SHM_LABEL]
+    return f"""
+.equ CRYPTO, {socmap.CRYPTO_BASE:#x}
+.equ TABLE, {lay_consts.TRUSTLET_TABLE_BASE:#x}
+.equ DATA, {lay.data_base:#x}
+.equ SHM, {shm_base:#x}
+.equ ATAG, {name_tag(initiator):#x}
+.equ BTAG, {name_tag(responder):#x}
+"""
+
+
+def initiator_source(own_name: str, peer_name: str):
+    """Trustlet A: attest B, send syn, await ack, derive the token."""
+
+    def source(lay: ModuleLayout) -> str:
+        return f"""
+{runtime.entry_vector()}
+{_common_equates(lay, own_name, peer_name)}
+main:
+{_attest_fragment("attest_b", "BTAG")}
+{_nonce_fragment("ATAG")}
+    movi r5, SHM
+    movi r6, ATAG
+    stw r6, [r5+{SHM_OFF_INITIATOR}]
+    movi r6, BTAG
+    stw r6, [r5+{SHM_OFF_RESPONDER}]
+    stw r0, [r5+{SHM_OFF_NA + 0}]
+    stw r1, [r5+{SHM_OFF_NA + 4}]
+    movi r6, {FLAG_SYN}
+    stw r6, [r5+{SHM_OFF_FLAG}]    ; syn(A, B, NA)
+wait_ack:
+    ldw r6, [r5+{SHM_OFF_FLAG}]
+    cmpi r6, {FLAG_ACK}
+    bne wait_ack
+    ldw r2, [r5+{SHM_OFF_NB + 0}]
+    ldw r3, [r5+{SHM_OFF_NB + 4}]
+{_token_fragment()}
+{runtime.continue_impl(lay)}
+{runtime.halt_stub()}
+"""
+
+    return source
+
+
+def responder_source(own_name: str, peer_name: str):
+    """Trustlet B: await syn, attest A, answer ack, derive the token."""
+
+    def source(lay: ModuleLayout) -> str:
+        return f"""
+{runtime.entry_vector()}
+{_common_equates(lay, peer_name, own_name)}
+main:
+    movi r5, SHM
+wait_syn:
+    ldw r6, [r5+{SHM_OFF_FLAG}]
+    cmpi r6, {FLAG_SYN}
+    bne wait_syn
+    ldw r6, [r5+{SHM_OFF_INITIATOR}]
+    cmpi r6, ATAG                  ; the syn names the expected peer?
+    bne fail
+    ldw r6, [r5+{SHM_OFF_RESPONDER}]
+    cmpi r6, BTAG                  ; ...and is addressed to us?
+    bne fail
+{_attest_fragment("attest_a", "ATAG")}
+{_nonce_fragment("BTAG")}
+    ; NB currently in r0:r1; move to r2:r3 and reload NA into r0:r1.
+    mov r2, r0
+    mov r3, r1
+    movi r5, SHM
+    ldw r0, [r5+{SHM_OFF_NA + 0}]
+    ldw r1, [r5+{SHM_OFF_NA + 4}]
+    stw r2, [r5+{SHM_OFF_NB + 0}]
+    stw r3, [r5+{SHM_OFF_NB + 4}]
+    movi r6, {FLAG_ACK}
+    stw r6, [r5+{SHM_OFF_FLAG}]    ; ack(A, B, NA, NB)
+{_token_fragment()}
+{runtime.continue_impl(lay)}
+{runtime.halt_stub()}
+"""
+
+    return source
+
+
+def build_handshake_image(*, timer_period: int = 400):
+    """OS + initiator + responder wired to one shared region."""
+    shm = SharedRegionRequest(label=SHM_LABEL, size=0x40)
+    crypto = MmioGrant(socmap.CRYPTO_BASE, ce.SIZE)
+    builder = ImageBuilder()
+    builder.add_module(os_module(timer_period=timer_period))
+    builder.add_module(
+        SoftwareModule(
+            name="TL-A",
+            source=initiator_source("TL-A", "TL-B"),
+            mmio_grants=(crypto,),
+            shared=(shm,),
+        )
+    )
+    builder.add_module(
+        SoftwareModule(
+            name="TL-B",
+            source=responder_source("TL-B", "TL-A"),
+            mmio_grants=(crypto,),
+            shared=(shm,),
+        )
+    )
+    return builder.build()
+
+
+def expected_token() -> bytes:
+    """Host-side recomputation of the guest-derived session token."""
+    atag = name_tag("TL-A").to_bytes(4, "little")
+    btag = name_tag("TL-B").to_bytes(4, "little")
+    nonce_a = sponge_hash(atag)[:8]
+    nonce_b = sponge_hash(btag)[:8]
+    return sponge_hash(atag + btag + nonce_a + nonce_b)

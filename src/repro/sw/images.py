@@ -1,0 +1,149 @@
+"""Canned PROM images used by tests, examples and benchmarks."""
+
+from __future__ import annotations
+
+from repro.core.image import ImageBuilder, MmioGrant, SoftwareModule
+from repro.machine import soc as socmap
+from repro.machine.devices import crypto_engine as ce
+from repro.machine.devices import timer as tm
+from repro.machine.devices import uart as um
+from repro.sw import kernel, trustlets
+
+
+def os_module(
+    *,
+    timer_period: int = 400,
+    schedule: bool = True,
+    halt_on_fault: bool = True,
+    name: str = "OS",
+    watchdog_period: int = 0,
+) -> SoftwareModule:
+    """The standard kernel module with timer + UART grants.
+
+    ``watchdog_period > 0`` additionally grants and arms the
+    non-maskable watchdog (fault-tolerance hardening, Sec. 6).
+    """
+    from repro.machine.devices import watchdog as wd
+
+    grants = [
+        MmioGrant(socmap.TIMER_BASE, tm.SIZE),
+        MmioGrant(socmap.UART_BASE, um.SIZE),
+    ]
+    if watchdog_period > 0:
+        grants.append(MmioGrant(socmap.WATCHDOG_BASE, wd.SIZE))
+    return SoftwareModule(
+        name=name,
+        source=lambda lay: kernel.os_source(
+            lay,
+            timer_period=timer_period,
+            schedule=schedule,
+            halt_on_fault=halt_on_fault,
+            watchdog_period=watchdog_period,
+        ),
+        data_size=0x100,
+        stack_size=0x200,
+        is_os=True,
+        entry_size=kernel.OS_ENTRY_SIZE,
+        mmio_grants=tuple(grants),
+    )
+
+
+def build_two_counter_image(
+    *, timer_period: int = 400, halt_on_fault: bool = True
+):
+    """OS + two counter trustlets: the preemptive-scheduling workload."""
+    builder = ImageBuilder()
+    builder.add_module(
+        os_module(timer_period=timer_period, halt_on_fault=halt_on_fault)
+    )
+    builder.add_module(
+        SoftwareModule(name="TL-A", source=trustlets.counter_source(1))
+    )
+    builder.add_module(
+        SoftwareModule(name="TL-B", source=trustlets.counter_source(1))
+    )
+    return builder.build()
+
+
+def build_ipc_image(*, timer_period: int = 600):
+    """OS + sender/receiver pair: trustlet-to-trustlet IPC workload."""
+    builder = ImageBuilder()
+    builder.add_module(os_module(timer_period=timer_period))
+    builder.add_module(
+        SoftwareModule(
+            name="TL-SND",
+            source=trustlets.sender_source("TL-RCV"),
+        )
+    )
+    builder.add_module(
+        SoftwareModule(
+            name="TL-RCV",
+            source=trustlets.queue_receiver_source(),
+        )
+    )
+    return builder.build()
+
+
+def build_attestation_image(*, timer_period: int = 2000):
+    """OS + attestation trustlet with exclusive crypto-engine access."""
+    builder = ImageBuilder()
+    builder.add_module(os_module(timer_period=timer_period))
+    builder.add_module(
+        SoftwareModule(
+            name="ATTEST",
+            source=trustlets.attestation_source(),
+            mmio_grants=(MmioGrant(socmap.CRYPTO_BASE, ce.SIZE),),
+        )
+    )
+    return builder.build()
+
+
+def build_probe_image(
+    *,
+    operation: str = "read",
+    target: str = "data",
+    timer_period: int = 400,
+    halt_on_fault: bool = True,
+):
+    """OS + victim counter + adversarial probe trustlet.
+
+    ``target`` selects what the probe attacks: the victim's private
+    ``data`` word, its ``stack``, its ``code`` (write attempt), the
+    ``mpu`` register window, or the Trustlet ``table``.  Layout is
+    deterministic, so the image is built once with a placeholder to
+    resolve the victim's addresses and once more with the real target.
+    """
+
+    def make(victim_address: int):
+        builder = ImageBuilder()
+        builder.add_module(
+            os_module(timer_period=timer_period, halt_on_fault=halt_on_fault)
+        )
+        builder.add_module(
+            SoftwareModule(name="VICTIM", source=trustlets.counter_source(1))
+        )
+        builder.add_module(
+            SoftwareModule(
+                name="PROBE",
+                source=trustlets.probe_source(
+                    victim_address, operation=operation
+                ),
+            )
+        )
+        return builder.build()
+
+    probe_targets = {
+        "mpu": socmap.MPU_MMIO_BASE + 0x10,  # first region register
+        "timer": socmap.TIMER_BASE,
+    }
+    if target in probe_targets:
+        return make(probe_targets[target])
+    draft = make(0x2000_0000)
+    victim = draft.layout_of("VICTIM")
+    address = {
+        "data": victim.data_base + trustlets.COUNTER_OFF_VALUE,
+        "stack": victim.stack_base,
+        "code": victim.code_base + 0x20,
+        "table": draft.layout_of("PROBE").sp_slot,
+    }[target]
+    return make(address)

@@ -1,0 +1,294 @@
+"""The embedded OS kernel (SP32 assembly).
+
+A deliberately small, *untrusted* OS in the spirit of the paper's
+homegrown kernel (Sec. 5.1): it programs the timer, idles, and on every
+timer interrupt round-robins over the Trustlet Table, invoking the next
+trustlet through its ``continue()`` entry vector — the Fig. 6 flow
+"OS schedules Trustlet A using untrusted IPC".  Fault/invalid/SWI
+handlers log a single marker byte to the UART so host-side tests can
+assert exactly which exception fired.
+
+The OS is trustlet-aware purely by *reading* the world-readable
+Trustlet Table (Sec. 3.5: "An OS can also be made trustlet-aware by
+inspecting the local Trustlet Table"); it never needs — and is never
+granted — write access to the table or the MPU.
+
+OS data region layout (words)::
+
+    +0   runtime saved-SP slot (unused by the kernel)
+    +4   scheduler: index of the row scheduled last
+    +8   tick counter (incremented per timer interrupt)
+    +12  fault counter
+    +16  last fault address
+
+UART markers: ``K`` boot, ``F`` MPU fault, ``I`` invalid instruction,
+``S`` software interrupt.
+"""
+
+from __future__ import annotations
+
+from repro.core import layout as lay_consts
+from repro.core.image import ModuleLayout
+from repro.core.trustlet_table import (
+    HEADER_SIZE,
+    OFF_ENTRY,
+    OFF_FLAGS,
+    ROW_SIZE,
+)
+from repro.machine import soc as socmap
+from repro.sw import runtime
+
+# OS data-region offsets.
+DATA_OFF_SCHED_INDEX = 4
+DATA_OFF_TICKS = 8
+DATA_OFF_FAULTS = 12
+DATA_OFF_FAULT_ADDR = 16
+DATA_OFF_WDOG_FIRES = 36
+
+# Parked context of the kernel's own (interrupted) task: 15 GPRs
+# (r0..r12, lr, fp), then ip, flags and sp, then the waiting marker.
+DATA_OFF_OS_CTX = 40
+DATA_OFF_OS_CTX_IP = DATA_OFF_OS_CTX + 60
+DATA_OFF_OS_CTX_FLAGS = DATA_OFF_OS_CTX + 64
+DATA_OFF_OS_CTX_SP = DATA_OFF_OS_CTX + 68
+DATA_OFF_OS_WAITING = DATA_OFF_OS_CTX + 72
+
+# OS entry vector: the three standard slots plus an IPC return slot.
+OS_ENTRY_SIZE = 32
+ENTRY_OFF_IPC_RETURN = 24
+
+# ISR register-banking fragments (r0 ends up at [sp+0]).
+_PUSH_GPRS = "    push fp\n    push lr\n" + "\n".join(
+    f"    push r{i}" for i in range(12, -1, -1)
+)
+
+# The stack spill holds the task's pre-ISR register values, so copying
+# every slot — including r6's, which the ISR uses as scratch *after*
+# the spill — is exact.
+_COPY_CTX = "\n".join(
+    f"    ldw r6, [sp+{i}]\n    stw r6, [r7+{i}]"
+    for i in range(0, 68, 4)
+)
+
+_RESTORE_CTX = (
+    f"    movi fp, DATA+{DATA_OFF_OS_CTX}\n"
+    + "\n".join(f"    ldw r{i}, [fp+{4 * i}]" for i in range(13))
+    + "\n    ldw lr, [fp+52]\n    ldw fp, [fp+56]"
+)
+
+BOOT_MARKER = ord("K")
+FAULT_MARKER = ord("F")
+INVALID_MARKER = ord("I")
+SWI_MARKER = ord("S")
+WATCHDOG_MARKER = ord("W")
+
+
+def os_source(
+    lay: ModuleLayout,
+    *,
+    timer_period: int = 400,
+    schedule: bool = True,
+    halt_on_fault: bool = True,
+    main_body: str | None = None,
+    watchdog_period: int = 0,
+) -> str:
+    """Emit the kernel's assembly for its resolved layout.
+
+    ``schedule=False`` builds a kernel that never arms the timer (for
+    experiments that drive trustlets manually).  ``halt_on_fault=False``
+    makes the fault ISR reschedule instead of halting, demonstrating
+    the paper's Fault Tolerance requirement (Sec. 6).  ``main_body``
+    replaces the default idle loop with application code (an OS task
+    running in the kernel's region) — it must end in its own spin loop
+    and may use the labels the kernel defines.
+    """
+    uart_tx = socmap.UART_BASE
+    timer = socmap.TIMER_BASE
+    table = lay_consts.TRUSTLET_TABLE_BASE
+    fault_tail = "    jmp schedule_next" if not halt_on_fault else "    halt"
+    body = main_body if main_body is not None else "idle:\n    jmp idle"
+    timer_setup = (
+        f"    movi r4, {timer:#x}\n"
+        f"    movi r5, {timer_period}\n"
+        "    stw r5, [r4+0]          ; timer PERIOD\n"
+        "    movi r5, 1\n"
+        "    stw r5, [r4+8]          ; timer CTRL: enable\n"
+        if schedule
+        else "    ; timer left disarmed (schedule=False)\n"
+    )
+    if watchdog_period > 0:
+        timer_setup += (
+            f"    movi r4, {socmap.WATCHDOG_BASE:#x}\n"
+            f"    movi r5, {watchdog_period}\n"
+            "    stw r5, [r4+0]          ; watchdog PERIOD\n"
+            "    movi r5, 1\n"
+            "    stw r5, [r4+4]          ; watchdog CTRL: enable (NMI)\n"
+        )
+    return f"""
+; ---------------- OS entry vector (Fig. 6: includes ISR slots) -------
+kernel_start:
+{runtime.entry_vector()}\
+    jmp ipc_return          ; entry +24: IPC return slot for peers
+; ---------------- kernel proper --------------------------------------
+.equ UART_TX, {uart_tx:#x}
+.equ DATA, {lay.data_base:#x}
+.equ TABLE, {table:#x}
+
+main:
+    movi r4, UART_TX
+    movi r5, {BOOT_MARKER}
+    stb r5, [r4]            ; boot marker 'K'
+{timer_setup}\
+    sti
+{body}
+os_task_end:
+
+; ---------------- timer ISR: round-robin scheduler -------------------
+; Rotates over every Trustlet Table row: trustlet rows resume through
+; their continue() entry vector; the OS row resumes the kernel's own
+; task, whose interrupted (ip, flags) the ISR parks in kernel data —
+; the hardware frame on the OS stack would be overwritten by the next
+; trustlet preemption (the engine re-bases SP to the table's OS slot).
+isr_timer:
+    ; Spill every GPR before touching any: if the OS task was the one
+    ; interrupted, these are its live registers (the secure engine only
+    ; banks registers for trustlets — the kernel banks its own).
+{_PUSH_GPRS}
+    movi r4, DATA+{DATA_OFF_TICKS}
+    ldw r5, [r4]
+    addi r5, r5, 1
+    stw r5, [r4]            ; ticks += 1
+    jmp isr_common
+
+; ---------------- watchdog NMI: recover from a hung task -------------
+isr_watchdog:
+{_PUSH_GPRS}
+    movi r4, UART_TX
+    movi r5, {WATCHDOG_MARKER}
+    stb r5, [r4]            ; 'W'
+    movi r4, DATA+{DATA_OFF_WDOG_FIRES}
+    ldw r5, [r4]
+    addi r5, r5, 1
+    stw r5, [r4]
+isr_common:
+    ; Classify the interrupted frame (now at [sp+60]): only the OS
+    ; *task* body gets parked.  ISR/runtime kernel code (possible when
+    ; the watchdog NMI lands inside the masked timer ISR) and trustlet
+    ; entries (sanitized frames) are handled via the table instead.
+    ldw r6, [sp+60]
+    cmpi r6, main
+    bltu sched_cleanup
+    cmpi r6, os_task_end
+    bgeu sched_cleanup
+    ; Park the OS task: copy the 15 spilled GPRs plus ip and flags,
+    ; and reconstruct the task's stack pointer (current sp + the 15
+    ; spilled words + the 2-word hardware frame).
+    movi r7, DATA+{DATA_OFF_OS_CTX}
+{_COPY_CTX}
+    addi r6, sp, 68
+    stw r6, [r7+68]
+    movi r4, DATA+{DATA_OFF_OS_WAITING}
+    movi r6, 1
+    stw r6, [r4]            ; the OS task can be resumed later
+sched_cleanup:
+    addi sp, sp, 60         ; drop the GPR spill area
+schedule_next:
+    movi r7, TABLE
+    ldw r8, [r7]            ; row count
+    movi r4, DATA+{DATA_OFF_SCHED_INDEX}
+    ldw r5, [r4]            ; last scheduled row
+    movi r12, 0             ; rows inspected (idle guard)
+sched_advance:
+    addi r12, r12, 1
+    cmp r12, r8
+    bgt sched_idle          ; nothing runnable anywhere: idle till tick
+    addi r5, r5, 1
+    cmp r5, r8
+    blt sched_check
+    movi r5, 0
+sched_check:
+    muli r9, r5, {ROW_SIZE}
+    movi r10, TABLE+{HEADER_SIZE + OFF_FLAGS}
+    add r10, r10, r9
+    ldw r11, [r10]
+    andi r11, r11, 1        ; FLAG_OS?
+    cmpi r11, 0
+    bne sched_os_turn
+    stw r5, [r4]            ; remember choice
+    movi r10, TABLE+{HEADER_SIZE + OFF_ENTRY}
+    add r10, r10, r9
+    ldw r11, [r10]          ; trustlet entry vector
+    jmpr r11                ; continue() the trustlet
+sched_os_turn:
+    movi r10, DATA+{DATA_OFF_OS_WAITING}
+    ldw r11, [r10]
+    cmpi r11, 1
+    bne sched_advance       ; no parked OS task: next row
+    stw r5, [r4]            ; remember choice
+    movi r11, 0
+    stw r11, [r10]          ; consume the parked context
+    ; Rebuild an IRET frame just below the task's parked stack pointer
+    ; (drift-free), then reload its complete register file.
+    movi r4, DATA+{DATA_OFF_OS_CTX_SP}
+    ldw r6, [r4]
+    subi sp, r6, 8
+    movi r4, DATA+{DATA_OFF_OS_CTX_IP}
+    ldw r6, [r4]
+    stw r6, [sp+0]
+    movi r4, DATA+{DATA_OFF_OS_CTX_FLAGS}
+    ldw r6, [r4]
+    stw r6, [sp+4]
+{_RESTORE_CTX}
+    iret
+sched_idle:
+    ; Nothing runnable: spin until the next tick.  Reset sp first so
+    ; repeated idle interrupts cannot walk the kernel stack downward.
+    movi sp, {lay.stack_end:#x}
+    sti
+sched_idle_spin:
+    jmp sched_idle_spin
+
+; ---------------- fault ISRs ------------------------------------------
+isr_fault:
+    pop r9                  ; error code
+    pop r10                 ; faulting address
+    movi r4, DATA+{DATA_OFF_FAULTS}
+    ldw r5, [r4]
+    addi r5, r5, 1
+    stw r5, [r4]
+    movi r4, DATA+{DATA_OFF_FAULT_ADDR}
+    stw r10, [r4]
+    movi r4, UART_TX
+    movi r5, {FAULT_MARKER}
+    stb r5, [r4]            ; 'F'
+{fault_tail}
+
+isr_invalid:
+    pop r9
+    pop r10
+    movi r4, UART_TX
+    movi r5, {INVALID_MARKER}
+    stb r5, [r4]            ; 'I'
+    halt
+
+isr_swi:
+    pop r9                  ; SWI number
+    movi r4, UART_TX
+    movi r5, {SWI_MARKER}
+    stb r5, [r4]            ; 'S'
+    iret
+
+; ---------------- IPC return slot target ------------------------------
+ipc_return:
+    ; A peer trustlet returned control after a call(); nothing queued
+    ; kernel-side in this minimal OS, so just resume scheduling.
+    jmp schedule_next
+
+; ---------------- standard runtime implementations --------------------
+{runtime.continue_impl(lay)}
+impl_call:
+    ; The kernel accepts IPC only through its ISRs in this build.
+    jmp impl_call
+{runtime.resume_impl(lay)}
+kernel_end:
+"""

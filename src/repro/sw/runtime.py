@@ -1,0 +1,100 @@
+"""Trustlet runtime fragments (entry vector, state restore paths).
+
+Every trustlet's code region starts with the entry vector of
+Sec. 4.1 / :mod:`repro.core.layout`: three 8-byte jump slots —
+``continue()``, ``call()`` and ``resume()``.  The fragments here emit
+those slots plus the two restore paths:
+
+* ``continue()`` reloads the stack pointer from the trustlet's
+  *Trustlet Table* row (written by the secure exception engine on
+  interruption, or synthesized by the Secure Loader for the first
+  activation) and pops the full resume frame.  The paper stresses that
+  restoring SP must be the very first instruction (Sec. 3.4.2); the
+  prologue does exactly that, using ``fp`` as scratch — safe because
+  ``fp``'s real value is restored from the frame afterwards.
+* ``resume()`` is identical but reloads SP from a slot in the
+  trustlet's *own data region*, supporting voluntary yields during IPC
+  (the ``save-state()`` of Fig. 6), which cannot write the
+  hardware-owned table.
+
+Frame layout (top of stack first)::
+
+    r0 r1 … r12 lr fp FLAGS IP     (17 words, layout.RESUME_FRAME_WORDS)
+"""
+
+from __future__ import annotations
+
+from repro.core.image import ModuleLayout
+
+# Data-region offsets reserved by the runtime in every trustlet that
+# uses voluntary yields; module-specific state starts above this.
+DATA_OFF_SAVED_SP = 0
+RUNTIME_DATA_RESERVED = 4
+
+_RESTORE_REGS = "\n".join(
+    f"    pop r{i}" for i in range(13)
+) + "\n    pop lr\n    pop fp"
+
+_SAVE_REGS = "    push fp\n    push lr\n" + "\n".join(
+    f"    push r{i}" for i in range(12, -1, -1)
+)
+
+
+def entry_vector() -> str:
+    """The three mandatory jump slots at the top of the code region."""
+    return (
+        "    jmp impl_continue      ; entry +0  continue()\n"
+        "    jmp impl_call          ; entry +8  call(type,msg,sender)\n"
+        "    jmp impl_resume        ; entry +16 resume()\n"
+    )
+
+
+def continue_impl(lay: ModuleLayout) -> str:
+    """Restore execution from the Trustlet Table's saved SP."""
+    return (
+        "impl_continue:\n"
+        f"    movi fp, {lay.sp_slot:#x}   ; saved-SP slot in Trustlet Table\n"
+        "    ldw sp, [fp]            ; FIRST: restore own stack (Sec. 3.4.2)\n"
+        f"{_RESTORE_REGS}\n"
+        "    popf\n"
+        "    rets\n"
+    )
+
+
+def resume_impl(lay: ModuleLayout) -> str:
+    """Restore execution from the voluntary-yield slot in own data."""
+    return (
+        "impl_resume:\n"
+        f"    movi fp, {lay.data_base + DATA_OFF_SAVED_SP:#x}\n"
+        "    ldw sp, [fp]\n"
+        f"{_RESTORE_REGS}\n"
+        "    popf\n"
+        "    rets\n"
+    )
+
+
+def save_state_fragment(lay: ModuleLayout, resume_at_label: str) -> str:
+    """Emit the ``save-state()`` of Fig. 6 before a voluntary yield.
+
+    Pushes a full resume frame that ``resume()`` will pop, with the
+    resume point ``resume_at_label``, and stores SP into the runtime's
+    data slot.  Clobbers ``fp`` (after saving it in the frame).
+    """
+    return (
+        f"    movi fp, {resume_at_label}\n"
+        "    push fp                 ; resume IP\n"
+        "    pushf\n"
+        f"{_SAVE_REGS}\n"
+        f"    movi fp, {lay.data_base + DATA_OFF_SAVED_SP:#x}\n"
+        "    stw sp, [fp]            ; publish own saved SP\n"
+    )
+
+
+def halt_stub() -> str:
+    """A call()/resume() stub for trustlets that do not accept IPC."""
+    return (
+        "impl_call:\n"
+        "    jmp impl_call           ; IPC not supported: spin\n"
+        "impl_resume:\n"
+        "    jmp impl_resume\n"
+    )

@@ -1,0 +1,319 @@
+"""Reference trustlets (SP32 assembly builders).
+
+Each builder returns a ``source`` callable for
+:class:`~repro.core.image.SoftwareModule`.  Data-region word offsets
+are module-specific and documented per builder; offset +0 is always the
+runtime's voluntary-yield SP slot (:mod:`repro.sw.runtime`).
+"""
+
+from __future__ import annotations
+
+from repro.core.image import ModuleLayout
+from repro.machine import soc as socmap
+from repro.machine.devices import crypto_engine as ce
+from repro.sw import runtime
+
+# Counter trustlet data layout.
+COUNTER_OFF_VALUE = 4
+
+# Queue trustlet data layout (ring of 8 message words).
+QUEUE_OFF_WRITE_INDEX = 4
+QUEUE_OFF_TOTAL = 8
+QUEUE_OFF_SLOTS = 12
+QUEUE_CAPACITY = 8
+
+# Attestation trustlet data layout.
+ATTEST_OFF_DIGEST = 4
+ATTEST_OFF_DONE = 20
+
+# Sender trustlet data layout.
+SENDER_OFF_SENT = 8
+
+
+def counter_source(stride: int = 1):
+    """A compute trustlet: endlessly increments data word +4 by ``stride``.
+
+    The workhorse of the preemptive-scheduling experiments: it never
+    yields voluntarily, so any progress it makes after another task ran
+    proves that interruption, state spill and ``continue()`` resume all
+    preserved its register and stack state.
+    """
+
+    def source(lay: ModuleLayout) -> str:
+        return f"""
+{runtime.entry_vector()}
+.equ COUNTER, {lay.data_base + COUNTER_OFF_VALUE:#x}
+main:
+    movi r4, COUNTER
+loop:
+    ldw r5, [r4]
+    addi r5, r5, {stride}
+    stw r5, [r4]
+    jmp loop
+{runtime.continue_impl(lay)}
+{runtime.halt_stub()}
+"""
+
+    return source
+
+
+def queue_receiver_source():
+    """An IPC receiver: ``call()`` appends the message to a ring buffer.
+
+    Implements the paper's asynchronous untrusted-IPC pattern
+    (Sec. 4.2.1: "the handler of the message may simply queue the
+    signal in a message buffer reserved in the trustlet data region").
+    The handler runs entirely without a stack and returns to the
+    caller-supplied entry point in ``r2``.  RPC register convention:
+    r0 = type, r1 = message, r2 = return entry; r3..r5 are clobbered.
+    """
+
+    def source(lay: ModuleLayout) -> str:
+        data = lay.data_base
+        return f"""
+{runtime.entry_vector()}
+.equ WIDX, {data + QUEUE_OFF_WRITE_INDEX:#x}
+.equ TOTAL, {data + QUEUE_OFF_TOTAL:#x}
+.equ SLOTS, {data + QUEUE_OFF_SLOTS:#x}
+main:
+    jmp main                ; passive: all work happens in call()
+impl_call:
+    movi r3, WIDX
+    ldw r4, [r3]
+    muli r5, r4, 4
+    addi r5, r5, SLOTS
+    stw r1, [r5+0]          ; slots[widx] = msg
+    addi r4, r4, 1
+    andi r4, r4, {QUEUE_CAPACITY - 1}
+    stw r4, [r3]
+    movi r3, TOTAL
+    ldw r4, [r3]
+    addi r4, r4, 1
+    stw r4, [r3]            ; total += 1
+    jmpr r2                 ; return to the sender's entry point
+{runtime.continue_impl(lay)}
+impl_resume:
+    jmp impl_resume
+"""
+
+    return source
+
+
+def sender_source(peer_name: str, message_base: int = 0x1000):
+    """A trustlet that sends numbered messages to a peer's call() entry.
+
+    Demonstrates trustlet-to-trustlet IPC with a voluntary yield: the
+    sender saves its state (Fig. 6 ``save-state()``), jumps to the
+    peer's ``call()`` entry with its own ``resume()`` entry as the
+    return point, and continues exactly where it left off when the peer
+    returns.  Data word +8 counts completed sends.
+    """
+
+    def source(lay: ModuleLayout) -> str:
+        base = lay.peer_entry(peer_name)
+        return f"""
+{runtime.entry_vector()}
+.equ SENT, {lay.data_base + SENDER_OFF_SENT:#x}
+.equ PEER_CALL, {base + 8:#x}     ; peer entry vector +8 = call()
+main:
+send_loop:
+    movi r4, SENT
+    ldw r6, [r4]
+    movi r0, 1              ; type
+    movi r1, {message_base:#x}
+    add r1, r1, r6          ; msg = base + sent
+{runtime.save_state_fragment(lay, "after_send")}
+    cli                     ; mask interrupts across the handshake: the
+                            ; peer's call() runs on OUR context, and an
+                            ; interrupt there would spill our state into
+                            ; the peer's table row (paper footnote 1)
+    movi r2, {lay.code_base + 16:#x}   ; return to own resume() entry
+    jmp PEER_CALL
+after_send:
+    movi r4, SENT
+    ldw r6, [r4]
+    addi r6, r6, 1
+    stw r6, [r4]            ; sent += 1
+    jmp send_loop
+{runtime.continue_impl(lay)}
+impl_call:
+    jmp impl_call
+{runtime.resume_impl(lay)}
+"""
+
+    return source
+
+
+def attestation_source():
+    """The attestation trustlet of the SMART-like instantiation.
+
+    On first activation it MACs its own code region using the crypto
+    engine's key slot — which the Secure Loader granted exclusively to
+    this trustlet, so no other software can touch the device key
+    (Sec. 3.6: key gating purely by memory access control).  The tag
+    lands in data words +4..+19; +20 becomes 1 when done.
+    """
+
+    def source(lay: ModuleLayout) -> str:
+        crypto = socmap.CRYPTO_BASE
+        return f"""
+{runtime.entry_vector()}
+.equ CRYPTO, {crypto:#x}
+.equ OUT, {lay.data_base + ATTEST_OFF_DIGEST:#x}
+.equ DONE, {lay.data_base + ATTEST_OFF_DONE:#x}
+.equ CODE_BASE, {lay.code_base:#x}
+.equ CODE_END, {lay.code_end:#x}
+main:
+    movi r4, CRYPTO
+    movi r5, {ce.CTRL_RESET}
+    stw r5, [r4+{ce.CTRL}]
+    movi r6, CODE_BASE
+    movi r7, CODE_END
+absorb:
+    ldw r8, [r6]
+    stw r8, [r4+{ce.DATA_IN}]
+    addi r6, r6, 4
+    cmp r6, r7
+    blt absorb
+    movi r5, {ce.CTRL_FINALIZE_MAC}
+    stw r5, [r4+{ce.CTRL}]
+    movi r6, OUT
+    ldw r8, [r4+{ce.DIGEST + 0}]
+    stw r8, [r6+0]
+    ldw r8, [r4+{ce.DIGEST + 4}]
+    stw r8, [r6+4]
+    ldw r8, [r4+{ce.DIGEST + 8}]
+    stw r8, [r6+8]
+    ldw r8, [r4+{ce.DIGEST + 12}]
+    stw r8, [r6+12]
+    movi r8, 1
+    movi r6, DONE
+    stw r8, [r6]
+done:
+    jmp done
+{runtime.continue_impl(lay)}
+{runtime.halt_stub()}
+"""
+
+    return source
+
+
+def probe_source(victim_address: int, *, operation: str = "read"):
+    """An adversarial trustlet probing a foreign address.
+
+    Used by the security suite: it performs a single load/store/jump at
+    ``victim_address``, which the EA-MPU must convert into a memory
+    protection fault.  Data word +4 is set to 1 before the probe and 2
+    after it — observing 1 but never 2 proves the probe was denied and
+    the instruction invalidated.
+    """
+    if operation not in ("read", "write", "execute"):
+        raise ValueError(f"unknown probe operation {operation!r}")
+
+    def source(lay: ModuleLayout) -> str:
+        if operation == "read":
+            probe = "    ldw r6, [r5]"
+        elif operation == "write":
+            probe = "    stw r6, [r5]"
+        else:
+            probe = "    jmpr r5"
+        return f"""
+{runtime.entry_vector()}
+.equ STAGE, {lay.data_base + 4:#x}
+main:
+    movi r4, STAGE
+    movi r6, 1
+    stw r6, [r4]            ; stage = 1: about to probe
+    movi r5, {victim_address:#x}
+{probe}
+    movi r6, 2
+    stw r6, [r4]            ; stage = 2: probe succeeded (must not happen)
+spin:
+    jmp spin
+{runtime.continue_impl(lay)}
+{runtime.halt_stub()}
+"""
+
+    return source
+
+
+def updater_source(target_name: str, patch_offset: int, new_word: int):
+    """A software-update-service trustlet (Sec. 3.6 field updates).
+
+    Writes ``new_word`` into the target module's code region at
+    ``patch_offset`` (relative to the target's code base), then spins.
+    The write only succeeds if (a) the Secure Loader granted this
+    module write access to the target's code (``code_writable_by``)
+    and (b) the code memory is flash, not mask PROM.  Data word +4
+    becomes 1 when armed and 2 after the patch landed.
+    """
+
+    def source(lay: ModuleLayout) -> str:
+        target = lay.peer_entry(target_name) + patch_offset
+        return f"""
+{runtime.entry_vector()}
+.equ STAGE, {lay.data_base + 4:#x}
+main:
+    movi r4, STAGE
+    movi r6, 1
+    stw r6, [r4]            ; stage = 1: about to patch
+    movi r5, {target:#x}
+    movi r6, {new_word:#x}
+    stw r6, [r5]            ; the field update itself
+    movi r6, 2
+    movi r4, STAGE
+    stw r6, [r4]            ; stage = 2: update applied
+spin:
+    jmp spin
+{runtime.continue_impl(lay)}
+{runtime.halt_stub()}
+"""
+
+    return source
+
+
+def cli_spinner_source():
+    """A denial-of-service trustlet: disables interrupts and spins.
+
+    With only the maskable alarm timer, this freezes the platform the
+    first time it is scheduled.  The non-maskable watchdog defeats it:
+    its NMI still banks the spinner's state and returns control to the
+    scheduler.  Data word +4 is set to 1 when the spin begins.
+    """
+
+    def source(lay: ModuleLayout) -> str:
+        return f"""
+{runtime.entry_vector()}
+.equ STAGE, {lay.data_base + 4:#x}
+main:
+    movi r4, STAGE
+    movi r5, 1
+    stw r5, [r4]
+    cli                     ; the DoS attempt
+hog:
+    jmp hog
+{runtime.continue_impl(lay)}
+{runtime.halt_stub()}
+"""
+
+    return source
+
+
+def uart_greeter_source(marker: int = ord("T")):
+    """A trustlet with an exclusive UART grant that prints one marker."""
+
+    def source(lay: ModuleLayout) -> str:
+        return f"""
+{runtime.entry_vector()}
+.equ UART_TX, {socmap.UART_BASE:#x}
+main:
+    movi r4, UART_TX
+    movi r5, {marker}
+    stb r5, [r4]
+spin:
+    jmp spin
+{runtime.continue_impl(lay)}
+{runtime.halt_stub()}
+"""
+
+    return source

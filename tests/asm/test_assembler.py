@@ -1,0 +1,151 @@
+"""Unit tests for the two-pass SP32 assembler."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.errors import AssemblerError
+from repro.isa.encoding import decode
+from repro.isa.opcodes import Op
+from repro.isa.registers import Reg
+
+
+def _decode_at(program, offset, two_words=False):
+    word = int.from_bytes(program.data[offset:offset + 4], "little")
+    ext = None
+    if two_words:
+        ext = int.from_bytes(program.data[offset + 4:offset + 8], "little")
+    return decode(word, ext)
+
+
+class TestInstructions:
+    def test_three_operand_alu(self):
+        program = assemble("add r1, r2, r3")
+        instr = _decode_at(program, 0)
+        assert instr.op is Op.ADD
+        assert (instr.rd, instr.rs1, instr.rs2) == (Reg.R1, Reg.R2, Reg.R3)
+
+    def test_movi_immediate(self):
+        program = assemble("movi r0, 0xCAFEBABE")
+        instr = _decode_at(program, 0, two_words=True)
+        assert instr.op is Op.MOVI
+        assert instr.imm == 0xCAFEBABE
+
+    def test_memory_operand_with_offset(self):
+        program = assemble("ldw r1, [sp+8]")
+        instr = _decode_at(program, 0)
+        assert (instr.op, instr.rd, instr.rs1, instr.imm) == \
+            (Op.LDW, Reg.R1, Reg.SP, 8)
+
+    def test_memory_operand_negative_offset(self):
+        program = assemble("stw r2, [fp-4]")
+        instr = _decode_at(program, 0)
+        assert (instr.op, instr.rs2, instr.rs1, instr.imm) == \
+            (Op.STW, Reg.R2, Reg.FP, -4)
+
+    def test_memory_operand_without_offset(self):
+        program = assemble("ldw r1, [r2]")
+        assert _decode_at(program, 0).imm == 0
+
+    def test_bare_instructions(self):
+        program = assemble("nop\nhalt\ncli\nsti\niret\nret\nrets\npushf\npopf")
+        ops = []
+        offset = 0
+        while offset < len(program.data):
+            instr = _decode_at(program, offset)
+            ops.append(instr.op)
+            offset += 4
+        assert ops == [Op.NOP, Op.HALT, Op.CLI, Op.STI, Op.IRET, Op.RET,
+                       Op.RETS, Op.PUSHF, Op.POPF]
+
+
+class TestLabelsAndDirectives:
+    def test_label_resolves_to_absolute_address(self):
+        program = assemble("nop\ntarget:\n  jmp target", base=0x1000)
+        assert program.symbol("target") == 0x1004
+        instr = _decode_at(program, 4, two_words=True)
+        assert instr.imm == 0x1004
+
+    def test_forward_reference(self):
+        program = assemble("jmp end\nnop\nend: halt", base=0)
+        instr = _decode_at(program, 0, two_words=True)
+        assert instr.imm == program.symbol("end") == 12
+
+    def test_label_on_same_line_as_instruction(self):
+        program = assemble("start: nop")
+        assert program.symbol("start") == 0
+
+    def test_equ_constant(self):
+        program = assemble(".equ MAGIC, 0x42\nmovi r0, MAGIC")
+        assert _decode_at(program, 0, two_words=True).imm == 0x42
+
+    def test_expression_arithmetic(self):
+        program = assemble(
+            ".equ BASE, 0x100\nmovi r0, BASE+8\nmovi r1, BASE-4"
+        )
+        assert _decode_at(program, 0, two_words=True).imm == 0x108
+        assert _decode_at(program, 8, two_words=True).imm == 0xFC
+
+    def test_word_directive(self):
+        program = assemble("value: .word 0xDEADBEEF, value")
+        assert program.data[0:4] == (0xDEADBEEF).to_bytes(4, "little")
+        assert program.data[4:8] == (0).to_bytes(4, "little")
+
+    def test_ascii_directive(self):
+        program = assemble('.ascii "hi\\n"')
+        assert program.data == b"hi\n"
+
+    def test_space_directive(self):
+        program = assemble(".space 16\nhalt")
+        assert program.data[:16] == bytes(16)
+        assert program.size == 20
+
+    def test_align_directive(self):
+        program = assemble('.ascii "abc"\n.align 4\nhalt')
+        assert program.size == 8
+        assert _decode_at(program, 4).op is Op.HALT
+
+    def test_org_directive(self):
+        program = assemble(".org 0x20\nhalt", base=0)
+        assert program.size == 0x24
+        assert _decode_at(program, 0x20).op is Op.HALT
+
+    def test_comments_ignored(self):
+        program = assemble("; full line\nnop ; trailing\n")
+        assert program.size == 4
+
+    def test_char_literal(self):
+        program = assemble("movi r0, 'A'")
+        assert _decode_at(program, 0, two_words=True).imm == ord("A")
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "frobnicate r0",
+            "add r1, r2",             # wrong operand count
+            "movi r99, 1",            # bad register
+            "jmp undefined_label",
+            ".org 0x10\n.org 0x8",    # backwards org
+            "dup: nop\ndup: nop",     # duplicate label
+            ".align 3",               # non power of two
+            ".space -1",
+        ],
+    )
+    def test_rejects_malformed_source(self, source):
+        with pytest.raises(AssemblerError):
+            assemble(source)
+
+    def test_symbol_lookup_error(self):
+        program = assemble("nop")
+        with pytest.raises(AssemblerError):
+            program.symbol("missing")
+
+
+class TestProgramMetadata:
+    def test_end_and_contains(self):
+        program = assemble("nop\nnop", base=0x100)
+        assert program.end == 0x108
+        assert program.contains(0x100)
+        assert program.contains(0x107)
+        assert not program.contains(0x108)

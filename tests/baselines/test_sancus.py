@@ -1,0 +1,150 @@
+"""Tests for the Sancus baseline model."""
+
+import pytest
+
+from repro.baselines.capabilities import capability_matrix, format_matrix
+from repro.baselines.sancus import SancusModule, SancusPlatform
+from repro.errors import PlatformError
+
+MASTER = b"master-key-16byt"
+
+
+def _module(name="mod", text=b"\x01\x02\x03\x04", data_base=0x8000):
+    return SancusModule(
+        name=name, vendor="acme", text=text, text_base=0x4000,
+        data_base=data_base, data_size=0x100,
+    )
+
+
+@pytest.fixture
+def device():
+    return SancusPlatform(master_key=MASTER, max_modules=2, memory_words=512)
+
+
+class TestKeyHierarchy:
+    def test_module_key_derivable_by_vendor(self, device):
+        module = _module()
+        vendor_key = device.vendor_key("acme")
+        from repro.baselines.sancus import _kdf
+
+        assert device.module_key(module) == _kdf(vendor_key, module.identity)
+
+    def test_identity_binds_layout(self):
+        a = _module(data_base=0x8000)
+        b = _module(data_base=0x9000)
+        assert a.identity != b.identity
+
+    def test_identity_binds_text(self):
+        assert _module(text=b"\x01").identity != _module(text=b"\x02").identity
+
+    def test_master_key_length_enforced(self):
+        with pytest.raises(PlatformError):
+            SancusPlatform(master_key=b"short")
+
+
+class TestProtect:
+    def test_protect_returns_measurement(self, device):
+        module = _module()
+        assert device.protect(module) == module.identity
+        assert device.loaded_modules == ("mod",)
+
+    def test_module_budget_is_hardware_limited(self, device):
+        device.protect(_module("m1"))
+        device.protect(_module("m2", data_base=0x9000))
+        with pytest.raises(PlatformError):
+            device.protect(_module("m3", data_base=0xA000))
+
+    def test_double_protect_rejected(self, device):
+        device.protect(_module())
+        with pytest.raises(PlatformError):
+            device.protect(_module())
+
+    def test_unprotect_frees_slot(self, device):
+        device.protect(_module())
+        device.unprotect("mod")
+        assert device.loaded_modules == ()
+
+    def test_unprotect_unknown_rejected(self, device):
+        with pytest.raises(PlatformError):
+            device.unprotect("ghost")
+
+    def test_empty_module_rejected(self, device):
+        with pytest.raises(PlatformError):
+            device.protect(
+                SancusModule("x", "v", b"", 0, 0x8000, 0x100)
+            )
+
+
+class TestContiguityRestriction:
+    def test_single_window_fine(self, device):
+        device.require_single_region([(0x8000, 0x8100)])
+
+    def test_adjacent_windows_fine(self, device):
+        device.require_single_region([(0x8000, 0x8100), (0x8100, 0x8200)])
+
+    def test_disjoint_windows_rejected(self, device):
+        """The workload TrustLite handles with two EA-MPU rules."""
+        with pytest.raises(PlatformError):
+            device.require_single_region(
+                [(0x2000_0000, 0x2000_0100), (0x1003_0000, 0x1003_0030)]
+            )
+
+
+class TestAttestation:
+    def test_round_trip(self, device):
+        module = _module()
+        device.protect(module)
+        report = device.attest("mod", b"nonce")
+        assert device.verify_attestation(module, b"nonce", report)
+
+    def test_wrong_nonce_fails(self, device):
+        module = _module()
+        device.protect(module)
+        report = device.attest("mod", b"nonce")
+        assert not device.verify_attestation(module, b"other", report)
+
+    def test_unloaded_module_cannot_attest(self, device):
+        with pytest.raises(PlatformError):
+            device.attest("ghost", b"n")
+
+    def test_seal_message_uses_module_key(self, device):
+        module = _module()
+        device.protect(module)
+        from repro.crypto import mac
+
+        assert device.seal_message("mod", b"m") == \
+            mac(device.module_key(module), b"m")
+
+
+class TestInterruptsAndReset:
+    def test_interrupt_resets_and_wipes(self, device):
+        device.protect(_module())
+        wiped = device.interrupt()
+        assert wiped == 512
+        assert device.loaded_modules == ()
+        assert device.resets == 1
+
+    def test_wipe_cost_accumulates(self, device):
+        device.reset()
+        device.reset()
+        assert device.wiped_words == 1024
+
+
+class TestCapabilityMatrix:
+    def test_every_row_covers_all_architectures(self):
+        matrix = capability_matrix()
+        for feature, row in matrix.items():
+            assert set(row) == {"SMART", "Sancus", "TrustLite"}, feature
+
+    def test_headline_differences(self):
+        matrix = capability_matrix()
+        assert matrix["interruptible trusted modules"]["TrustLite"] is True
+        assert matrix["interruptible trusted modules"]["Sancus"] is False
+        assert matrix["interruptible trusted modules"]["SMART"] is False
+        assert matrix["field update of trusted code"]["SMART"] is False
+        assert matrix["multiple regions per module"]["TrustLite"] is True
+
+    def test_format_renders_all_rows(self):
+        text = format_matrix()
+        assert len(text.splitlines()) == len(capability_matrix()) + 1
+        assert "TrustLite" in text

@@ -1,0 +1,101 @@
+"""Tests for the SMART baseline model."""
+
+import pytest
+
+from repro.baselines.smart import (
+    KEY_SIZE,
+    RomRegion,
+    SmartKeyGate,
+    SmartPlatform,
+)
+from repro.crypto import mac
+from repro.errors import MemoryProtectionFault, PlatformError
+from repro.machine.access import AccessType
+
+ROM = RomRegion(base=0x0000, end=0x1000)
+KEY_BASE = 0x8000
+KEY = bytes(range(16))
+
+
+class TestKeyGate:
+    @pytest.fixture
+    def gate(self):
+        return SmartKeyGate(ROM, KEY_BASE)
+
+    def test_rom_code_may_read_key(self, gate):
+        gate.check(0x0100, KEY_BASE, 4, AccessType.READ)
+
+    def test_other_code_may_not_read_key(self, gate):
+        with pytest.raises(MemoryProtectionFault):
+            gate.check(0x5000, KEY_BASE, 4, AccessType.READ)
+        assert gate.violations == 1
+
+    def test_partial_overlap_still_gated(self, gate):
+        with pytest.raises(MemoryProtectionFault):
+            gate.check(0x5000, KEY_BASE + KEY_SIZE - 2, 4, AccessType.READ)
+
+    def test_key_never_writable(self, gate):
+        with pytest.raises(MemoryProtectionFault):
+            gate.check(0x0100, KEY_BASE, 4, AccessType.WRITE)
+
+    def test_rom_never_writable(self, gate):
+        with pytest.raises(MemoryProtectionFault):
+            gate.check(0x0100, ROM.base + 8, 4, AccessType.WRITE)
+
+    def test_everything_else_allowed(self, gate):
+        """SMART gives no general isolation — only the key is special."""
+        gate.check(0x5000, 0x6000, 4, AccessType.READ)
+        gate.check(0x5000, 0x6000, 4, AccessType.WRITE)
+        gate.check(0x5000, 0x6000, 4, AccessType.FETCH)
+
+
+class TestPlatform:
+    @pytest.fixture
+    def device(self):
+        return SmartPlatform(key=KEY, memory_words=1024)
+
+    def test_attestation_round_trip(self, device):
+        code = b"firmware-image!!" * 4
+        device.load(0x100, code)
+        nonce = b"fresh-nonce"
+        report = device.attest(nonce, 0x100, len(code))
+        assert device.verify(nonce, 0x100, len(code), report, code)
+
+    def test_tampered_memory_fails_verification(self, device):
+        code = b"firmware-image!!" * 4
+        device.load(0x100, code)
+        nonce = b"n0"
+        report = device.attest(nonce, 0x100, len(code))
+        device.load(0x100, b"evil")
+        assert not device.verify(nonce, 0x100, len(code), report, code)
+
+    def test_report_is_key_bound(self, device):
+        code = b"abcd" * 8
+        device.load(0, code)
+        report = device.attest(b"n", 0, len(code))
+        assert report != mac(b"\x00" * 16, b"n" + code)
+
+    def test_out_of_range_attestation_rejected(self, device):
+        with pytest.raises(PlatformError):
+            device.attest(b"n", 0, 10**9)
+
+    def test_reset_wipes_everything(self, device):
+        device.load(0, b"\xff" * 64)
+        wiped = device.reset()
+        assert wiped == 1024
+        assert bytes(device.memory[:64]) == bytes(64)
+        assert device.resets == 1
+
+    def test_no_field_updates(self, device):
+        with pytest.raises(PlatformError):
+            device.update_routine(b"new code")
+
+    def test_single_trusted_service(self, device):
+        assert device.concurrent_services() == 1
+
+    def test_invocation_spills_state_twice(self, device):
+        assert device.invocation_state_words(100) == 200
+
+    def test_key_length_enforced(self):
+        with pytest.raises(PlatformError):
+            SmartPlatform(key=b"short")

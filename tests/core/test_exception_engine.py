@@ -1,0 +1,255 @@
+"""Unit tests for the regular and secure exception engines.
+
+These drive the engines directly against a hand-built machine (no
+Secure Loader), asserting the exact state transitions of paper Fig. 4
+and the cycle counts of Sec. 5.4.
+"""
+
+import pytest
+
+from repro.core.exception_engine import (
+    ERR_MPU_FAULT,
+    REGULAR_ENTRY_CYCLES,
+    SECURE_CLEAR_CYCLES,
+    SECURE_DETECT_CYCLES,
+    SECURE_SAVE_CYCLES,
+    RegularExceptionEngine,
+    SecureExceptionEngine,
+    VEC_FAULT,
+)
+from repro.core.trustlet_table import TrustletTable
+from repro.errors import MachineError, MemoryProtectionFault
+from repro.isa.registers import Reg
+from repro.machine.bus import Bus
+from repro.machine.cpu import Cpu, CpuFlags
+from repro.machine.irq import Interrupt
+from repro.machine.memories import Ram
+
+RAM_SIZE = 0x10000
+TABLE_BASE = 0x8000
+TL_CODE = (0x1000, 0x2000)
+OS_CODE = (0x4000, 0x5000)
+TL_STACK_TOP = 0x7000
+OS_STACK_TOP = 0x7800
+HANDLER = 0x4100
+
+
+@pytest.fixture
+def machine():
+    bus = Bus()
+    bus.attach(0, Ram("ram", RAM_SIZE))
+    cpu = Cpu(bus)
+    table = TrustletTable(bus, TABLE_BASE, capacity=4)
+    table.clear()
+    table.add_row(
+        "TL-A", code_base=TL_CODE[0], code_end=TL_CODE[1], entry=TL_CODE[0],
+        saved_sp=TL_STACK_TOP, stack_base=0x6000, stack_end=TL_STACK_TOP,
+    )
+    table.add_row(
+        "OS", code_base=OS_CODE[0], code_end=OS_CODE[1], entry=OS_CODE[0],
+        saved_sp=OS_STACK_TOP, stack_base=0x7000, stack_end=OS_STACK_TOP,
+        is_os=True,
+    )
+    return bus, cpu, table
+
+
+def _running_trustlet(cpu):
+    """Put the CPU mid-trustlet with recognizable register values."""
+    cpu.curr_ip = TL_CODE[0] + 0x40
+    cpu.ip = TL_CODE[0] + 0x44
+    cpu.sp = TL_STACK_TOP
+    cpu.flags = CpuFlags(z=True, ie=True)
+    for i in range(13):
+        cpu.regs[i] = 0x1000 + i
+    cpu.set_reg(Reg.LR, 0xAAAA)
+    cpu.set_reg(Reg.FP, 0xBBBB)
+
+
+class TestRegularEngine:
+    def test_interrupt_frame_on_current_stack(self, machine):
+        bus, cpu, _ = machine
+        engine = RegularExceptionEngine()
+        engine.set_irq_vector(0, HANDLER)
+        cpu.ip = 0x2004
+        cpu.sp = 0x3000
+        cpu.flags = CpuFlags(c=True, ie=True)
+        cycles = engine.deliver_interrupt(cpu, Interrupt(0, "timer"))
+        assert cycles == REGULAR_ENTRY_CYCLES
+        assert cpu.ip == HANDLER
+        assert not cpu.flags.ie
+        assert cpu.sp == 0x3000 - 8
+        assert bus.read_word(cpu.sp) == 0x2004            # return IP
+        assert CpuFlags.from_word(bus.read_word(cpu.sp + 4)).c
+
+    def test_registers_leak_through_regular_engine(self, machine):
+        """The vulnerability TrustLite fixes: GPRs reach the ISR intact."""
+        _, cpu, _ = machine
+        engine = RegularExceptionEngine()
+        engine.set_irq_vector(0, HANDLER)
+        cpu.sp = 0x3000
+        cpu.regs[3] = 0x5EC2E7
+        cpu.flags.ie = True
+        engine.deliver_interrupt(cpu, Interrupt(0, "timer"))
+        assert cpu.regs[3] == 0x5EC2E7
+
+    def test_device_handler_overrides_vector(self, machine):
+        _, cpu, _ = machine
+        engine = RegularExceptionEngine()
+        engine.set_irq_vector(0, HANDLER)
+        cpu.sp = 0x3000
+        engine.deliver_interrupt(cpu, Interrupt(0, "timer", handler=0x4200))
+        assert cpu.ip == 0x4200
+
+    def test_missing_vector_raises(self, machine):
+        _, cpu, _ = machine
+        engine = RegularExceptionEngine()
+        with pytest.raises(MachineError):
+            engine.deliver_interrupt(cpu, Interrupt(5, "x"))
+
+    def test_fault_frame_carries_address_and_code(self, machine):
+        bus, cpu, _ = machine
+        engine = RegularExceptionEngine()
+        engine.set_exception_vector(VEC_FAULT, HANDLER)
+        cpu.sp = 0x3000
+        fault = MemoryProtectionFault(
+            "denied", subject_ip=0x1040, address=0xDEAD, access="w"
+        )
+        engine.deliver_fault(cpu, fault)
+        assert bus.read_word(cpu.sp) == ERR_MPU_FAULT     # top: error code
+        assert bus.read_word(cpu.sp + 4) == 0xDEAD        # fault address
+
+    def test_iret_round_trips(self, machine):
+        _, cpu, _ = machine
+        engine = RegularExceptionEngine()
+        engine.set_irq_vector(0, HANDLER)
+        cpu.ip = 0x2008
+        cpu.sp = 0x3000
+        cpu.flags = CpuFlags(n=True, ie=True)
+        engine.deliver_interrupt(cpu, Interrupt(0, "timer"))
+        engine.iret(cpu)
+        assert cpu.ip == 0x2008
+        assert cpu.flags.n
+        assert cpu.flags.ie
+        assert cpu.sp == 0x3000
+
+    def test_software_frame(self, machine):
+        bus, cpu, _ = machine
+        engine = RegularExceptionEngine()
+        engine.set_exception_vector(2, HANDLER)
+        cpu.sp = 0x3000
+        engine.deliver_software(cpu, 42)
+        assert bus.read_word(cpu.sp) == 42
+
+
+class TestSecureEngine:
+    @pytest.fixture
+    def engine(self, machine):
+        _, _, table = machine
+        made = SecureExceptionEngine(table)
+        made.set_irq_vector(0, HANDLER)
+        made.set_exception_vector(VEC_FAULT, HANDLER)
+        return made
+
+    def test_trustlet_interrupt_clears_all_gprs(self, machine, engine):
+        _, cpu, _ = machine
+        _running_trustlet(cpu)
+        engine.deliver_interrupt(cpu, Interrupt(0, "timer"))
+        # Step 2 of Fig. 4: nothing leaks into the ISR.
+        assert all(r == 0 for i, r in enumerate(cpu.regs) if i != int(Reg.SP))
+
+    def test_trustlet_state_spilled_to_trustlet_stack(self, machine, engine):
+        bus, cpu, table = machine
+        _running_trustlet(cpu)
+        engine.deliver_interrupt(cpu, Interrupt(0, "timer"))
+        saved_sp = table.row(0).saved_sp
+        assert saved_sp == TL_STACK_TOP - 17 * 4
+        # Frame pop order r0..r12, lr, fp, flags, ip.
+        words = [bus.read_word(saved_sp + 4 * i) for i in range(17)]
+        assert words[0:13] == [0x1000 + i for i in range(13)]
+        assert words[13] == 0xAAAA                        # lr
+        assert words[14] == 0xBBBB                        # fp
+        assert CpuFlags.from_word(words[15]).z            # flags
+        assert words[16] == TL_CODE[0] + 0x44             # resume IP
+
+    def test_os_stack_adopted_with_sanitized_frame(self, machine, engine):
+        bus, cpu, _ = machine
+        _running_trustlet(cpu)
+        engine.deliver_interrupt(cpu, Interrupt(0, "timer"))
+        assert cpu.sp == OS_STACK_TOP - 8
+        # Return IP sanitized to the trustlet's entry vector (Sec. 3.4.2).
+        assert bus.read_word(cpu.sp) == TL_CODE[0]
+        assert CpuFlags.from_word(bus.read_word(cpu.sp + 4)).ie
+
+    def test_trustlet_interrupt_cycle_cost(self, machine, engine):
+        """Sec. 5.4: 21 regular + 2 detect + 10 save + 9 clear = 42."""
+        _, cpu, _ = machine
+        _running_trustlet(cpu)
+        cycles = engine.deliver_interrupt(cpu, Interrupt(0, "timer"))
+        assert cycles == (
+            REGULAR_ENTRY_CYCLES + SECURE_DETECT_CYCLES
+            + SECURE_SAVE_CYCLES + SECURE_CLEAR_CYCLES
+        )
+        assert cycles == 42
+        assert cycles == 2 * REGULAR_ENTRY_CYCLES  # the 100% overhead claim
+
+    def test_os_interrupt_costs_two_extra_cycles(self, machine, engine):
+        """Sec. 5.4: '2 cycles otherwise'."""
+        _, cpu, _ = machine
+        cpu.curr_ip = OS_CODE[0] + 0x10
+        cpu.ip = OS_CODE[0] + 0x14
+        cpu.sp = OS_STACK_TOP
+        cpu.flags.ie = True
+        cycles = engine.deliver_interrupt(cpu, Interrupt(0, "timer"))
+        assert cycles == REGULAR_ENTRY_CYCLES + SECURE_DETECT_CYCLES
+
+    def test_os_interrupt_does_not_clear_registers(self, machine, engine):
+        _, cpu, _ = machine
+        cpu.curr_ip = OS_CODE[0]
+        cpu.sp = OS_STACK_TOP
+        cpu.regs[2] = 0x77
+        engine.deliver_interrupt(cpu, Interrupt(0, "timer"))
+        assert cpu.regs[2] == 0x77
+
+    def test_unknown_code_region_treated_as_regular(self, machine, engine):
+        _, cpu, _ = machine
+        cpu.curr_ip = 0x0500  # outside every table row
+        cpu.sp = 0x3000
+        cpu.regs[1] = 9
+        engine.deliver_interrupt(cpu, Interrupt(0, "timer"))
+        assert cpu.regs[1] == 9
+        assert cpu.sp == 0x3000 - 8
+
+    def test_trustlet_fault_reports_on_os_stack(self, machine, engine):
+        bus, cpu, table = machine
+        _running_trustlet(cpu)
+        fault = MemoryProtectionFault(
+            "denied", subject_ip=cpu.curr_ip, address=0xBAD0, access="r"
+        )
+        engine.deliver_fault(cpu, fault)
+        assert bus.read_word(cpu.sp) == ERR_MPU_FAULT
+        assert bus.read_word(cpu.sp + 4) == 0xBAD0
+        # State still protected in the trustlet's own stack.
+        assert table.row(0).saved_sp == TL_STACK_TOP - 17 * 4
+
+    def test_missing_os_row_is_an_error(self, machine):
+        bus, cpu, _ = machine
+        lone = TrustletTable(bus, 0x9000, capacity=2)
+        lone.clear()
+        lone.add_row(
+            "TL-A", code_base=TL_CODE[0], code_end=TL_CODE[1],
+            entry=TL_CODE[0], saved_sp=TL_STACK_TOP,
+        )
+        engine = SecureExceptionEngine(lone)
+        engine.set_irq_vector(0, HANDLER)
+        _running_trustlet(cpu)
+        with pytest.raises(MachineError):
+            engine.deliver_interrupt(cpu, Interrupt(0, "timer"))
+
+    def test_stats_track_trustlet_interruptions(self, machine, engine):
+        _, cpu, _ = machine
+        _running_trustlet(cpu)
+        engine.deliver_interrupt(cpu, Interrupt(0, "timer"))
+        cpu.curr_ip = OS_CODE[0]
+        engine.deliver_interrupt(cpu, Interrupt(0, "timer"))
+        assert engine.stats.interrupts == 2
+        assert engine.stats.trustlet_interruptions == 1

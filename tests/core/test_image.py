@@ -1,0 +1,193 @@
+"""Unit tests for the PROM image format and builder."""
+
+import pytest
+
+from repro.core import layout
+from repro.core.image import (
+    ImageBuilder,
+    MmioGrant,
+    ModuleLayout,
+    SharedRegionRequest,
+    SoftwareModule,
+)
+from repro.core.loader import parse_directory
+from repro.errors import ImageError
+from repro.machine.bus import Bus
+from repro.machine.memories import Ram
+from repro.mpu.regions import Perm
+
+MINIMAL = """
+    jmp main
+    jmp main
+    jmp main
+main:
+    halt
+"""
+
+
+def _module(name="MOD", source_text=MINIMAL, **kwargs):
+    return SoftwareModule(name=name, source=lambda lay: source_text, **kwargs)
+
+
+def _bus_with(image):
+    bus = Bus()
+    ram = Ram("prom", 0x20000)
+    ram.load(0, image.prom)
+    bus.attach(0, ram)
+    return bus
+
+
+class TestBuilder:
+    def test_single_module_builds(self):
+        builder = ImageBuilder()
+        builder.add_module(_module())
+        image = builder.build()
+        lay = image.layout_of("MOD")
+        assert lay.code_base > layout.PROM_DIRECTORY
+        assert lay.code_end > lay.code_base
+        assert lay.init_ip == lay.symbol("main")
+        assert lay.stack_end - lay.stack_base == 0x100
+
+    def test_modules_do_not_overlap(self):
+        builder = ImageBuilder()
+        for name in ("A", "B", "C"):
+            builder.add_module(_module(name))
+        image = builder.build()
+        spans = []
+        for name in ("A", "B", "C"):
+            lay = image.layout_of(name)
+            spans.append((lay.code_base, lay.code_end))
+            spans.append((lay.data_base, lay.data_end))
+            spans.append((lay.stack_base, lay.stack_end))
+        spans.sort()
+        for (_, end), (start, _) in zip(spans, spans[1:]):
+            assert end <= start
+
+    def test_duplicate_name_rejected(self):
+        builder = ImageBuilder()
+        builder.add_module(_module("X"))
+        with pytest.raises(ImageError):
+            builder.add_module(_module("X"))
+
+    def test_two_os_modules_rejected(self):
+        builder = ImageBuilder()
+        builder.add_module(_module("OS1", is_os=True))
+        with pytest.raises(ImageError):
+            builder.add_module(_module("OS2", is_os=True))
+
+    def test_empty_image_rejected(self):
+        with pytest.raises(ImageError):
+            ImageBuilder().build()
+
+    def test_missing_main_rejected(self):
+        builder = ImageBuilder()
+        builder.add_module(_module(source_text="nop\nhalt"))
+        with pytest.raises(ImageError):
+            builder.build()
+
+    def test_shared_region_allocated_once(self):
+        builder = ImageBuilder()
+        request = SharedRegionRequest(label="box", size=0x40)
+        builder.add_module(_module("A", shared=(request,)))
+        builder.add_module(_module("B", shared=(request,)))
+        image = builder.build()
+        assert image.layout_of("A").shared["box"] == \
+            image.layout_of("B").shared["box"]
+
+    def test_layout_available_to_source(self):
+        captured = {}
+
+        def source(lay: ModuleLayout) -> str:
+            captured["data_base"] = lay.data_base
+            return MINIMAL
+
+        builder = ImageBuilder()
+        builder.add_module(SoftwareModule(name="M", source=source))
+        image = builder.build()
+        assert captured["data_base"] == image.layout_of("M").data_base
+
+    def test_peers_resolved(self):
+        builder = ImageBuilder()
+        builder.add_module(_module("A"))
+        builder.add_module(_module("B"))
+        image = builder.build()
+        lay_a = image.layout_of("A")
+        assert lay_a.peer_entry("B") == image.layout_of("B").entry
+        with pytest.raises(ImageError):
+            lay_a.peer_entry("GHOST")
+
+    def test_unknown_module_lookup(self):
+        builder = ImageBuilder()
+        builder.add_module(_module())
+        with pytest.raises(ImageError):
+            builder.build().layout_of("NOPE")
+
+
+class TestModuleValidation:
+    def test_name_length_limit(self):
+        with pytest.raises(ImageError):
+            _module("WAY-TOO-LONG-NAME")
+
+    def test_stack_must_hold_resume_frame(self):
+        with pytest.raises(ImageError):
+            _module(stack_size=16)
+
+    def test_sizes_must_be_word_multiples(self):
+        with pytest.raises(ImageError):
+            _module(data_size=0x101)
+
+    def test_digest_length_checked(self):
+        with pytest.raises(ImageError):
+            _module(expected_digest=b"short")
+
+    def test_entry_size_minimum(self):
+        with pytest.raises(ImageError):
+            _module(entry_size=8)
+
+
+class TestSerializationRoundTrip:
+    def test_metadata_survives_parse(self):
+        builder = ImageBuilder()
+        builder.add_module(
+            _module(
+                "RICH",
+                data_size=0x80,
+                stack_size=0x100,
+                mmio_grants=(MmioGrant(0x1000_0000, 0x10, Perm.RW),),
+                shared=(SharedRegionRequest("shm", 0x20, Perm.RW),),
+            )
+        )
+        image = builder.build()
+        parsed = parse_directory(_bus_with(image))
+        assert len(parsed) == 1
+        record = parsed[0]
+        lay = image.layout_of("RICH")
+        assert record.name == "RICH"
+        assert record.code_base == lay.code_base
+        assert record.init_ip == lay.init_ip
+        assert record.data_base == lay.data_base
+        assert record.data_size == 0x80
+        assert record.entry_size == layout.ENTRY_VECTOR_SIZE
+        assert record.mmio_grants[0].base == 0x1000_0000
+        assert record.mmio_grants[0].perm == Perm.RW
+        assert record.shared[0].base == lay.shared["shm"][0]
+
+    def test_multiple_records_parse_in_order(self):
+        builder = ImageBuilder()
+        builder.add_module(_module("OS", is_os=True))
+        builder.add_module(_module("TL1"))
+        builder.add_module(_module("TL2"))
+        parsed = parse_directory(_bus_with(builder.build()))
+        assert [m.name for m in parsed] == ["OS", "TL1", "TL2"]
+        assert parsed[0].is_os and not parsed[1].is_os
+
+    def test_code_blob_placed_at_code_base(self):
+        builder = ImageBuilder()
+        builder.add_module(_module())
+        image = builder.build()
+        lay = image.layout_of("MOD")
+        # First instruction word of MINIMAL is "jmp main" (opcode 0x40).
+        word = int.from_bytes(
+            image.prom[lay.code_base:lay.code_base + 4], "little"
+        )
+        assert (word >> 24) == 0x40

@@ -1,0 +1,211 @@
+"""Unit tests for the Secure Loader boot sequence (paper Fig. 5)."""
+
+import pytest
+
+from repro.core import layout
+from repro.core.image import ImageBuilder, SoftwareModule
+from repro.core.platform import TrustLitePlatform
+from repro.crypto import sponge_hash
+from repro.errors import LoaderError
+from repro.machine.access import AccessType
+from repro.machine.soc import MPU_MMIO_BASE
+from repro.sw.images import build_two_counter_image, os_module
+from repro.sw import trustlets
+
+MINIMAL = """
+    jmp main
+    jmp main
+    jmp main
+main:
+    halt
+"""
+
+
+def _image(*modules):
+    builder = ImageBuilder()
+    for module in modules:
+        builder.add_module(module)
+    return builder.build()
+
+
+def _plain(name="MOD", **kwargs):
+    return SoftwareModule(name=name, source=lambda lay: MINIMAL, **kwargs)
+
+
+@pytest.fixture
+def booted():
+    plat = TrustLitePlatform()
+    image = build_two_counter_image()
+    report = plat.boot(image)
+    return plat, image, report
+
+
+class TestBootSequence:
+    def test_all_modules_registered(self, booted):
+        plat, _, report = booted
+        assert report.modules == ["OS", "TL-A", "TL-B"]
+        assert plat.table.count == 3
+        assert plat.table.os_row() is not None
+
+    def test_os_launched(self, booted):
+        plat, image, report = booted
+        assert report.launched == "OS"
+        assert plat.cpu.ip == image.layout_of("OS").init_ip
+
+    def test_mpu_enabled_after_boot(self, booted):
+        plat, _, _ = booted
+        assert plat.mpu.enabled
+
+    def test_measurements_match_prom_contents(self, booted):
+        plat, image, report = booted
+        for name in ("TL-A", "TL-B"):
+            lay = image.layout_of(name)
+            code = plat.bus.read_bytes(lay.code_base, lay.code_end - lay.code_base)
+            assert report.measurements[name] == sponge_hash(code)
+            assert plat.table.find_by_name(name).measurement == \
+                sponge_hash(code)
+
+    def test_initial_resume_frame_targets_main(self, booted):
+        plat, image, _ = booted
+        lay = image.layout_of("TL-A")
+        row = plat.table.find_by_name("TL-A")
+        assert row.saved_sp == lay.stack_end - 4 * layout.RESUME_FRAME_WORDS
+        # Deepest frame word is the initial IP = the trustlet's main.
+        assert plat.bus.read_word(lay.stack_end - 4) == lay.init_ip
+
+    def test_os_saved_sp_is_kernel_stack_top(self, booted):
+        plat, image, _ = booted
+        assert plat.table.os_row().saved_sp == image.layout_of("OS").stack_end
+
+    def test_three_mpu_writes_per_region(self, booted):
+        """Sec. 5.3: 'only three additional writes ... for each region'."""
+        _, _, report = booted
+        # clear_all also costs 3 writes per hardware register slot.
+        clear_cost = 3 * TrustLitePlatform().mpu.num_regions
+        assert report.mpu_register_writes - clear_cost == \
+            3 * report.mpu_regions_programmed
+
+
+class TestPolicyProgramming:
+    def test_trustlet_table_world_readable_not_writable(self, booted):
+        plat, _, _ = booted
+        table_base = plat.table.base
+        os_ip = plat.table.os_row().code_base + 0x30
+        assert plat.mpu.allows(os_ip, table_base, 4, AccessType.READ)
+        assert not plat.mpu.allows(os_ip, table_base, 4, AccessType.WRITE)
+
+    def test_mpu_registers_locked(self, booted):
+        plat, _, _ = booted
+        os_ip = plat.table.os_row().code_base + 0x30
+        assert plat.mpu.allows(os_ip, MPU_MMIO_BASE, 4, AccessType.READ)
+        assert not plat.mpu.allows(os_ip, MPU_MMIO_BASE, 4, AccessType.WRITE)
+        assert not plat.mpu.allows(
+            os_ip, MPU_MMIO_BASE + 0x10, 4, AccessType.WRITE
+        )
+
+    def test_entry_vector_executable_by_everyone(self, booted):
+        plat, image, _ = booted
+        os_ip = plat.table.os_row().code_base + 0x30
+        entry = image.layout_of("TL-A").entry
+        assert plat.mpu.allows(os_ip, entry, 4, AccessType.FETCH)
+        assert plat.mpu.allows(os_ip, entry + 16, 4, AccessType.FETCH)
+
+    def test_code_beyond_entry_not_executable_by_others(self, booted):
+        plat, image, _ = booted
+        os_ip = plat.table.os_row().code_base + 0x30
+        body = image.layout_of("TL-A").entry + layout.ENTRY_VECTOR_SIZE
+        assert not plat.mpu.allows(os_ip, body, 4, AccessType.FETCH)
+
+    def test_code_readable_for_attestation(self, booted):
+        plat, image, _ = booted
+        a_code = image.layout_of("TL-A").code_base + 0x40
+        b_ip = image.layout_of("TL-B").code_base + 0x40
+        assert plat.mpu.allows(b_ip, a_code, 4, AccessType.READ)
+        assert not plat.mpu.allows(b_ip, a_code, 4, AccessType.WRITE)
+
+    def test_data_isolated_between_trustlets(self, booted):
+        plat, image, _ = booted
+        a_ip = image.layout_of("TL-A").code_base + 0x40
+        a_data = image.layout_of("TL-A").data_base
+        b_data = image.layout_of("TL-B").data_base
+        assert plat.mpu.allows(a_ip, a_data, 4, AccessType.WRITE)
+        assert not plat.mpu.allows(a_ip, b_data, 4, AccessType.READ)
+
+    def test_mmio_grant_exclusive(self):
+        from repro.machine.soc import CRYPTO_BASE
+        from repro.sw.images import build_attestation_image
+
+        plat = TrustLitePlatform()
+        image = build_attestation_image()
+        plat.boot(image)
+        attest_ip = image.layout_of("ATTEST").code_base + 0x40
+        os_ip = image.layout_of("OS").code_base + 0x40
+        assert plat.mpu.allows(attest_ip, CRYPTO_BASE, 4, AccessType.WRITE)
+        assert not plat.mpu.allows(os_ip, CRYPTO_BASE, 4, AccessType.READ)
+
+
+class TestSecureBoot:
+    def test_verified_boot_accepts_correct_digest(self):
+        draft = _image(_plain("OS", is_os=True), _plain("TL"))
+        plat = TrustLitePlatform()
+        plat.boot(draft)
+        digest = plat.loader.boot().measurements["TL"]
+        verified = _image(
+            _plain("OS", is_os=True),
+            _plain("TL", expected_digest=digest),
+        )
+        report = TrustLitePlatform().boot(verified)
+        assert "TL" in report.modules
+
+    def test_verified_boot_rejects_tampered_code(self):
+        image = _image(
+            _plain("OS", is_os=True),
+            _plain("TL", expected_digest=b"\xab" * 16),
+        )
+        with pytest.raises(LoaderError):
+            TrustLitePlatform().boot(image)
+
+
+class TestResetSemantics:
+    def test_warm_reset_reestablishes_protection(self, booted):
+        plat, image, _ = booted
+        plat.run(max_cycles=20_000)
+        report = plat.warm_reset()
+        assert plat.mpu.enabled
+        assert report.launched == "OS"
+        assert plat.table.count == 3
+
+    def test_warm_reset_without_wipe_preserves_data(self, booted):
+        plat, image, _ = booted
+        plat.run(max_cycles=50_000)
+        counter = plat.read_trustlet_word("TL-A", trustlets.COUNTER_OFF_VALUE)
+        assert counter > 0
+        plat.warm_reset(wipe_data=False)
+        preserved = plat.read_trustlet_word("TL-A", trustlets.COUNTER_OFF_VALUE)
+        assert preserved == counter
+
+    def test_cold_boot_wipes_data(self, booted):
+        plat, image, _ = booted
+        plat.run(max_cycles=50_000)
+        plat.warm_reset(wipe_data=True)
+        assert plat.read_trustlet_word("TL-A", trustlets.COUNTER_OFF_VALUE) == 0
+
+    def test_loader_work_scales_with_wipe(self, booted):
+        plat, _, _ = booted
+        wiped = plat.loader.boot(wipe_data=True).memory_words_written
+        fast = plat.loader.boot(wipe_data=False).memory_words_written
+        assert fast < wiped
+
+
+class TestLoaderErrors:
+    def test_missing_directory_rejected(self):
+        plat = TrustLitePlatform()
+        with pytest.raises(LoaderError):
+            plat.loader.boot()
+
+    def test_os_less_image_launches_first_module(self):
+        image = _image(_plain("SOLO"))
+        plat = TrustLitePlatform(secure_exceptions=False)
+        report = plat.boot(image)
+        assert report.launched == "SOLO"
+        assert plat.cpu.ip == image.layout_of("SOLO").init_ip

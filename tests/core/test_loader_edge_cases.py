@@ -1,0 +1,115 @@
+"""Edge-case tests for PROM parsing and loader failure paths."""
+
+import pytest
+
+from repro.core import layout
+from repro.core.image import ImageBuilder, MAGIC_DIRECTORY, SoftwareModule
+from repro.core.loader import parse_directory
+from repro.core.platform import TrustLitePlatform
+from repro.errors import LoaderError
+from repro.machine.bus import Bus
+from repro.machine.memories import Ram
+
+MINIMAL = "jmp main\njmp main\njmp main\nmain: halt"
+
+
+def _image(*modules):
+    builder = ImageBuilder()
+    for module in modules:
+        builder.add_module(module)
+    return builder.build()
+
+
+def _bus_with(blob: bytes):
+    bus = Bus()
+    ram = Ram("prom", 0x20000)
+    ram.load(0, blob)
+    bus.attach(0, ram)
+    return bus
+
+
+class TestDirectoryParsing:
+    def test_bad_directory_magic(self):
+        bus = _bus_with(bytes(0x200))
+        with pytest.raises(LoaderError):
+            parse_directory(bus)
+
+    def test_corrupt_record_magic(self):
+        image = _image(
+            SoftwareModule(name="OS", source=lambda lay: MINIMAL, is_os=True)
+        )
+        blob = bytearray(image.prom)
+        # Clobber the first record's magic, keep the directory intact.
+        record = layout.PROM_DIRECTORY + 8
+        blob[record:record + 4] = b"\x00\x00\x00\x00"
+        with pytest.raises(LoaderError):
+            parse_directory(_bus_with(bytes(blob)))
+
+    def test_zero_module_directory(self):
+        blob = bytearray(0x200)
+        blob[layout.PROM_DIRECTORY:layout.PROM_DIRECTORY + 4] = \
+            MAGIC_DIRECTORY.to_bytes(4, "little")
+        modules = parse_directory(_bus_with(bytes(blob)))
+        assert modules == []
+
+    def test_empty_directory_rejected_at_boot(self):
+        blob = bytearray(0x200)
+        blob[layout.PROM_DIRECTORY:layout.PROM_DIRECTORY + 4] = \
+            MAGIC_DIRECTORY.to_bytes(4, "little")
+        plat = TrustLitePlatform()
+        plat.soc.prom.load(0, bytes(blob))
+        with pytest.raises(LoaderError):
+            plat.loader.boot()
+
+
+class TestBootFailureModes:
+    def test_region_exhaustion_is_explicit(self):
+        from repro.errors import PlatformError
+        from repro.sw import trustlets
+        from repro.sw.images import os_module
+
+        builder = ImageBuilder()
+        builder.add_module(os_module(schedule=False))
+        for i in range(4):
+            builder.add_module(
+                SoftwareModule(
+                    name=f"TL{i}", source=trustlets.counter_source(1)
+                )
+            )
+        plat = TrustLitePlatform(num_mpu_regions=12)
+        with pytest.raises(PlatformError):
+            plat.boot(builder.build())
+
+    def test_oversized_image_rejected(self):
+        from repro.errors import PlatformError, ImageError
+
+        plat = TrustLitePlatform()
+
+        class FakeImage:
+            prom = bytes(plat.soc.prom.size + 4)
+
+            def layout_of(self, name):
+                raise ImageError("n/a")
+
+        with pytest.raises(PlatformError):
+            plat.boot(FakeImage())
+
+    def test_table_capacity_exceeded(self):
+        from repro.sw import trustlets
+        from repro.sw.images import os_module
+
+        builder = ImageBuilder()
+        builder.add_module(os_module(schedule=False))
+        for i in range(2):
+            builder.add_module(
+                SoftwareModule(
+                    name=f"TL{i}", source=trustlets.counter_source(1)
+                )
+            )
+        plat = TrustLitePlatform(
+            table_capacity=2, num_mpu_regions=28
+        )
+        from repro.errors import PlatformError
+
+        with pytest.raises(PlatformError):
+            plat.boot(builder.build())

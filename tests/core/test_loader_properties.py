@@ -1,0 +1,117 @@
+"""Property tests: layout and policy soundness for random module sets.
+
+Whatever modules an image contains, the builder must lay them out
+without overlaps and the Secure Loader must produce a policy in which
+no module can write another module's private memory.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.image import ImageBuilder, SoftwareModule
+from repro.core.platform import TrustLitePlatform
+from repro.machine.access import AccessType
+from repro.sw import trustlets
+from repro.sw.images import os_module
+
+module_specs = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=4),    # data size (x 0x40)
+        st.integers(min_value=2, max_value=4),    # stack size (x 0x40)
+        st.booleans(),                            # code_readable
+    ),
+    min_size=1,
+    max_size=3,
+)
+
+
+def _build_image(specs):
+    builder = ImageBuilder()
+    builder.add_module(os_module(schedule=False))
+    for index, (data_units, stack_units, readable) in enumerate(specs):
+        builder.add_module(
+            SoftwareModule(
+                name=f"TL{index}",
+                source=trustlets.counter_source(index + 1),
+                data_size=0x40 * data_units,
+                stack_size=0x40 * stack_units,
+                code_readable=readable,
+            )
+        )
+    return builder.build()
+
+
+@settings(max_examples=30, deadline=None)
+@given(specs=module_specs)
+def test_property_no_layout_overlaps(specs):
+    image = _build_image(specs)
+    spans = []
+    for name in image.module_order:
+        lay = image.layout_of(name)
+        spans.append((lay.code_base, lay.code_end, f"{name} code"))
+        if lay.data_base:
+            spans.append((lay.data_base, lay.data_end, f"{name} data"))
+        spans.append((lay.stack_base, lay.stack_end, f"{name} stack"))
+    spans.sort()
+    for (_, end, label_a), (start, _, label_b) in zip(spans, spans[1:]):
+        assert end <= start, f"{label_a} overlaps {label_b}"
+
+
+@settings(max_examples=20, deadline=None)
+@given(specs=module_specs)
+def test_property_no_cross_module_private_access(specs):
+    image = _build_image(specs)
+    plat = TrustLitePlatform(num_mpu_regions=28)
+    plat.boot(image)
+    names = list(image.module_order)
+    for attacker in names:
+        attacker_ip = image.layout_of(attacker).code_base + 0x40
+        for victim in names:
+            if victim == attacker:
+                continue
+            lay = image.layout_of(victim)
+            for window in (
+                (lay.data_base, lay.data_end),
+                (lay.stack_base, lay.stack_end),
+            ):
+                if window[1] <= window[0]:
+                    continue
+                assert not plat.mpu.allows(
+                    attacker_ip, window[0], 4, AccessType.READ
+                ), f"{attacker} can read {victim} private memory"
+                assert not plat.mpu.allows(
+                    attacker_ip, window[0], 4, AccessType.WRITE
+                ), f"{attacker} can write {victim} private memory"
+            assert not plat.mpu.allows(
+                attacker_ip, lay.code_base + 0x40, 4, AccessType.WRITE
+            ), f"{attacker} can patch {victim} code"
+
+
+@settings(max_examples=20, deadline=None)
+@given(specs=module_specs)
+def test_property_every_module_self_sufficient(specs):
+    """Each module can execute its code and use its own data/stack."""
+    image = _build_image(specs)
+    plat = TrustLitePlatform(num_mpu_regions=28)
+    plat.boot(image)
+    for name in image.module_order:
+        lay = image.layout_of(name)
+        ip = lay.code_base + 0x40
+        assert plat.mpu.allows(ip, lay.code_base + 0x44, 4, AccessType.FETCH)
+        if lay.data_end > lay.data_base:
+            assert plat.mpu.allows(ip, lay.data_base, 4, AccessType.WRITE)
+        assert plat.mpu.allows(ip, lay.stack_end - 4, 4, AccessType.WRITE)
+
+
+@settings(max_examples=20, deadline=None)
+@given(specs=module_specs)
+def test_property_code_readability_honoured(specs):
+    image = _build_image(specs)
+    plat = TrustLitePlatform(num_mpu_regions=28)
+    plat.boot(image)
+    os_ip = image.layout_of("OS").code_base + 0x40
+    for index, (_d, _s, readable) in enumerate(specs):
+        lay = image.layout_of(f"TL{index}")
+        got = plat.mpu.allows(
+            os_ip, lay.code_base + 0x40, 4, AccessType.READ
+        )
+        assert got == readable

@@ -1,0 +1,183 @@
+"""Tests pinning the hardware-cost model to the paper's numbers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ReproError
+from repro.hwcost.figure7 import (
+    crossover_summary,
+    figure7_series,
+    format_figure7,
+    fractional_crossover,
+    modules_within_budget,
+)
+from repro.hwcost.model import (
+    CostEntry,
+    OPENMSP430_BASE,
+    SANCUS,
+    TRUSTLITE,
+    format_table1,
+    sancus_total,
+    smart_like_instantiation,
+    table1_rows,
+    trustlite_total,
+)
+from repro.hwcost.timing import (
+    fault_tree_depth,
+    loader_init_writes,
+    meets_timing_closure,
+)
+
+
+class TestTable1Constants:
+    """Table 1's measured values, verbatim."""
+
+    def test_trustlite_column(self):
+        assert TRUSTLITE.base_core == CostEntry(5528, 14361)
+        assert TRUSTLITE.extension_base == CostEntry(278, 417)
+        assert TRUSTLITE.per_module == CostEntry(116, 182)
+        assert TRUSTLITE.exceptions_base == CostEntry(34, 22)
+
+    def test_sancus_column(self):
+        assert SANCUS.base_core == CostEntry(998, 2322)
+        assert SANCUS.extension_base == CostEntry(586, 1138)
+        assert SANCUS.per_module == CostEntry(213, 307)
+
+    def test_table_has_five_rows(self):
+        assert len(table1_rows()) == 5
+
+    def test_format_contains_headline_numbers(self):
+        text = format_table1()
+        for number in ("5528", "14361", "998", "2322", "116", "213"):
+            assert number in text
+
+
+class TestPaperClaims:
+    def test_smart_like_is_394_regs_599_luts(self):
+        """Sec. 5.3: single-module instantiation = 394 regs, 599 LUTs."""
+        cost = smart_like_instantiation()
+        assert (cost.regs, cost.luts) == (394, 599)
+
+    def test_fixed_cost_roughly_half_of_sancus(self):
+        """Sec. 5.2: 'TrustLite's fixed costs are 50% of Sancus'."""
+        ratio = trustlite_total(0).slices / sancus_total(0).slices
+        assert ratio < 0.55
+
+    def test_per_module_cost_roughly_40pct_less(self):
+        """Sec. 5.2: 'per module cost is roughly 40% less'."""
+        trustlite_pm = trustlite_total(1).slices - trustlite_total(0).slices
+        sancus_pm = sancus_total(1).slices - sancus_total(0).slices
+        saving = 1 - trustlite_pm / sancus_pm
+        assert 0.35 < saving < 0.50
+
+    def test_crossover_9_vs_20_modules(self):
+        """Fig. 7: at 200% of openMSP430, Sancus fits 9, TrustLite ~20."""
+        summary = crossover_summary()
+        assert summary["sancus_modules"] == 9
+        assert summary["trustlite_modules"] in (19, 20)
+        assert 19.5 < summary["trustlite_crossover"] < 20.5
+        assert 9.0 < summary["sancus_crossover"] < 10.0
+
+    def test_sancus_rises_about_twice_as_fast(self):
+        trustlite_pm = trustlite_total(1).slices - trustlite_total(0).slices
+        sancus_pm = sancus_total(1).slices - sancus_total(0).slices
+        assert 1.5 < sancus_pm / trustlite_pm < 2.0
+
+    def test_16bit_datapath_halves_cost(self):
+        full = trustlite_total(4)
+        narrow = trustlite_total(4, datapath_bits=16)
+        assert abs(narrow.slices / full.slices - 0.5) < 0.01
+
+    def test_key_cache_saves_128_registers_per_module(self):
+        cached = sancus_total(3).regs
+        uncached = sancus_total(3, cached_keys=False).regs
+        assert cached - uncached == 3 * 128
+
+    def test_exceptions_cost_is_small(self):
+        """Fig. 7: the secure-exceptions line sits just above base."""
+        at_20 = trustlite_total(20, with_exceptions=True).slices
+        base_20 = trustlite_total(20).slices
+        assert (at_20 - base_20) / base_20 < 0.20
+
+
+class TestFigure7:
+    def test_all_series_same_length(self):
+        fig = figure7_series()
+        for series in fig.series().values():
+            assert len(series) == len(fig.module_counts)
+
+    def test_costs_monotonically_increase(self):
+        fig = figure7_series()
+        for series in (fig.trustlite, fig.trustlite_exceptions, fig.sancus):
+            assert all(a < b for a, b in zip(series, series[1:]))
+
+    def test_reference_lines(self):
+        fig = figure7_series()
+        assert fig.openmsp430_100 == OPENMSP430_BASE.slices == 3320
+        assert fig.openmsp430_200 == 6640
+        assert fig.openmsp430_400 == 13280
+
+    def test_trustlite_always_below_sancus(self):
+        fig = figure7_series()
+        assert all(
+            t < s for t, s in zip(fig.trustlite_exceptions, fig.sancus)
+        )
+
+    def test_format_produces_a_row_per_count(self):
+        fig = figure7_series()
+        assert len(format_figure7(fig).splitlines()) == \
+            len(fig.module_counts) + 1
+
+    def test_budget_helper_errors_below_base(self):
+        with pytest.raises(ReproError):
+            modules_within_budget(sancus_total, 10)
+
+    def test_empty_counts_rejected(self):
+        with pytest.raises(ReproError):
+            figure7_series(())
+
+    @given(st.integers(min_value=0, max_value=64))
+    def test_property_linearity(self, n):
+        base = trustlite_total(0).slices
+        step = trustlite_total(1).slices - base
+        assert trustlite_total(n).slices == base + n * step
+
+
+class TestTimingModel:
+    def test_fault_tree_depth_logarithmic(self):
+        assert fault_tree_depth(1) == 1
+        assert fault_tree_depth(2) == 1
+        assert fault_tree_depth(16) == 4
+        assert fault_tree_depth(32) == 5
+        assert fault_tree_depth(17) == 5
+
+    def test_loader_writes_three_per_region(self):
+        assert loader_init_writes(0) == 0
+        assert loader_init_writes(12) == 36
+
+    def test_timing_closure_limit(self):
+        assert meets_timing_closure(32)
+        assert not meets_timing_closure(33)
+        assert not meets_timing_closure(0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ReproError):
+            fault_tree_depth(0)
+        with pytest.raises(ReproError):
+            loader_init_writes(-1)
+
+
+class TestValidation:
+    def test_negative_modules_rejected(self):
+        with pytest.raises(ReproError):
+            trustlite_total(-1)
+        with pytest.raises(ReproError):
+            sancus_total(-1)
+
+    def test_odd_datapath_rejected(self):
+        with pytest.raises(ReproError):
+            trustlite_total(1, datapath_bits=24)
+
+    def test_fractional_crossover_requires_growth(self):
+        with pytest.raises(ReproError):
+            fractional_crossover(lambda n: CostEntry(10, 10), 100)

@@ -1,0 +1,121 @@
+"""The ePay scenario (paper Fig. 1): a payment trustlet on a hostile OS."""
+
+import pytest
+
+from repro.core.platform import TrustLitePlatform
+from repro.machine.access import AccessType
+from repro.machine.devices import crypto_engine as ce
+from repro.machine.soc import CRYPTO_BASE
+from repro.sw.epay import (
+    EPAY_OFF_FAILS,
+    EPAY_OFF_SERVED,
+    FLAG_AUTHORIZED,
+    FLAG_DENIED,
+    MAX_PIN_FAILURES,
+    OS_OFF_VERDICTS,
+    SHM_LABEL,
+    SHM_OFF_TAG,
+    build_epay_image,
+    expected_tag,
+)
+
+DEVICE_KEY = bytes(range(16))
+PIN = 0x1234
+
+
+def _run(requests, max_cycles=2_000_000):
+    image = build_epay_image(pin=PIN, requests=requests)
+    plat = TrustLitePlatform()
+    plat.crypto.set_key(DEVICE_KEY)
+    plat.boot(image)
+    last = OS_OFF_VERDICTS + 4 * (len(requests) - 1)
+    plat.run_until(
+        lambda p: p.read_trustlet_word("OS", last) != 0,
+        max_cycles=max_cycles,
+    )
+    verdicts = [
+        plat.read_trustlet_word("OS", OS_OFF_VERDICTS + 4 * i)
+        for i in range(len(requests))
+    ]
+    return plat, image, verdicts
+
+
+class TestAuthorization:
+    def test_correct_pin_authorizes_with_valid_tag(self):
+        plat, image, verdicts = _run(((250, PIN),))
+        assert verdicts == [FLAG_AUTHORIZED]
+        shm, _ = image.layout_of("OS").shared[SHM_LABEL]
+        tag = plat.bus.read_bytes(shm + SHM_OFF_TAG, 16)
+        assert tag == expected_tag(DEVICE_KEY, 250)
+
+    def test_wrong_pin_denied(self):
+        _, _, verdicts = _run(((250, 0xBAD),))
+        assert verdicts == [FLAG_DENIED]
+
+    def test_mixed_requests(self):
+        plat, _, verdicts = _run(((10, PIN), (20, 0xBAD), (30, PIN)))
+        assert verdicts == [FLAG_AUTHORIZED, FLAG_DENIED, FLAG_AUTHORIZED]
+        assert plat.read_trustlet_word("EPAY", EPAY_OFF_FAILS) == 1
+        assert plat.read_trustlet_word("EPAY", EPAY_OFF_SERVED) == 2
+
+    def test_tag_binds_amount(self):
+        plat, image, _ = _run(((99, PIN),))
+        shm, _ = image.layout_of("OS").shared[SHM_LABEL]
+        tag = plat.bus.read_bytes(shm + SHM_OFF_TAG, 16)
+        assert tag != expected_tag(DEVICE_KEY, 100)
+
+
+class TestRateLimiting:
+    def test_three_strikes_locks_the_service(self):
+        requests = tuple((1, 0xBAD) for _ in range(MAX_PIN_FAILURES)) + \
+            ((500, PIN),)
+        plat, _, verdicts = _run(requests)
+        # Even the CORRECT pin is refused once locked.
+        assert verdicts == [FLAG_DENIED] * (MAX_PIN_FAILURES + 1)
+        assert plat.read_trustlet_word("EPAY", EPAY_OFF_FAILS) == \
+            MAX_PIN_FAILURES
+
+    def test_lock_clears_on_reset(self):
+        requests = tuple((1, 0xBAD) for _ in range(MAX_PIN_FAILURES))
+        plat, image, _ = _run(requests)
+        assert plat.read_trustlet_word("EPAY", EPAY_OFF_FAILS) == \
+            MAX_PIN_FAILURES
+        plat.warm_reset(wipe_data=True)
+        assert plat.read_trustlet_word("EPAY", EPAY_OFF_FAILS) == 0
+
+
+class TestSecrecy:
+    @pytest.fixture
+    def booted(self):
+        image = build_epay_image(pin=PIN, requests=((1, PIN),))
+        plat = TrustLitePlatform()
+        plat.crypto.set_key(DEVICE_KEY)
+        plat.boot(image)
+        return plat, image
+
+    def test_os_cannot_read_epay_code_holding_the_pin(self, booted):
+        plat, image = booted
+        os_ip = image.layout_of("OS").code_base + 0x40
+        epay_code = image.layout_of("EPAY").code_base + 0x40
+        assert not plat.mpu.allows(os_ip, epay_code, 4, AccessType.READ)
+
+    def test_os_cannot_reach_the_device_key(self, booted):
+        plat, image = booted
+        os_ip = image.layout_of("OS").code_base + 0x40
+        key_addr = CRYPTO_BASE + ce.KEY
+        assert not plat.mpu.allows(os_ip, key_addr, 4, AccessType.READ)
+
+    def test_epay_entry_still_callable(self, booted):
+        plat, image = booted
+        os_ip = image.layout_of("OS").code_base + 0x40
+        assert plat.mpu.allows(
+            os_ip, image.layout_of("EPAY").entry, 4, AccessType.FETCH
+        )
+
+    def test_shared_region_reaches_only_participants(self, booted):
+        plat, image = booted
+        shm, _ = image.layout_of("OS").shared[SHM_LABEL]
+        os_ip = image.layout_of("OS").code_base + 0x40
+        epay_ip = image.layout_of("EPAY").code_base + 0x40
+        assert plat.mpu.allows(os_ip, shm, 4, AccessType.WRITE)
+        assert plat.mpu.allows(epay_ip, shm, 4, AccessType.WRITE)

@@ -1,0 +1,153 @@
+"""Reproduction of the paper's Fig. 3 access-control matrix.
+
+Programs an EA-MPU with exactly the example policy of Fig. 3 — two
+trustlets (TL-A, TL-B) and an OS, each with entry/code/data/stack plus
+the MPU and Timer MMIO rows — and asserts every cell of the matrix.
+
+Matrix (object rows × subject columns), transcribed from the figure::
+
+    object            TL-A   TL-B   OS
+    TL-A entry        rx     rx     rx
+    TL-A code         rx     r      r
+    TL-B entry        rx     rx     rx
+    TL-B code         r      rx     r
+    OS entry          rx     rx     rx
+    OS code           r      r      rx
+    own data          rw     rw     rw      (each subject: own only)
+    own stack         rw     rw     rw
+    MPU flags         r      r      r
+    MPU regions       r      r      r
+    Timer period      r      r      rw
+    Timer handler     r      r      rw
+"""
+
+import pytest
+
+from repro.machine.access import AccessType
+from repro.mpu.ea_mpu import EaMpu
+from repro.mpu.regions import ANY_SUBJECT, Perm
+
+# Address layout echoing the figure's 0x00../0x10../0x20.. structure.
+A_ENTRY = (0x0_0000, 0x0_0018)
+A_CODE = (0x0_0000, 0x0_A000)       # entry is the head of the code region
+B_ENTRY = (0x0_A000, 0x0_A018)
+B_CODE = (0x0_A000, 0x0_B000)
+OS_ENTRY = (0x0_B000, 0x0_B018)
+OS_CODE = (0x0_B000, 0x1_0000)
+A_DATA = (0x1_0000, 0x1_A000)
+A_STACK = (0x1_A000, 0x1_B000)
+B_DATA = (0x1_B000, 0x2_0000)
+B_STACK = (0x2_0000, 0x2_4000)
+OS_DATA = (0x2_4000, 0x2_A000)
+OS_STACK = (0x2_A000, 0x2_B000)
+MPU_FLAGS = (0x3_0000, 0x3_0010)
+MPU_REGIONS = (0x3_0010, 0x3_0200)
+TIMER_PERIOD = (0x4_0000, 0x4_0008)
+TIMER_HANDLER = (0x4_0008, 0x4_0010)
+
+SUBJECT_IP = {"TL-A": 0x0_0100, "TL-B": 0x0_A100, "OS": 0x0_B100}
+
+
+@pytest.fixture(scope="module")
+def mpu():
+    made = EaMpu(num_regions=28)
+    # Code regions first: indices 0..2 define the subject masks.
+    made.program_region(0, *A_CODE, Perm.RX, subjects=1 << 0)
+    made.program_region(1, *B_CODE, Perm.RX, subjects=1 << 1)
+    made.program_region(2, *OS_CODE, Perm.RX, subjects=1 << 2)
+    a, b, os_ = 1 << 0, 1 << 1, 1 << 2
+    rules = [
+        # Entry vectors: executable by everyone.
+        (*A_ENTRY, Perm.X, ANY_SUBJECT),
+        (*B_ENTRY, Perm.X, ANY_SUBJECT),
+        (*OS_ENTRY, Perm.X, ANY_SUBJECT),
+        # Code readable by everyone (local attestation).
+        (*A_CODE, Perm.R, ANY_SUBJECT),
+        (*B_CODE, Perm.R, ANY_SUBJECT),
+        (*OS_CODE, Perm.R, ANY_SUBJECT),
+        # Private data and stacks.
+        (*A_DATA, Perm.RW, a),
+        (*A_STACK, Perm.RW, a),
+        (*B_DATA, Perm.RW, b),
+        (*B_STACK, Perm.RW, b),
+        (*OS_DATA, Perm.RW, os_),
+        (*OS_STACK, Perm.RW, os_),
+        # MPU MMIO: world-readable, write-locked.
+        (*MPU_FLAGS, Perm.R, ANY_SUBJECT),
+        (*MPU_REGIONS, Perm.R, ANY_SUBJECT),
+        # Timer: OS read-write, others read-only.
+        (*TIMER_PERIOD, Perm.RW, os_),
+        (*TIMER_HANDLER, Perm.RW, os_),
+        (*TIMER_PERIOD, Perm.R, ANY_SUBJECT),
+        (*TIMER_HANDLER, Perm.R, ANY_SUBJECT),
+    ]
+    for index, rule in enumerate(rules, start=3):
+        made.program_region(index, *rule)
+    made.set_enabled(True)
+    return made
+
+
+# Every cell of the figure: (object window, {subject: perms}).
+MATRIX = [
+    (A_ENTRY, {"TL-A": "rx", "TL-B": "rx", "OS": "rx"}),
+    (A_CODE, {"TL-A": "rx", "TL-B": "r", "OS": "r"}),
+    (B_ENTRY, {"TL-A": "rx", "TL-B": "rx", "OS": "rx"}),
+    (B_CODE, {"TL-A": "r", "TL-B": "rx", "OS": "r"}),
+    (OS_ENTRY, {"TL-A": "rx", "TL-B": "rx", "OS": "rx"}),
+    (OS_CODE, {"TL-A": "r", "TL-B": "r", "OS": "rx"}),
+    (A_DATA, {"TL-A": "rw", "TL-B": "", "OS": ""}),
+    (A_STACK, {"TL-A": "rw", "TL-B": "", "OS": ""}),
+    (B_DATA, {"TL-A": "", "TL-B": "rw", "OS": ""}),
+    (B_STACK, {"TL-A": "", "TL-B": "rw", "OS": ""}),
+    (OS_DATA, {"TL-A": "", "TL-B": "", "OS": "rw"}),
+    (OS_STACK, {"TL-A": "", "TL-B": "", "OS": "rw"}),
+    (MPU_FLAGS, {"TL-A": "r", "TL-B": "r", "OS": "r"}),
+    (MPU_REGIONS, {"TL-A": "r", "TL-B": "r", "OS": "r"}),
+    (TIMER_PERIOD, {"TL-A": "r", "TL-B": "r", "OS": "rw"}),
+    (TIMER_HANDLER, {"TL-A": "r", "TL-B": "r", "OS": "rw"}),
+]
+
+_ACCESS_FOR_LETTER = {
+    "r": AccessType.READ,
+    "w": AccessType.WRITE,
+    "x": AccessType.FETCH,
+}
+
+
+def _cell_cases():
+    for window, row in MATRIX:
+        for subject, letters in row.items():
+            for letter, access in _ACCESS_FOR_LETTER.items():
+                expected = letter in letters
+                yield window, subject, access, expected
+
+
+@pytest.mark.parametrize(
+    "window,subject,access,expected",
+    list(_cell_cases()),
+    ids=lambda v: str(v),
+)
+def test_matrix_cell(mpu, window, subject, access, expected):
+    """Each (object, subject, operation) cell matches the figure.
+
+    The probe lands mid-window so that code-row cells are not
+    accidentally satisfied by the entry-vector rule at the region head.
+    """
+    probe = ((window[0] + window[1]) // 2) & ~3
+    got = mpu.allows(SUBJECT_IP[subject], probe, 4, access)
+    assert got == expected, (
+        f"{subject} {access.name} at {probe:#x}: "
+        f"expected {'allow' if expected else 'deny'}"
+    )
+
+
+def test_entries_act_with_owner_identity(mpu):
+    """Instructions inside A's entry carry A's subject identity."""
+    entry_ip = A_ENTRY[0] + 4
+    assert mpu.allows(entry_ip, A_DATA[0], 4, AccessType.WRITE)
+    assert not mpu.allows(entry_ip, B_DATA[0], 4, AccessType.WRITE)
+
+
+def test_full_matrix_cell_count():
+    """12 object rows x 3 subjects x 3 operations = 144 checks."""
+    assert len(list(_cell_cases())) == len(MATRIX) * 3 * 3

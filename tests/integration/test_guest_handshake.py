@@ -1,0 +1,137 @@
+"""The Fig. 6 trusted handshake running entirely as guest code.
+
+Unlike ``test_trusted_ipc`` (host-side protocol model over live
+platform state), here *everything* executes on the simulated CPU:
+table walk, code hashing through the crypto engine, syn/ack over a
+shared region, and token derivation on both sides.
+"""
+
+import pytest
+
+from repro.core.platform import TrustLitePlatform
+from repro.sw.handshake import (
+    DATA_OFF_STATUS,
+    DATA_OFF_TOKEN,
+    STATUS_FAILED,
+    STATUS_OK,
+    build_handshake_image,
+    expected_token,
+)
+
+
+def _run_handshake(plat, image, max_cycles=2_000_000):
+    plat.boot(image)
+    plat.run_until(
+        lambda p: all(
+            p.read_trustlet_word(name, DATA_OFF_STATUS) != 0
+            for name in ("TL-A", "TL-B")
+        ),
+        max_cycles=max_cycles,
+    )
+    return {
+        name: (
+            plat.read_trustlet_word(name, DATA_OFF_STATUS),
+            plat.bus.read_bytes(
+                image.layout_of(name).data_base + DATA_OFF_TOKEN, 16
+            ),
+        )
+        for name in ("TL-A", "TL-B")
+    }
+
+
+class TestSuccessfulHandshake:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        plat = TrustLitePlatform()
+        image = build_handshake_image()
+        results = _run_handshake(plat, image)
+        return plat, image, results
+
+    def test_both_sides_complete(self, outcome):
+        _, _, results = outcome
+        assert results["TL-A"][0] == STATUS_OK
+        assert results["TL-B"][0] == STATUS_OK
+
+    def test_tokens_agree(self, outcome):
+        _, _, results = outcome
+        assert results["TL-A"][1] == results["TL-B"][1]
+        assert results["TL-A"][1] != bytes(16)
+
+    def test_token_matches_host_recomputation(self, outcome):
+        _, _, results = outcome
+        assert results["TL-A"][1] == expected_token()
+
+    def test_no_faults_and_platform_alive(self, outcome):
+        plat, _, _ = outcome
+        assert plat.mpu.stats.faults == 0
+        assert not plat.cpu.halted
+
+    def test_tokens_live_in_private_data_only(self, outcome):
+        """The derived token never appears in the shared region."""
+        plat, image, results = outcome
+        shm_base, shm_end = image.layout_of("TL-A").shared["hs-shm"]
+        shared = plat.bus.read_bytes(shm_base, shm_end - shm_base)
+        assert results["TL-A"][1] not in shared
+
+    def test_os_cannot_read_either_token(self, outcome):
+        from repro.machine.access import AccessType
+
+        plat, image, _ = outcome
+        os_ip = image.layout_of("OS").code_base + 0x40
+        for name in ("TL-A", "TL-B"):
+            token_addr = image.layout_of(name).data_base + DATA_OFF_TOKEN
+            assert not plat.mpu.allows(os_ip, token_addr, 4, AccessType.READ)
+
+    def test_handshake_survives_preemption(self, outcome):
+        plat, _, _ = outcome
+        # The handshake polls across scheduler rotations: several
+        # trustlet interruptions must have happened along the way.
+        assert plat.engine.stats.trustlet_interruptions >= 2
+
+
+class TestFailedAttestation:
+    def test_tampered_responder_is_rejected(self):
+        """Post-boot tampering with B's code makes A's live hash differ
+        from the table measurement: A must refuse the handshake."""
+        plat = TrustLitePlatform()
+        image = build_handshake_image()
+        plat.boot(image)
+        victim = image.layout_of("TL-B")
+        # Flip a byte deep in B's code body via the hardware path.
+        target = victim.code_base + 0x60
+        original = plat.bus.read(target, 1)
+        plat.soc.prom.load(target, bytes([original ^ 0x01]))
+        plat.run_until(
+            lambda p: p.read_trustlet_word("TL-A", DATA_OFF_STATUS) != 0,
+            max_cycles=2_000_000,
+        )
+        assert plat.read_trustlet_word("TL-A", DATA_OFF_STATUS) == \
+            STATUS_FAILED
+        # No syn was ever sent, so B never completes.
+        assert plat.read_trustlet_word("TL-B", DATA_OFF_STATUS) == 0
+
+    def test_tampered_initiator_rejected_by_responder(self):
+        """B attests A after receiving the syn; tamper with A's code
+        *after* A hashed B but the table still holds boot measurements,
+        so B's live hash of A must mismatch."""
+        plat = TrustLitePlatform()
+        image = build_handshake_image()
+        plat.boot(image)
+        victim = image.layout_of("TL-A")
+        from repro.sw.handshake import SHM_OFF_FLAG, FLAG_SYN
+
+        shm_base, _ = victim.shared["hs-shm"]
+        # Let A run until the syn flag is up, then corrupt A's code.
+        plat.run_until(
+            lambda p: p.bus.read_word(shm_base + SHM_OFF_FLAG) == FLAG_SYN,
+            max_cycles=2_000_000,
+        )
+        target = victim.code_base + 0x60
+        original = plat.bus.read(target, 1)
+        plat.soc.prom.load(target, bytes([original ^ 0x01]))
+        plat.run_until(
+            lambda p: p.read_trustlet_word("TL-B", DATA_OFF_STATUS) != 0,
+            max_cycles=2_000_000,
+        )
+        assert plat.read_trustlet_word("TL-B", DATA_OFF_STATUS) == \
+            STATUS_FAILED

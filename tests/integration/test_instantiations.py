@@ -1,0 +1,183 @@
+"""Sec. 3.6 instantiations: hardware trustlets, field updates, OS-less.
+
+The paper stresses that one hardware design supports several
+configurations "at different cost points".  These tests exercise the
+three non-default ones: hardwired MPU regions (hardware trustlets),
+field update of trustlet code through a dedicated update service on a
+flash-backed PROM, and the SMART-like OS-less single-module platform.
+"""
+
+import pytest
+
+from repro.core.image import ImageBuilder, SoftwareModule
+from repro.core.platform import TrustLitePlatform
+from repro.crypto import sponge_hash
+from repro.errors import BusError, PlatformError
+from repro.machine.access import AccessType
+from repro.mpu.ea_mpu import EaMpu
+from repro.mpu.regions import ANY_SUBJECT, Perm
+from repro.sw import trustlets
+from repro.sw.images import build_two_counter_image, os_module
+
+# Offset of the counter trustlet's stride immediate inside its code:
+# entry vector (24) + movi r4 (8) + ldw (4) + addi opcode word (4).
+STRIDE_IMM_OFFSET = 40
+
+
+class TestHardwiredRegions:
+    def test_hardwired_region_resists_all_writes(self):
+        mpu = EaMpu(num_regions=4)
+        mpu.hardwire_region(3, 0x1000, 0x2000, Perm.RX, subjects=1 << 3)
+        for writer in (mpu.write_base, mpu.write_end, mpu.write_attr):
+            with pytest.raises(PlatformError):
+                writer(3, 0)
+        assert mpu.is_hardwired(3)
+        assert not mpu.is_hardwired(0)
+
+    def test_hardwired_region_survives_clear_all(self):
+        mpu = EaMpu(num_regions=4)
+        mpu.hardwire_region(3, 0x1000, 0x2000, Perm.RX)
+        mpu.clear_all()
+        mpu.set_enabled(True)
+        assert mpu.allows(0x1000, 0x1004, 4, AccessType.FETCH)
+
+    def test_hardware_trustlet_survives_secure_loader_boot(self):
+        """A fabrication-time rule outlives every software boot."""
+        plat = TrustLitePlatform()
+        # The SoC designer mask-programs the top region: a hardware
+        # trustlet window in high PROM, executable by anyone.
+        top = plat.mpu.num_regions - 1
+        plat.mpu.hardwire_region(
+            top, 0x0001_F000, 0x0002_0000, Perm.RX, subjects=ANY_SUBJECT
+        )
+        plat.boot(build_two_counter_image())
+        assert plat.mpu.is_hardwired(top)
+        os_ip = plat.table.os_row().code_base + 0x30
+        assert plat.mpu.allows(os_ip, 0x0001_F000, 4, AccessType.FETCH)
+
+    def test_loader_allocates_around_hardwired_regions(self):
+        plat = TrustLitePlatform()
+        plat.mpu.hardwire_region(0, 0x0001_F000, 0x0002_0000, Perm.RX)
+        report = plat.boot(build_two_counter_image())
+        # Region 0 kept its hardwired rule; software rules went elsewhere.
+        assert plat.mpu.regions[0].base == 0x0001_F000
+        assert report.mpu_regions_programmed > 0
+
+
+class TestFieldUpdates:
+    def _update_image(self):
+        builder = ImageBuilder()
+        builder.add_module(os_module(timer_period=400))
+        builder.add_module(
+            SoftwareModule(
+                name="VICTIM",
+                source=trustlets.counter_source(1),
+                code_writable_by="UPDATER",
+            )
+        )
+        # New stride immediate: 16 (replaces the assembled 1).
+        builder.add_module(
+            SoftwareModule(
+                name="UPDATER",
+                source=trustlets.updater_source(
+                    "VICTIM", STRIDE_IMM_OFFSET, 16
+                ),
+            )
+        )
+        return builder.build()
+
+    def test_update_service_patches_trusted_code_in_field(self):
+        plat = TrustLitePlatform(flash_prom=True)
+        image = self._update_image()
+        plat.boot(image)
+        plat.run(max_cycles=200_000)
+        assert plat.read_trustlet_word("UPDATER", 4) == 2  # patch landed
+        # The victim now counts in strides of 16: its counter grows but
+        # (counter mod 16) stays frozen once the patch applies.
+        counter = plat.read_trustlet_word(
+            "VICTIM", trustlets.COUNTER_OFF_VALUE
+        )
+        assert counter > 100
+        lay = image.layout_of("VICTIM")
+        patched = plat.bus.read_word(lay.code_base + STRIDE_IMM_OFFSET)
+        assert patched == 16
+
+    def test_update_changes_live_measurement(self):
+        """Attestation sees the new version (Sec. 4.2.2 patch level)."""
+        from repro.core.attestation import LocalAttestation
+
+        plat = TrustLitePlatform(flash_prom=True)
+        image = self._update_image()
+        plat.boot(image)
+        inspector = LocalAttestation(plat.table, plat.mpu, plat.bus)
+        row = inspector.find_task("VICTIM")
+        assert inspector.attest(row)  # pristine at boot
+        plat.run(max_cycles=200_000)
+        assert not inspector.attest(row)  # live code differs from load time
+        lay = image.layout_of("VICTIM")
+        live = plat.bus.read_bytes(lay.code_base, lay.code_end - lay.code_base)
+        assert inspector.attest(row, sponge_hash(live))  # new reference OK
+
+    def test_unrelated_module_still_cannot_write_code(self):
+        plat = TrustLitePlatform(flash_prom=True)
+        image = self._update_image()
+        plat.boot(image)
+        victim = image.layout_of("VICTIM")
+        os_ip = image.layout_of("OS").code_base + 0x40
+        assert not plat.mpu.allows(
+            os_ip, victim.code_base + STRIDE_IMM_OFFSET, 4, AccessType.WRITE
+        )
+
+    def test_mask_prom_platform_rejects_update_at_device_level(self):
+        """Without flash, even an authorized update hits the missing
+        write port — defence in depth below the MPU."""
+        plat = TrustLitePlatform(flash_prom=False)
+        image = self._update_image()
+        plat.boot(image)
+        victim = image.layout_of("VICTIM")
+        with pytest.raises(BusError):
+            plat.bus.write_word(victim.code_base + STRIDE_IMM_OFFSET, 16)
+
+    def test_unknown_updater_name_rejected_at_boot(self):
+        builder = ImageBuilder()
+        builder.add_module(os_module())
+        builder.add_module(
+            SoftwareModule(
+                name="VICTIM",
+                source=trustlets.counter_source(1),
+                code_writable_by="GHOST",
+            )
+        )
+        from repro.errors import LoaderError
+
+        with pytest.raises(LoaderError):
+            TrustLitePlatform().boot(builder.build())
+
+
+class TestOsLessInstantiation:
+    def test_single_module_smart_like_platform(self):
+        """Sec. 3.6/5.3: attestation service as the only module."""
+        from repro.machine.soc import CRYPTO_BASE
+        from repro.core.image import MmioGrant
+        from repro.machine.devices import crypto_engine as ce
+
+        builder = ImageBuilder()
+        builder.add_module(
+            SoftwareModule(
+                name="ATTEST",
+                source=trustlets.attestation_source(),
+                mmio_grants=(MmioGrant(CRYPTO_BASE, ce.SIZE),),
+            )
+        )
+        plat = TrustLitePlatform(secure_exceptions=False)
+        report = plat.boot(builder.build())
+        assert report.launched == "ATTEST"
+        plat.run_until(
+            lambda p: p.read_trustlet_word(
+                "ATTEST", trustlets.ATTEST_OFF_DONE
+            ) == 1,
+            max_cycles=400_000,
+        )
+        assert plat.read_trustlet_word(
+            "ATTEST", trustlets.ATTEST_OFF_DONE
+        ) == 1

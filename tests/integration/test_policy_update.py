@@ -1,0 +1,143 @@
+"""Field update of the *security policy* at runtime (Sec. 6).
+
+"TrustLite security extensions are ... completely programmable by
+software.  This enables updates to any trusted or untrusted software,
+security policy and potentially also the Secure Loader itself."
+
+The Secure Loader normally locks the MPU by granting nobody write
+access to its MMIO window.  A designer can instead delegate policy
+management to a dedicated trustlet by granting *it* the window — the
+MPU then remains hardware-locked against everyone else while the
+manager can install new rules in the field.  These tests run such a
+policy-manager trustlet as guest code.
+"""
+
+import pytest
+
+from repro.core.image import ImageBuilder, MmioGrant, SoftwareModule
+from repro.core.platform import TrustLitePlatform
+from repro.machine.access import AccessType
+from repro.machine.soc import DRAM_BASE, MPU_MMIO_BASE
+from repro.mpu import mmio
+from repro.mpu.regions import ANY_SUBJECT, Perm, pack_attr
+from repro.sw import runtime, trustlets
+from repro.sw.images import os_module
+
+# The manager programs this new rule at runtime: a world-readable
+# scratch window in DRAM.
+NEW_RULE_BASE = DRAM_BASE + 0x4000
+NEW_RULE_END = DRAM_BASE + 0x5000
+MANAGED_REGION_INDEX = 23  # top region register of the default MPU
+
+
+def _manager_source():
+    """Trustlet that installs one new MPU rule, then reports done."""
+
+    def source(lay):
+        reg_base = (
+            MPU_MMIO_BASE + mmio.REGIONS
+            + MANAGED_REGION_INDEX * mmio.REGION_STRIDE
+        )
+        attr = pack_attr(Perm.R, ANY_SUBJECT)
+        return f"""
+{runtime.entry_vector()}
+.equ DONE, {lay.data_base + 4:#x}
+main:
+    movi r4, {reg_base:#x}
+    movi r5, {NEW_RULE_BASE:#x}
+    stw r5, [r4+0]          ; region BASE
+    movi r5, {NEW_RULE_END:#x}
+    stw r5, [r4+4]          ; region END
+    movi r5, {attr:#x}
+    stw r5, [r4+8]          ; region ATTR: r, any subject
+    movi r4, DONE
+    movi r5, 1
+    stw r5, [r4]
+spin:
+    jmp spin
+{runtime.continue_impl(lay)}
+{runtime.halt_stub()}
+"""
+
+    return source
+
+
+def _image(with_grant: bool):
+    builder = ImageBuilder()
+    builder.add_module(os_module(timer_period=400, halt_on_fault=False))
+    grants = ()
+    if with_grant:
+        from repro.mpu.mmio import mmio_size
+
+        grants = (
+            MmioGrant(MPU_MMIO_BASE, mmio_size(24), Perm.RW),
+        )
+    builder.add_module(
+        SoftwareModule(
+            name="POLMGR",
+            source=_manager_source(),
+            mmio_grants=grants,
+        )
+    )
+    builder.add_module(
+        SoftwareModule(name="BYSTAND", source=trustlets.counter_source(1))
+    )
+    return builder.build()
+
+
+class TestPolicyManager:
+    def test_manager_installs_rule_at_runtime(self):
+        plat = TrustLitePlatform()
+        image = _image(with_grant=True)
+        plat.boot(image)
+        bystander_ip = image.layout_of("BYSTAND").code_base + 0x40
+        # Before: the DRAM window is unreachable.
+        assert not plat.mpu.allows(
+            bystander_ip, NEW_RULE_BASE, 4, AccessType.READ
+        )
+        plat.run_until(
+            lambda p: p.read_trustlet_word("POLMGR", 4) == 1,
+            max_cycles=200_000,
+        )
+        assert plat.read_trustlet_word("POLMGR", 4) == 1
+        # After: any subject may read it — policy updated in the field.
+        assert plat.mpu.allows(
+            bystander_ip, NEW_RULE_BASE, 4, AccessType.READ
+        )
+        assert not plat.mpu.allows(
+            bystander_ip, NEW_RULE_BASE, 4, AccessType.WRITE
+        )
+        assert plat.mpu.stats.faults == 0
+
+    def test_without_grant_update_attempt_faults(self):
+        """The default lock stands: same trustlet, no MMIO grant."""
+        plat = TrustLitePlatform()
+        image = _image(with_grant=False)
+        plat.boot(image)
+        plat.run(max_cycles=100_000)
+        assert plat.read_trustlet_word("POLMGR", 4) == 0
+        assert plat.mpu.stats.faults >= 1
+        bystander_ip = image.layout_of("BYSTAND").code_base + 0x40
+        assert not plat.mpu.allows(
+            bystander_ip, NEW_RULE_BASE, 4, AccessType.READ
+        )
+
+    def test_manager_cannot_be_impersonated(self):
+        """Only the manager's code region can reach the MPU window."""
+        plat = TrustLitePlatform()
+        image = _image(with_grant=True)
+        plat.boot(image)
+        os_ip = image.layout_of("OS").code_base + 0x40
+        bystander_ip = image.layout_of("BYSTAND").code_base + 0x40
+        reg = MPU_MMIO_BASE + mmio.REGIONS
+        for intruder in (os_ip, bystander_ip):
+            assert not plat.mpu.allows(intruder, reg, 4, AccessType.WRITE)
+
+    def test_bystander_unaffected_by_policy_update(self):
+        plat = TrustLitePlatform()
+        image = _image(with_grant=True)
+        plat.boot(image)
+        plat.run(max_cycles=200_000)
+        assert plat.read_trustlet_word(
+            "BYSTAND", trustlets.COUNTER_OFF_VALUE
+        ) > 100

@@ -1,0 +1,173 @@
+"""End-to-end secure exception handling (paper Sec. 3.4, Fig. 4).
+
+Runs the full machine — assembled guest code, EA-MPU, secure engine —
+and checks the Fig. 4 state machine, nested interrupts, re-entry via
+the entry vector, and the Sec. 5.4 cycle accounting in vivo.
+"""
+
+import pytest
+
+from repro.core.exception_engine import (
+    REGULAR_ENTRY_CYCLES,
+    RegularExceptionEngine,
+)
+from repro.core.platform import TrustLitePlatform
+from repro.sw import trustlets
+from repro.sw.images import build_two_counter_image
+from repro.sw.kernel import DATA_OFF_FAULT_ADDR, DATA_OFF_FAULTS
+
+
+@pytest.fixture
+def plat():
+    made = TrustLitePlatform()
+    made.boot(build_two_counter_image(timer_period=300))
+    return made
+
+
+class TestFig4Flow:
+    def test_saved_sp_lands_in_table_row(self, plat):
+        plat.run_until(
+            lambda p: p.engine.stats.trustlet_interruptions >= 1,
+            max_cycles=50_000,
+        )
+        interrupted = [
+            row for row in plat.table.rows()
+            if not row.is_os and row.stack_base <= row.saved_sp < row.stack_end
+        ]
+        assert interrupted, "no trustlet shows a spilled stack pointer"
+
+    def test_resume_frame_is_inside_trustlet_stack(self, plat):
+        plat.run(max_cycles=60_000)
+        for name in ("TL-A", "TL-B"):
+            row = plat.table.find_by_name(name)
+            assert row.stack_base <= row.saved_sp < row.stack_end
+
+    def test_trustlet_progress_requires_state_fidelity(self, plat):
+        """Counters advance linearly only if r4/r5/sp/ip survive spills."""
+        plat.run(max_cycles=120_000)
+        a = plat.read_trustlet_word("TL-A", trustlets.COUNTER_OFF_VALUE)
+        assert a > 500
+        assert plat.mpu.stats.faults == 0
+
+    def test_engine_cycles_match_sec54_formula(self, plat):
+        plat.run(max_cycles=100_000)
+        stats = plat.engine.stats
+        expected = (
+            stats.trustlet_interruptions * 42
+            + (stats.interrupts + stats.faults + stats.software
+               - stats.trustlet_interruptions) * 23
+        )
+        assert stats.engine_cycles == expected
+
+
+class TestNestedInterrupts:
+    def test_timer_firing_during_isr_is_deferred_not_lost(self):
+        """IE is cleared in the ISR; ticks landing there stay latched."""
+        plat = TrustLitePlatform()
+        # Period close to the scheduler-path length forces in-ISR ticks.
+        plat.boot(build_two_counter_image(timer_period=260))
+        plat.run(max_cycles=100_000)
+        assert plat.engine.stats.interrupts > 300
+        assert not plat.cpu.halted
+        assert plat.mpu.stats.faults == 0
+
+    def test_trustlets_still_progress_under_interrupt_storm(self):
+        plat = TrustLitePlatform()
+        plat.boot(build_two_counter_image(timer_period=260))
+        plat.run(max_cycles=150_000)
+        a = plat.read_trustlet_word("TL-A", trustlets.COUNTER_OFF_VALUE)
+        b = plat.read_trustlet_word("TL-B", trustlets.COUNTER_OFF_VALUE)
+        assert a > 0 and b > 0
+
+    def test_interrupt_livelock_terminates_via_mpu_fault(self):
+        """A period shorter than the resume path can never make progress.
+
+        Each preemption landing between ``popf`` and ``rets`` re-spills
+        a 17-word frame while only 16 words were popped, drifting the
+        trustlet stack down one word per tick until it overruns its
+        region — which the EA-MPU converts into a fault instead of
+        silent corruption (the paper's footnote-1 termination
+        behaviour).  The trustlets make no progress; the platform fails
+        *safe*."""
+        plat = TrustLitePlatform()
+        plat.boot(build_two_counter_image(timer_period=40))
+        plat.run(max_cycles=120_000)
+        assert plat.read_trustlet_word(
+            "TL-A", trustlets.COUNTER_OFF_VALUE
+        ) == 0
+        assert plat.mpu.stats.faults >= 1
+        assert "F" in plat.uart.output_text()
+        # The overflow was caught at a stack-region boundary.
+        rows = [plat.table.find_by_name(n) for n in ("TL-A", "TL-B")]
+        assert any(
+            plat.mpu.fault_address < row.stack_base + 64 for row in rows
+        )
+
+
+class TestFaultReporting:
+    def test_os_receives_fault_address(self):
+        from repro.sw.images import build_probe_image
+
+        plat = TrustLitePlatform()
+        image = build_probe_image(
+            target="data", operation="write", halt_on_fault=False
+        )
+        plat.boot(image)
+        plat.run(max_cycles=80_000)
+        faults = plat.read_trustlet_word("OS", DATA_OFF_FAULTS)
+        reported = plat.read_trustlet_word("OS", DATA_OFF_FAULT_ADDR)
+        victim_counter = (
+            image.layout_of("VICTIM").data_base + trustlets.COUNTER_OFF_VALUE
+        )
+        assert faults >= 1
+        assert reported == victim_counter
+
+    def test_faulting_trustlet_terminated_others_continue(self):
+        """Fig. 4 + Sec. 6 fault tolerance: one bad trustlet cannot DoS."""
+        from repro.sw.images import build_probe_image
+
+        plat = TrustLitePlatform()
+        plat.boot(
+            build_probe_image(
+                target="data", operation="write", halt_on_fault=False
+            )
+        )
+        plat.run(max_cycles=150_000)
+        # The probe re-faults each time it is rescheduled (its resume IP
+        # is the faulting store), but the victim keeps making progress.
+        assert plat.read_trustlet_word(
+            "VICTIM", trustlets.COUNTER_OFF_VALUE
+        ) > 200
+        assert plat.mpu.stats.faults >= 1
+        assert not plat.cpu.halted
+
+
+class TestRegularEngineAblation:
+    """What the secure engine buys, demonstrated by switching it off."""
+
+    def test_regular_engine_leaks_registers_to_isr(self):
+        plat = TrustLitePlatform(secure_exceptions=False)
+        assert isinstance(plat.engine, RegularExceptionEngine)
+        plat.boot(build_two_counter_image(timer_period=300))
+        leaked = []
+
+        original = plat.engine.deliver_interrupt
+
+        def spy(cpu, interrupt):
+            before = list(cpu.regs)
+            cycles = original(cpu, interrupt)
+            if any(before[i] and cpu.regs[i] == before[i] for i in range(13)):
+                leaked.append(True)
+            return cycles
+
+        plat.engine.deliver_interrupt = spy
+        plat.run(max_cycles=30_000)
+        assert leaked, "regular engine should expose trustlet registers"
+
+    def test_regular_engine_entry_cost_is_21_cycles(self):
+        plat = TrustLitePlatform(secure_exceptions=False)
+        plat.boot(build_two_counter_image(timer_period=300))
+        plat.run_until(
+            lambda p: p.engine.stats.interrupts >= 1, max_cycles=30_000
+        )
+        assert plat.engine.stats.last_entry_cycles == REGULAR_ENTRY_CYCLES

@@ -1,0 +1,247 @@
+"""Trusted IPC: local attestation + one-round handshake (Fig. 6).
+
+The protocol endpoints operate over live platform state — the real
+Trustlet Table, the real EA-MPU rules — so attestation failures here
+mean the *platform*, not a mock, reported the problem.
+"""
+
+import pytest
+
+from repro.core.attestation import LocalAttestation, measure_code
+from repro.core.ipc import (
+    MessageQueue,
+    SealedMessage,
+    TrustedEndpoint,
+    establish_channel,
+)
+from repro.core.platform import TrustLitePlatform
+from repro.errors import IpcError
+from repro.sw import trustlets
+from repro.sw.images import build_ipc_image, build_two_counter_image
+
+
+@pytest.fixture
+def platform():
+    plat = TrustLitePlatform()
+    plat.boot(build_two_counter_image())
+    return plat
+
+
+@pytest.fixture
+def endpoints(platform):
+    inspector = LocalAttestation(platform.table, platform.mpu, platform.bus)
+    a = TrustedEndpoint("TL-A", inspector)
+    b = TrustedEndpoint("TL-B", inspector)
+    return platform, a, b
+
+
+class TestLocalAttestation:
+    def test_inspection_of_healthy_peer_succeeds(self, platform):
+        inspector = LocalAttestation(
+            platform.table, platform.mpu, platform.bus
+        )
+        report = inspector.inspect("TL-B")
+        assert report.trusted, report.problems
+
+    def test_unknown_peer_fails(self, platform):
+        inspector = LocalAttestation(
+            platform.table, platform.mpu, platform.bus
+        )
+        report = inspector.inspect("GHOST")
+        assert not report.trusted
+        assert not report.row_found
+
+    def test_wrong_expected_measurement_fails(self, platform):
+        inspector = LocalAttestation(
+            platform.table, platform.mpu, platform.bus
+        )
+        report = inspector.inspect("TL-B", b"\x00" * 16)
+        assert not report.measurement_ok
+
+    def test_live_measurement_matches_loader(self, platform):
+        inspector = LocalAttestation(
+            platform.table, platform.mpu, platform.bus
+        )
+        row = inspector.find_task("TL-A")
+        assert measure_code(platform.bus, row.code_base, row.code_end) == \
+            row.measurement
+
+    def test_verify_mpu_detects_broken_isolation(self, platform):
+        """If a rule grants the world access to TL-A's data, verifyMPU
+        must notice — the check a peer relies on before trusting A."""
+        inspector = LocalAttestation(
+            platform.table, platform.mpu, platform.bus
+        )
+        row = inspector.find_task("TL-A")
+        assert inspector.verify_mpu(row) == []
+        from repro.mpu.regions import ANY_SUBJECT, Perm
+
+        index = platform.mpu.free_region_index()
+        platform.mpu.program_region(
+            index, row.data_base, row.data_end, Perm.R, subjects=ANY_SUBJECT
+        )
+        problems = inspector.verify_mpu(row)
+        assert any("data readable" in p for p in problems)
+
+
+class TestHandshake:
+    def test_tokens_agree(self, endpoints):
+        _, a, b = endpoints
+        token = establish_channel(a, b)
+        assert a.sessions["TL-B"] == b.sessions["TL-A"] == token
+        assert len(token) == 16
+
+    def test_fresh_nonces_fresh_tokens(self, endpoints):
+        _, a, b = endpoints
+        first = establish_channel(a, b)
+        second = establish_channel(a, b)
+        assert first != second
+
+    def test_responder_rejects_misaddressed_syn(self, endpoints):
+        _, a, b = endpoints
+        syn = a.initiate("TL-B")
+        stranger = TrustedEndpoint("TL-C", a.attestation)
+        with pytest.raises(IpcError):
+            stranger.respond(syn)
+
+    def test_initiator_rejects_tampered_ack(self, endpoints):
+        from repro.core.ipc import Ack
+
+        _, a, b = endpoints
+        syn = a.initiate("TL-B")
+        ack = b.respond(syn)
+        forged = Ack(
+            initiator=ack.initiator,
+            responder=ack.responder,
+            nonce_a=bytes(8),
+            nonce_b=ack.nonce_b,
+        )
+        with pytest.raises(IpcError):
+            a.finalize(forged)
+
+    def test_initiator_rejects_unsolicited_ack(self, endpoints):
+        from repro.core.ipc import Ack
+
+        _, a, _ = endpoints
+        with pytest.raises(IpcError):
+            a.finalize(
+                Ack("TL-A", "TL-B", bytes(8), bytes(8))
+            )
+
+    def test_handshake_refused_for_untrusted_peer(self, endpoints):
+        platform, a, _ = endpoints
+        a.expected["TL-B"] = b"\xff" * 16  # wrong reference measurement
+        with pytest.raises(IpcError):
+            a.initiate("TL-B")
+
+
+class TestAuthenticatedMessages:
+    def test_round_trip(self, endpoints):
+        _, a, b = endpoints
+        establish_channel(a, b)
+        sealed = a.seal("TL-B", b"balance=42")
+        assert b.open("TL-A", sealed) == b"balance=42"
+
+    def test_both_directions(self, endpoints):
+        _, a, b = endpoints
+        establish_channel(a, b)
+        assert b.open("TL-A", a.seal("TL-B", b"ping")) == b"ping"
+        assert a.open("TL-B", b.seal("TL-A", b"pong")) == b"pong"
+
+    def test_tampered_payload_rejected(self, endpoints):
+        _, a, b = endpoints
+        establish_channel(a, b)
+        sealed = a.seal("TL-B", b"pay 1")
+        forged = SealedMessage(b"pay 9", sealed.counter, sealed.tag)
+        with pytest.raises(IpcError):
+            b.open("TL-A", forged)
+
+    def test_replay_rejected(self, endpoints):
+        _, a, b = endpoints
+        establish_channel(a, b)
+        sealed = a.seal("TL-B", b"once")
+        b.open("TL-A", sealed)
+        with pytest.raises(IpcError):
+            b.open("TL-A", sealed)
+
+    def test_direction_confusion_rejected(self, endpoints):
+        """A's message to B cannot be reflected back to A."""
+        _, a, b = endpoints
+        establish_channel(a, b)
+        sealed = a.seal("TL-B", b"hello")
+        with pytest.raises(IpcError):
+            a.open("TL-B", sealed)
+
+    def test_no_channel_no_messages(self, endpoints):
+        _, a, _ = endpoints
+        with pytest.raises(IpcError):
+            a.seal("TL-B", b"early")
+
+
+class TestMessageQueue:
+    def test_fifo(self):
+        queue = MessageQueue(capacity=4)
+        queue.enqueue(1)
+        queue.enqueue(2)
+        assert queue.dequeue() == 1
+        assert queue.dequeue() == 2
+
+    def test_overflow_drops_and_counts(self):
+        queue = MessageQueue(capacity=2)
+        assert queue.enqueue("a") and queue.enqueue("b")
+        assert not queue.enqueue("c")
+        assert queue.dropped == 1
+
+    def test_underflow_raises(self):
+        with pytest.raises(IpcError):
+            MessageQueue().dequeue()
+
+    def test_bad_capacity(self):
+        with pytest.raises(IpcError):
+            MessageQueue(capacity=0)
+
+
+class TestAsmLevelUntrustedIpc:
+    """The RPC convention running on the simulated CPU (Sec. 4.2.1)."""
+
+    @pytest.fixture(scope="class")
+    def ran(self):
+        plat = TrustLitePlatform()
+        image = build_ipc_image()
+        plat.boot(image)
+        plat.run(max_cycles=300_000)
+        return plat, image
+
+    def test_messages_flow_under_preemption(self, ran):
+        plat, _ = ran
+        sent = plat.read_trustlet_word("TL-SND", trustlets.SENDER_OFF_SENT)
+        received = plat.read_trustlet_word(
+            "TL-RCV", trustlets.QUEUE_OFF_TOTAL
+        )
+        assert sent > 100
+        assert received == sent
+        assert plat.mpu.stats.faults == 0
+        assert not plat.cpu.halted
+
+    def test_ring_holds_latest_messages(self, ran):
+        plat, _ = ran
+        received = plat.read_trustlet_word(
+            "TL-RCV", trustlets.QUEUE_OFF_TOTAL
+        )
+        # Message k carries payload 0x1000 + k; ring slot = k mod 8.
+        slots = [
+            plat.read_trustlet_word(
+                "TL-RCV", trustlets.QUEUE_OFF_SLOTS + 4 * i
+            )
+            for i in range(trustlets.QUEUE_CAPACITY)
+        ]
+        newest = 0x1000 + received - 1
+        assert newest in slots
+
+    def test_sender_preserved_across_yields(self, ran):
+        """Sent counter strictly increases; no lost or double counts."""
+        plat, _ = ran
+        before = plat.read_trustlet_word("TL-SND", trustlets.SENDER_OFF_SENT)
+        plat.run(max_cycles=50_000)
+        after = plat.read_trustlet_word("TL-SND", trustlets.SENDER_OFF_SENT)
+        assert after > before

@@ -1,0 +1,49 @@
+"""Tests for the cycle-cost table and its use by the CPU."""
+
+from repro.asm import assemble
+from repro.isa.cycles import BRANCH_TAKEN_PENALTY, cycle_cost
+from repro.isa.opcodes import Op
+from repro.machine.bus import Bus
+from repro.machine.cpu import Cpu
+from repro.machine.memories import Ram
+
+
+def _cycles_of(source: str) -> int:
+    bus = Bus()
+    ram = Ram("ram", 0x1000)
+    ram.load(0, assemble(source).data)
+    bus.attach(0, ram)
+    cpu = Cpu(bus)
+    cpu.sp = 0x1000
+    cpu.run()
+    return cpu.cycles
+
+
+class TestCostTable:
+    def test_every_opcode_has_a_cost(self):
+        for op in Op:
+            assert cycle_cost(op) >= 1
+
+    def test_relative_costs(self):
+        assert cycle_cost(Op.MUL) > cycle_cost(Op.ADD)
+        assert cycle_cost(Op.LDW) > cycle_cost(Op.ADD)
+        assert cycle_cost(Op.JMP) > cycle_cost(Op.NOP)
+
+
+class TestCpuAccounting:
+    def test_straight_line_sum(self):
+        expected = (
+            cycle_cost(Op.MOVI) + cycle_cost(Op.ADDI) + cycle_cost(Op.HALT)
+        )
+        assert _cycles_of("movi r0, 1\naddi r0, r0, 2\nhalt") == expected
+
+    def test_taken_branch_pays_refill_penalty(self):
+        base = "movi r0, 1\ncmpi r0, {v}\nbeq skip\nskip: halt"
+        taken = _cycles_of(base.format(v=1))
+        not_taken = _cycles_of(base.format(v=2))
+        assert taken - not_taken == BRANCH_TAKEN_PENALTY
+
+    def test_memory_ops_cost_two(self):
+        with_mem = _cycles_of("movi r1, 0x100\nldw r0, [r1]\nhalt")
+        without = _cycles_of("movi r1, 0x100\nnop\nhalt")
+        assert with_mem - without == cycle_cost(Op.LDW) - cycle_cost(Op.NOP)

@@ -1,0 +1,105 @@
+"""Tests for the disassembler, including assembler round-trips."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.asm import assemble
+from repro.errors import EncodingError
+from repro.isa.disasm import (
+    DisassembledLine,
+    disassemble,
+    disassemble_word,
+    format_listing,
+)
+from repro.isa.opcodes import Op
+
+
+class TestDisassembleWord:
+    def test_single_word_instruction(self):
+        program = assemble("add r1, r2, r3")
+        line = disassemble_word(program.data, 0, 0x100)
+        assert line.instruction.op is Op.ADD
+        assert line.address == 0x100
+        assert line.size == 4
+
+    def test_two_word_instruction(self):
+        program = assemble("movi r0, 0xCAFE")
+        line = disassemble_word(program.data, 0, 0)
+        assert line.size == 8
+        assert line.instruction.imm == 0xCAFE
+
+    def test_truncated_instruction_rejected(self):
+        with pytest.raises(EncodingError):
+            disassemble_word(b"\x00\x00", 0, 0)
+
+    def test_truncated_extension_rejected(self):
+        program = assemble("movi r0, 5")
+        with pytest.raises(EncodingError):
+            disassemble_word(program.data[:4], 0, 0)
+
+    def test_invalid_opcode_rejected(self):
+        with pytest.raises(EncodingError):
+            disassemble_word(b"\x00\x00\x00\xff", 0, 0)
+
+
+class TestLinearSweep:
+    def test_sweeps_whole_program(self):
+        source = "movi r0, 1\nadd r1, r0, r0\nnop\nhalt"
+        program = assemble(source)
+        lines = disassemble(program.data)
+        ops = [line.instruction.op for line in lines]
+        assert ops == [Op.MOVI, Op.ADD, Op.NOP, Op.HALT]
+
+    def test_addresses_track_base(self):
+        program = assemble("nop\nnop", base=0x2000)
+        lines = disassemble(program.data, base=0x2000)
+        assert [line.address for line in lines] == [0x2000, 0x2004]
+
+    def test_data_words_skipped_permissively(self):
+        program = assemble(".word 0xFFFFFFFF\nnop")
+        lines = disassemble(program.data)
+        assert [line.instruction.op for line in lines] == [Op.NOP]
+
+    def test_stop_on_error_raises(self):
+        program = assemble(".word 0xFFFFFFFF\nnop")
+        with pytest.raises(EncodingError):
+            disassemble(program.data, stop_on_error=True)
+
+    def test_format_listing(self):
+        program = assemble("nop\nhalt")
+        text = format_listing(disassemble(program.data))
+        assert "nop" in text and "halt" in text
+        assert text.count("\n") == 1
+
+
+_SOURCES = st.sampled_from([
+    "add r1, r2, r3",
+    "movi r4, 0xDEADBEEF",
+    "ldw r1, [sp+8]",
+    "stw r2, [fp-4]",
+    "cmp r0, r1",
+    "beq 0x100",
+    "push lr",
+    "pop r7",
+    "swi 9",
+    "iret",
+    "shli r3, r3, 2",
+])
+
+
+@given(st.lists(_SOURCES, min_size=1, max_size=8))
+def test_property_disassemble_reassemble_identity(lines):
+    """disassemble(assemble(p)) re-assembles to identical bytes."""
+    source = "\n".join(lines)
+    program = assemble(source, base=0)
+    listing = disassemble(program.data, base=0)
+    round_tripped = assemble(
+        "\n".join(str(line.instruction) for line in listing), base=0
+    )
+    assert round_tripped.data == program.data
+
+
+def test_str_includes_raw_words():
+    program = assemble("movi r0, 0x1234")
+    line = disassemble(program.data)[0]
+    assert "00001234" in str(line)

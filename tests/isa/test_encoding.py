@@ -1,0 +1,112 @@
+"""Unit and property tests for SP32 instruction encoding."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import EncodingError, IsaError
+from repro.isa.encoding import decode, encode, instruction_length
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import FORMATS, Fmt, Op, has_extension_word
+from repro.isa.registers import Reg
+
+
+def _sample_instruction(op: Op, rd=Reg.R1, rs1=Reg.R2, rs2=Reg.R3, imm=0x123):
+    """Build a well-formed instruction for any opcode."""
+    fmt = FORMATS[op]
+    if fmt is Fmt.NONE:
+        return Instruction(op=op)
+    if fmt is Fmt.RD_RS1_RS2:
+        return Instruction(op=op, rd=rd, rs1=rs1, rs2=rs2)
+    if fmt is Fmt.RD_RS1:
+        return Instruction(op=op, rd=rd, rs1=rs1)
+    if fmt is Fmt.RD_IMM32:
+        return Instruction(op=op, rd=rd, imm=imm)
+    if fmt is Fmt.RD_RS1_IMM32:
+        return Instruction(op=op, rd=rd, rs1=rs1, imm=imm)
+    if fmt is Fmt.RS1_RS2:
+        return Instruction(op=op, rs1=rs1, rs2=rs2)
+    if fmt is Fmt.RS1_IMM32:
+        return Instruction(op=op, rs1=rs1, imm=imm)
+    if fmt is Fmt.MEM_LOAD:
+        return Instruction(op=op, rd=rd, rs1=rs1, imm=imm & 0x7FF)
+    if fmt is Fmt.MEM_STORE:
+        return Instruction(op=op, rs2=rs2, rs1=rs1, imm=imm & 0x7FF)
+    if fmt is Fmt.IMM32:
+        return Instruction(op=op, imm=imm)
+    if fmt is Fmt.RS1:
+        return Instruction(op=op, rs1=rs1)
+    if fmt is Fmt.RD:
+        return Instruction(op=op, rd=rd)
+    if fmt is Fmt.IMM12:
+        return Instruction(op=op, imm=imm & 0x7FF)
+    raise AssertionError(fmt)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("op", list(Op))
+    def test_every_opcode_round_trips(self, op):
+        instr = _sample_instruction(op)
+        words = encode(instr)
+        assert len(words) == instruction_length(op) // 4
+        ext = words[1] if len(words) == 2 else None
+        assert decode(words[0], ext) == instr
+
+    def test_negative_mem_offset_round_trips(self):
+        instr = Instruction(op=Op.LDW, rd=Reg.R0, rs1=Reg.SP, imm=-4)
+        words = encode(instr)
+        assert decode(words[0]) == instr
+
+    def test_imm32_preserves_all_bits(self):
+        instr = Instruction(op=Op.MOVI, rd=Reg.R0, imm=0xDEADBEEF)
+        words = encode(instr)
+        assert decode(words[0], words[1]).imm == 0xDEADBEEF
+
+
+class TestRejections:
+    def test_decode_rejects_bad_opcode(self):
+        with pytest.raises(EncodingError):
+            decode(0xFF << 24)
+
+    def test_decode_requires_extension_word(self):
+        words = encode(Instruction(op=Op.JMP, imm=0x100))
+        with pytest.raises(EncodingError):
+            decode(words[0])
+
+    def test_decode_rejects_spurious_extension_word(self):
+        words = encode(Instruction(op=Op.NOP))
+        with pytest.raises(EncodingError):
+            decode(words[0], 0x1234)
+
+    def test_encode_rejects_oversized_imm12(self):
+        with pytest.raises(IsaError):
+            Instruction(op=Op.SWI, imm=5000)
+
+    def test_instruction_validates_operands(self):
+        with pytest.raises(IsaError):
+            Instruction(op=Op.ADD, rd=Reg.R0, rs1=Reg.R1)  # missing rs2
+        with pytest.raises(IsaError):
+            Instruction(op=Op.NOP, rd=Reg.R0)  # spurious rd
+
+
+@given(
+    op=st.sampled_from(list(Op)),
+    rd=st.sampled_from(list(Reg)),
+    rs1=st.sampled_from(list(Reg)),
+    rs2=st.sampled_from(list(Reg)),
+    imm=st.integers(min_value=0, max_value=0xFFFF_FFFF),
+)
+def test_property_round_trip(op, rd, rs1, rs2, imm):
+    """encode→decode is the identity for every valid instruction."""
+    fmt = FORMATS[op]
+    if fmt in (Fmt.MEM_LOAD, Fmt.MEM_STORE, Fmt.IMM12):
+        imm %= 0x800
+    instr = _sample_instruction(op, rd=rd, rs1=rs1, rs2=rs2, imm=imm)
+    words = encode(instr)
+    ext = words[1] if has_extension_word(op) else None
+    assert decode(words[0], ext) == instr
+
+
+def test_str_renders_every_opcode():
+    for op in Op:
+        text = str(_sample_instruction(op))
+        assert text.startswith(op.name.lower())

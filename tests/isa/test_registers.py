@@ -1,0 +1,54 @@
+"""Unit tests for the SP32 register file definitions."""
+
+import pytest
+
+from repro.errors import IsaError
+from repro.isa.registers import NUM_REGS, Reg, to_s32, to_u32
+
+
+class TestRegParse:
+    def test_parses_numeric_names(self):
+        for i in range(13):
+            assert Reg.parse(f"r{i}") == Reg(i)
+
+    def test_parses_aliases(self):
+        assert Reg.parse("sp") is Reg.SP
+        assert Reg.parse("lr") is Reg.LR
+        assert Reg.parse("fp") is Reg.FP
+
+    def test_numeric_aliases_match_symbolic(self):
+        assert Reg.parse("r13") is Reg.LR
+        assert Reg.parse("r14") is Reg.FP
+        assert Reg.parse("r15") is Reg.SP
+
+    def test_parse_is_case_insensitive(self):
+        assert Reg.parse("SP") is Reg.SP
+        assert Reg.parse("R7") is Reg.R7
+
+    def test_parse_strips_whitespace(self):
+        assert Reg.parse("  r3 ") is Reg.R3
+
+    @pytest.mark.parametrize("bad", ["r16", "r-1", "x0", "", "r", "spx"])
+    def test_rejects_invalid_names(self, bad):
+        with pytest.raises(IsaError):
+            Reg.parse(bad)
+
+    def test_asm_name_round_trips(self):
+        for i in range(NUM_REGS):
+            reg = Reg(i)
+            assert Reg.parse(reg.asm_name) is reg
+
+
+class TestWordConversions:
+    def test_to_u32_truncates(self):
+        assert to_u32(0x1_0000_0005) == 5
+        assert to_u32(-1) == 0xFFFF_FFFF
+
+    def test_to_s32_sign_extends(self):
+        assert to_s32(0xFFFF_FFFF) == -1
+        assert to_s32(0x7FFF_FFFF) == 0x7FFF_FFFF
+        assert to_s32(0x8000_0000) == -(1 << 31)
+
+    def test_round_trip(self):
+        for value in (-1, 0, 1, 2**31 - 1, -(2**31)):
+            assert to_s32(to_u32(value)) == value

@@ -1,0 +1,104 @@
+"""Unit tests for the bus, address decoding and memory devices."""
+
+import pytest
+
+from repro.errors import AlignmentError, BusError
+from repro.machine.bus import Bus
+from repro.machine.memories import Dram, Prom, Ram
+
+
+@pytest.fixture
+def bus():
+    made = Bus()
+    made.attach(0x0000, Prom("prom", 0x1000))
+    made.attach(0x2000, Ram("ram", 0x1000))
+    return made
+
+
+class TestMapping:
+    def test_overlap_rejected(self, bus):
+        with pytest.raises(BusError):
+            bus.attach(0x2800, Ram("other", 0x1000))
+
+    def test_adjacent_windows_allowed(self, bus):
+        bus.attach(0x1000, Ram("gap", 0x1000))  # fills the hole exactly
+
+    def test_exceeding_address_space_rejected(self):
+        bus = Bus()
+        with pytest.raises(BusError):
+            bus.attach(0xFFFF_F000, Ram("big", 0x2000))
+
+    def test_find_and_device_named(self, bus):
+        assert bus.find(0x2000).device.name == "ram"
+        assert bus.device_named("prom").name == "prom"
+        assert bus.base_of("ram") == 0x2000
+
+    def test_unknown_device_name(self, bus):
+        with pytest.raises(BusError):
+            bus.device_named("ghost")
+        with pytest.raises(BusError):
+            bus.base_of("ghost")
+
+
+class TestAccess:
+    def test_word_read_write(self, bus):
+        bus.write_word(0x2000, 0xDEADBEEF)
+        assert bus.read_word(0x2000) == 0xDEADBEEF
+
+    def test_byte_read_write_little_endian(self, bus):
+        bus.write_word(0x2000, 0x04030201)
+        assert bus.read(0x2000, 1) == 0x01
+        assert bus.read(0x2003, 1) == 0x04
+
+    def test_unaligned_word_access_rejected(self, bus):
+        with pytest.raises(AlignmentError):
+            bus.read(0x2002, 4)
+        with pytest.raises(AlignmentError):
+            bus.write(0x2001, 0, 4)
+
+    def test_unmapped_address(self, bus):
+        with pytest.raises(BusError) as excinfo:
+            bus.read_word(0x9000)
+        assert excinfo.value.address == 0x9000
+
+    def test_access_crossing_device_end(self, bus):
+        bus2 = Bus()
+        bus2.attach(0x0, Ram("tiny", 6))
+        with pytest.raises(BusError):
+            bus2.read(0x4, 4)
+
+    def test_bulk_helpers(self, bus):
+        bus.write_bytes(0x2100, b"hello")
+        assert bus.read_bytes(0x2100, 5) == b"hello"
+
+
+class TestMemories:
+    def test_prom_rejects_bus_writes(self, bus):
+        with pytest.raises(BusError):
+            bus.write_word(0x0000, 1)
+
+    def test_prom_host_load_visible_on_bus(self, bus):
+        bus.device_named("prom").load(0x10, b"\x44\x33\x22\x11")
+        assert bus.read_word(0x10) == 0x11223344
+
+    def test_ram_dump_round_trips(self):
+        ram = Ram("r", 64)
+        ram.load(0, bytes(range(32)))
+        assert ram.dump(0, 32) == bytes(range(32))
+
+    def test_ram_wipe(self):
+        ram = Ram("r", 16, fill=0xAA)
+        assert ram.dump() == b"\xaa" * 16
+        ram.wipe()
+        assert ram.dump() == bytes(16)
+
+    def test_dram_is_distinct_type(self):
+        assert issubclass(Dram, Ram)
+        assert Dram("d", 8).name == "d"
+
+    def test_device_offset_bounds(self):
+        ram = Ram("r", 8)
+        with pytest.raises(BusError):
+            ram.read(8, 1)
+        with pytest.raises(BusError):
+            ram.write(7, 4, 0)

@@ -1,0 +1,254 @@
+"""Unit tests for the SP32 CPU core: execution, flags, control flow."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.errors import InvalidInstruction, MachineError
+from repro.isa.registers import Reg
+from repro.machine.bus import Bus
+from repro.machine.cpu import Cpu, CpuFlags
+from repro.machine.memories import Ram
+
+RAM_BASE = 0x0000
+STACK_TOP = 0x8000
+
+
+def run_program(source: str, max_steps: int = 10_000, setup=None) -> Cpu:
+    """Assemble at 0x0, run on a bare CPU with a 32 KiB RAM, until HALT."""
+    bus = Bus()
+    ram = Ram("ram", STACK_TOP)
+    bus.attach(RAM_BASE, ram)
+    program = assemble(source, base=RAM_BASE)
+    ram.load(0, program.data)
+    cpu = Cpu(bus)
+    cpu.sp = STACK_TOP
+    if setup is not None:
+        setup(cpu)
+    for _ in range(max_steps):
+        if cpu.halted:
+            break
+        cpu.step()
+    assert cpu.halted, "program did not halt"
+    return cpu
+
+
+class TestAlu:
+    def test_add(self):
+        cpu = run_program("movi r1, 7\nmovi r2, 35\nadd r0, r1, r2\nhalt")
+        assert cpu.get_reg(Reg.R0) == 42
+
+    def test_sub_wraps(self):
+        cpu = run_program("movi r1, 0\nmovi r2, 1\nsub r0, r1, r2\nhalt")
+        assert cpu.get_reg(Reg.R0) == 0xFFFF_FFFF
+        assert cpu.flags.n
+        assert not cpu.flags.c  # borrow occurred
+
+    def test_add_carry_and_overflow(self):
+        cpu = run_program(
+            "movi r1, 0xFFFFFFFF\nmovi r2, 1\nadd r0, r1, r2\nhalt"
+        )
+        assert cpu.get_reg(Reg.R0) == 0
+        assert cpu.flags.z and cpu.flags.c and not cpu.flags.v
+
+    def test_signed_overflow_flag(self):
+        cpu = run_program(
+            "movi r1, 0x7FFFFFFF\nmovi r2, 1\nadd r0, r1, r2\nhalt"
+        )
+        assert cpu.flags.v and cpu.flags.n
+
+    def test_logic_ops(self):
+        cpu = run_program(
+            "movi r1, 0xF0F0\nmovi r2, 0x0FF0\n"
+            "and r3, r1, r2\nor r4, r1, r2\nxor r5, r1, r2\nhalt"
+        )
+        assert cpu.get_reg(Reg.R3) == 0x00F0
+        assert cpu.get_reg(Reg.R4) == 0xFFF0
+        assert cpu.get_reg(Reg.R5) == 0xFF00
+
+    def test_shifts(self):
+        cpu = run_program(
+            "movi r1, 0x80000001\nmovi r2, 1\n"
+            "shl r3, r1, r2\nshr r4, r1, r2\nsar r5, r1, r2\nhalt"
+        )
+        assert cpu.get_reg(Reg.R3) == 0x0000_0002
+        assert cpu.get_reg(Reg.R4) == 0x4000_0000
+        assert cpu.get_reg(Reg.R5) == 0xC000_0000
+
+    def test_mul(self):
+        cpu = run_program("movi r1, 6\nmuli r0, r1, 7\nhalt")
+        assert cpu.get_reg(Reg.R0) == 42
+
+    def test_not_neg(self):
+        cpu = run_program("movi r1, 0\nnot r2, r1\nmovi r3, 5\nneg r4, r3\nhalt")
+        assert cpu.get_reg(Reg.R2) == 0xFFFF_FFFF
+        assert cpu.get_reg(Reg.R4) == 0xFFFF_FFFB
+
+    def test_immediate_alu_forms(self):
+        cpu = run_program("movi r1, 10\naddi r1, r1, 5\nsubi r1, r1, 3\nhalt")
+        assert cpu.get_reg(Reg.R1) == 12
+
+
+class TestMemoryOps:
+    def test_word_store_load(self):
+        cpu = run_program(
+            "movi r1, 0x1000\nmovi r2, 0x12345678\n"
+            "stw r2, [r1]\nldw r3, [r1]\nhalt"
+        )
+        assert cpu.get_reg(Reg.R3) == 0x12345678
+
+    def test_byte_store_load(self):
+        cpu = run_program(
+            "movi r1, 0x1000\nmovi r2, 0x1FF\n"
+            "stb r2, [r1+1]\nldb r3, [r1+1]\nhalt"
+        )
+        assert cpu.get_reg(Reg.R3) == 0xFF
+
+    def test_push_pop(self):
+        cpu = run_program("movi r1, 99\npush r1\nmovi r1, 0\npop r2\nhalt")
+        assert cpu.get_reg(Reg.R2) == 99
+        assert cpu.sp == STACK_TOP
+
+    def test_pushf_popf(self):
+        cpu = run_program(
+            "movi r1, 1\ncmpi r1, 1\npushf\nmovi r2, 2\ncmpi r2, 9\npopf\nhalt"
+        )
+        assert cpu.flags.z  # restored from the pushed compare-equal
+
+
+class TestControlFlow:
+    def test_conditional_branch_taken(self):
+        cpu = run_program(
+            "movi r0, 5\ncmpi r0, 5\nbeq yes\nmovi r1, 1\nhalt\n"
+            "yes: movi r1, 2\nhalt"
+        )
+        assert cpu.get_reg(Reg.R1) == 2
+
+    def test_conditional_branch_not_taken(self):
+        cpu = run_program(
+            "movi r0, 5\ncmpi r0, 6\nbeq yes\nmovi r1, 1\nhalt\n"
+            "yes: movi r1, 2\nhalt"
+        )
+        assert cpu.get_reg(Reg.R1) == 1
+
+    @pytest.mark.parametrize(
+        "lhs,rhs,branch,taken",
+        [
+            (1, 2, "blt", True),
+            (2, 1, "blt", False),
+            (2, 2, "bge", True),
+            (3, 2, "bgt", True),
+            (2, 2, "ble", True),
+            (1, 0xFFFFFFFF, "bltu", True),   # unsigned: 1 < max
+            (1, 0xFFFFFFFF, "blt", False),   # signed:   1 > -1
+            (0xFFFFFFFF, 1, "bgeu", True),
+        ],
+    )
+    def test_branch_conditions(self, lhs, rhs, branch, taken):
+        cpu = run_program(
+            f"movi r0, {lhs}\nmovi r1, {rhs}\ncmp r0, r1\n{branch} yes\n"
+            "movi r2, 0\nhalt\nyes: movi r2, 1\nhalt"
+        )
+        assert cpu.get_reg(Reg.R2) == (1 if taken else 0)
+
+    def test_loop_counts(self):
+        cpu = run_program(
+            "movi r0, 0\nmovi r1, 10\n"
+            "loop: addi r0, r0, 1\ncmp r0, r1\nbne loop\nhalt"
+        )
+        assert cpu.get_reg(Reg.R0) == 10
+
+    def test_call_ret(self):
+        cpu = run_program(
+            "call fn\nmovi r1, 2\nhalt\nfn: movi r0, 1\nret"
+        )
+        assert cpu.get_reg(Reg.R0) == 1
+        assert cpu.get_reg(Reg.R1) == 2
+
+    def test_nested_call_with_stack(self):
+        cpu = run_program(
+            "call outer\nhalt\n"
+            "outer: push lr\ncall inner\npop lr\naddi r0, r0, 1\nret\n"
+            "inner: movi r0, 10\nret"
+        )
+        assert cpu.get_reg(Reg.R0) == 11
+
+    def test_jmpr_and_callr(self):
+        cpu = run_program(
+            "movi r1, target\njmpr r1\nhalt\ntarget: movi r0, 7\nhalt"
+        )
+        assert cpu.get_reg(Reg.R0) == 7
+
+    def test_rets(self):
+        cpu = run_program(
+            "movi r1, after\npush r1\nrets\nmovi r0, 1\nhalt\n"
+            "after: movi r0, 2\nhalt"
+        )
+        assert cpu.get_reg(Reg.R0) == 2
+
+
+class TestSystem:
+    def test_cli_sti_toggle_ie(self):
+        cpu = run_program("sti\nhalt")
+        assert cpu.flags.ie
+        cpu = run_program("sti\ncli\nhalt")
+        assert not cpu.flags.ie
+
+    def test_invalid_instruction_without_engine_raises(self):
+        bus = Bus()
+        ram = Ram("ram", 0x100)
+        ram.load(0, b"\x00\x00\x00\xff")  # opcode 0xFF
+        bus.attach(0, ram)
+        cpu = Cpu(bus)
+        with pytest.raises(InvalidInstruction):
+            cpu.step()
+
+    def test_iret_without_engine_raises(self):
+        bus = Bus()
+        ram = Ram("ram", 0x100)
+        bus.attach(0, ram)
+        program = assemble("iret")
+        ram.load(0, program.data)
+        cpu = Cpu(bus)
+        with pytest.raises(MachineError):
+            cpu.step()
+
+    def test_cycles_accumulate(self):
+        cpu = run_program("nop\nnop\nhalt")
+        assert cpu.cycles == 3
+        assert cpu.instructions_retired == 3
+
+    def test_reset_restores_initial_state(self):
+        cpu = run_program("movi r0, 5\nsti\nhalt")
+        cpu.reset()
+        assert cpu.get_reg(Reg.R0) == 0
+        assert cpu.ip == cpu.reset_vector
+        assert not cpu.halted
+        assert not cpu.flags.ie
+
+    def test_on_retire_hook_sees_instructions(self):
+        seen = []
+
+        def record(cpu, instr):
+            seen.append(instr.op.name)
+
+        bus = Bus()
+        ram = Ram("ram", 0x100)
+        program = assemble("nop\nhalt")
+        ram.load(0, program.data)
+        bus.attach(0, ram)
+        cpu = Cpu(bus)
+        cpu.on_retire = record
+        cpu.run()
+        assert seen == ["NOP", "HALT"]
+
+
+class TestFlagsWord:
+    def test_round_trip(self):
+        flags = CpuFlags(z=True, n=False, c=True, v=False, ie=True)
+        assert CpuFlags.from_word(flags.to_word()) == flags
+
+    def test_copy_is_independent(self):
+        flags = CpuFlags(z=True)
+        clone = flags.copy()
+        clone.z = False
+        assert flags.z

@@ -1,0 +1,163 @@
+"""Unit tests for timer, UART and crypto engine devices."""
+
+import pytest
+
+from repro.crypto import mac, sponge_hash
+from repro.errors import BusError
+from repro.machine.devices import crypto_engine as ce
+from repro.machine.devices import timer as tm
+from repro.machine.devices.crypto_engine import CryptoEngine
+from repro.machine.devices.timer import Timer
+from repro.machine.devices.uart import STATUS_TX_READY, Uart
+from repro.machine.devices import uart as um
+from repro.machine.irq import InterruptController
+
+
+class TestTimer:
+    @pytest.fixture
+    def setup(self):
+        irq = InterruptController()
+        timer = Timer(irq, line=0)
+        return irq, timer
+
+    def test_fires_after_period(self, setup):
+        irq, timer = setup
+        timer.write(tm.PERIOD, 4, 100)
+        timer.write(tm.CTRL, 4, tm.CTRL_ENABLE)
+        timer.tick(99)
+        assert irq.pending() is None
+        timer.tick(1)
+        pending = irq.pending()
+        assert pending is not None and pending.line == 0
+
+    def test_reloads_and_fires_repeatedly(self, setup):
+        irq, timer = setup
+        timer.write(tm.PERIOD, 4, 10)
+        timer.write(tm.CTRL, 4, 1)
+        timer.tick(35)
+        assert timer.fired == 3
+
+    def test_disabled_timer_never_fires(self, setup):
+        irq, timer = setup
+        timer.write(tm.PERIOD, 4, 10)
+        timer.tick(100)
+        assert irq.pending() is None
+
+    def test_handler_carried_in_interrupt(self, setup):
+        irq, timer = setup
+        timer.write(tm.PERIOD, 4, 5)
+        timer.write(tm.HANDLER, 4, 0x1234)
+        timer.write(tm.CTRL, 4, 1)
+        timer.tick(5)
+        assert irq.pending().handler == 0x1234
+
+    def test_register_readback(self, setup):
+        _, timer = setup
+        timer.write(tm.PERIOD, 4, 50)
+        timer.write(tm.HANDLER, 4, 0xABCD)
+        timer.write(tm.CTRL, 4, 1)
+        assert timer.read(tm.PERIOD, 4) == 50
+        assert timer.read(tm.HANDLER, 4) == 0xABCD
+        assert timer.read(tm.CTRL, 4) == 1
+        assert timer.read(tm.COUNT, 4) == 50
+
+    def test_count_is_read_only(self, setup):
+        _, timer = setup
+        with pytest.raises(BusError):
+            timer.write(tm.COUNT, 4, 1)
+
+    def test_byte_access_rejected(self, setup):
+        _, timer = setup
+        with pytest.raises(BusError):
+            timer.read(tm.PERIOD, 1)
+
+
+class TestUart:
+    def test_captures_output(self):
+        uart = Uart()
+        for byte in b"ok\n":
+            uart.write(um.TX, 1, byte)
+        assert uart.output == b"ok\n"
+        assert uart.output_text() == "ok\n"
+
+    def test_status_always_ready(self):
+        uart = Uart()
+        assert uart.read(um.STATUS, 4) & STATUS_TX_READY
+
+    def test_tx_not_readable(self):
+        uart = Uart()
+        with pytest.raises(BusError):
+            uart.read(um.TX, 4)
+
+    def test_clear(self):
+        uart = Uart()
+        uart.write(um.TX, 1, 0x41)
+        uart.clear()
+        assert uart.output == b""
+
+
+class TestCryptoEngine:
+    def _absorb(self, engine, data: bytes):
+        assert len(data) % 4 == 0
+        for i in range(0, len(data), 4):
+            engine.write(ce.DATA_IN, 4, int.from_bytes(data[i:i + 4], "little"))
+
+    def _digest(self, engine) -> bytes:
+        out = bytearray()
+        for i in range(0, 16, 4):
+            out += engine.read(ce.DIGEST + i, 4).to_bytes(4, "little")
+        return bytes(out)
+
+    def test_hash_matches_host_sponge(self):
+        engine = CryptoEngine()
+        engine.write(ce.CTRL, 4, ce.CTRL_RESET)
+        self._absorb(engine, b"abcdefgh")
+        engine.write(ce.CTRL, 4, ce.CTRL_FINALIZE)
+        assert self._digest(engine) == sponge_hash(b"abcdefgh")
+
+    def test_mac_matches_host_mac(self):
+        engine = CryptoEngine()
+        key = bytes(range(16))
+        engine.set_key(key)
+        engine.write(ce.CTRL, 4, ce.CTRL_RESET)
+        self._absorb(engine, b"messagex")
+        engine.write(ce.CTRL, 4, ce.CTRL_FINALIZE_MAC)
+        assert self._digest(engine) == mac(key, b"messagex")
+
+    def test_status_reflects_readiness(self):
+        engine = CryptoEngine()
+        engine.write(ce.CTRL, 4, ce.CTRL_RESET)
+        assert engine.read(ce.STATUS, 4) == 0
+        engine.write(ce.CTRL, 4, ce.CTRL_FINALIZE)
+        assert engine.read(ce.STATUS, 4) == ce.STATUS_READY
+
+    def test_digest_read_before_finalize_rejected(self):
+        engine = CryptoEngine()
+        with pytest.raises(BusError):
+            engine.read(ce.DIGEST, 4)
+
+    def test_data_after_finalize_rejected(self):
+        engine = CryptoEngine()
+        engine.write(ce.CTRL, 4, ce.CTRL_FINALIZE)
+        with pytest.raises(BusError):
+            engine.write(ce.DATA_IN, 4, 1)
+
+    def test_key_readable_over_mmio(self):
+        engine = CryptoEngine()
+        engine.write(ce.KEY, 4, 0x11223344)
+        assert engine.read(ce.KEY, 4) == 0x11223344
+
+    def test_reset_clears_absorber(self):
+        engine = CryptoEngine()
+        self._absorb(engine, b"somedata")
+        engine.write(ce.CTRL, 4, ce.CTRL_RESET)
+        engine.write(ce.CTRL, 4, ce.CTRL_FINALIZE)
+        assert self._digest(engine) == sponge_hash(b"")
+
+    def test_bad_key_length_rejected(self):
+        with pytest.raises(BusError):
+            CryptoEngine().set_key(b"short")
+
+    def test_unknown_ctrl_command_rejected(self):
+        with pytest.raises(BusError):
+            CryptoEngine().write(ce.CTRL, 4, 0x99)

@@ -1,0 +1,84 @@
+"""Unit tests for the interrupt controller and NMI semantics."""
+
+import pytest
+
+from repro.errors import MachineError
+from repro.machine.irq import Interrupt, InterruptController
+
+
+class TestController:
+    def test_latch_and_acknowledge(self):
+        irq = InterruptController()
+        irq.raise_line(Interrupt(line=3, source="dev"))
+        assert irq.pending().line == 3
+        irq.acknowledge(3)
+        assert irq.pending() is None
+
+    def test_lowest_line_wins(self):
+        irq = InterruptController()
+        irq.raise_line(Interrupt(line=5, source="b"))
+        irq.raise_line(Interrupt(line=2, source="a"))
+        assert irq.pending().line == 2
+
+    def test_re_raise_is_idempotent(self):
+        irq = InterruptController()
+        irq.raise_line(Interrupt(line=1, source="x", handler=0x100))
+        irq.raise_line(Interrupt(line=1, source="x", handler=0x200))
+        assert irq.pending().handler == 0x100  # first latch kept
+        assert len(irq) == 1
+
+    def test_out_of_range_line_rejected(self):
+        irq = InterruptController()
+        with pytest.raises(MachineError):
+            irq.raise_line(Interrupt(line=99, source="x"))
+
+    def test_clear_all(self):
+        irq = InterruptController()
+        irq.raise_line(Interrupt(line=0, source="x"))
+        irq.clear_all()
+        assert irq.pending() is None
+
+    def test_acknowledge_missing_line_is_noop(self):
+        InterruptController().acknowledge(7)
+
+
+class TestNmiVisibility:
+    def test_masked_query_sees_only_nmis(self):
+        irq = InterruptController()
+        irq.raise_line(Interrupt(line=0, source="timer"))
+        assert irq.pending(ie=False) is None
+        irq.raise_line(Interrupt(line=1, source="wdog", nmi=True))
+        assert irq.pending(ie=False).line == 1
+
+    def test_unmasked_query_respects_priority(self):
+        irq = InterruptController()
+        irq.raise_line(Interrupt(line=4, source="wdog", nmi=True))
+        irq.raise_line(Interrupt(line=0, source="timer"))
+        assert irq.pending(ie=True).line == 0
+
+    def test_nmi_delivered_to_cpu_under_cli(self):
+        from repro.asm import assemble
+        from repro.core.exception_engine import RegularExceptionEngine
+        from repro.machine.bus import Bus
+        from repro.machine.cpu import Cpu
+        from repro.machine.memories import Ram
+
+        bus = Bus()
+        ram = Ram("ram", 0x1000)
+        program = assemble(
+            "main: cli\nspin: jmp spin\n"
+            ".org 0x100\nhandler: movi r0, 77\nhalt"
+        )
+        ram.load(0, program.data)
+        bus.attach(0, ram)
+        cpu = Cpu(bus)
+        cpu.sp = 0x1000
+        engine = RegularExceptionEngine()
+        engine.set_irq_vector(1, 0x100)
+        cpu.exception_engine = engine
+        cpu.step()  # cli
+        cpu.irq.raise_line(Interrupt(line=1, source="wdog", nmi=True))
+        for _ in range(10):
+            cpu.step()
+        assert cpu.halted
+        assert cpu.regs[0] == 77

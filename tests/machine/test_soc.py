@@ -1,0 +1,88 @@
+"""Tests for the assembled SoC container."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.errors import BusError
+from repro.machine.memories import Flash, Prom
+from repro.machine.soc import (
+    CRYPTO_BASE,
+    DMA_BASE,
+    PROM_BASE,
+    SRAM_BASE,
+    SoC,
+    TIMER_BASE,
+    UART_BASE,
+)
+
+
+class TestMemoryMap:
+    def test_standard_devices_present(self):
+        soc = SoC()
+        for name in ("prom", "sram", "dram", "timer", "uart", "crypto"):
+            assert soc.bus.device_named(name)
+
+    def test_bases_match_constants(self):
+        soc = SoC()
+        assert soc.bus.base_of("prom") == PROM_BASE
+        assert soc.bus.base_of("sram") == SRAM_BASE
+        assert soc.bus.base_of("timer") == TIMER_BASE
+        assert soc.bus.base_of("uart") == UART_BASE
+        assert soc.bus.base_of("crypto") == CRYPTO_BASE
+
+    def test_dma_absent_by_default(self):
+        assert SoC().dma is None
+
+    def test_dma_optional(self):
+        soc = SoC(with_dma=True)
+        assert soc.dma is not None
+        assert soc.bus.base_of("dma") == DMA_BASE
+
+    def test_prom_variants(self):
+        assert isinstance(SoC().prom, Prom)
+        flash_soc = SoC(flash_prom=True)
+        assert isinstance(flash_soc.prom, Flash)
+        flash_soc.bus.write_word(PROM_BASE + 0x100, 0x1234)
+        assert flash_soc.bus.read_word(PROM_BASE + 0x100) == 0x1234
+
+    def test_mask_prom_rejects_writes(self):
+        with pytest.raises(BusError):
+            SoC().bus.write_word(PROM_BASE + 0x100, 1)
+
+
+class TestRunLoop:
+    def _soc_running(self, source: str) -> SoC:
+        soc = SoC()
+        soc.prom.load(0, assemble(source).data)
+        soc.cpu.sp = SRAM_BASE + 0x1000
+        return soc
+
+    def test_run_until_halt(self):
+        soc = self._soc_running("movi r0, 7\nhalt")
+        used = soc.run()
+        assert soc.cpu.halted
+        assert used == soc.cpu.cycles
+
+    def test_run_respects_cycle_budget(self):
+        soc = self._soc_running("loop: jmp loop")
+        used = soc.run(max_cycles=100)
+        assert not soc.cpu.halted
+        assert 100 <= used <= 110
+
+    def test_run_until_predicate(self):
+        soc = self._soc_running(
+            "movi r0, 0\nloop: addi r0, r0, 1\njmp loop"
+        )
+        soc.run_until(lambda s: s.cpu.regs[0] >= 10, max_cycles=10_000)
+        assert soc.cpu.regs[0] >= 10
+
+    def test_devices_tick_with_cpu(self):
+        soc = self._soc_running("loop: jmp loop")
+        soc.timer.write(0x00, 4, 50)   # PERIOD
+        soc.timer.write(0x08, 4, 1)    # CTRL enable
+        soc.run(max_cycles=500)
+        assert soc.timer.fired >= 8
+
+    def test_step_returns_cycles(self):
+        soc = self._soc_running("nop\nhalt")
+        assert soc.step() == 1

@@ -1,0 +1,75 @@
+"""Tests for the execution tracer."""
+
+from repro.asm import assemble
+from repro.machine.bus import Bus
+from repro.machine.cpu import Cpu
+from repro.machine.memories import Ram
+from repro.machine.trace import Tracer
+
+
+def _cpu_with(source: str) -> Cpu:
+    bus = Bus()
+    ram = Ram("ram", 0x1000)
+    ram.load(0, assemble(source).data)
+    bus.attach(0, ram)
+    cpu = Cpu(bus)
+    cpu.sp = 0x1000
+    return cpu
+
+
+class TestTracer:
+    def test_records_every_retired_instruction(self):
+        cpu = _cpu_with("movi r0, 1\nnop\nhalt")
+        tracer = Tracer().attach(cpu)
+        cpu.run()
+        assert tracer.retired == 3
+        assert [e.text for e in tracer.entries] == \
+            ["movi r0, #0x1", "nop", "halt"]
+
+    def test_addresses_recorded(self):
+        cpu = _cpu_with("nop\nnop\nhalt")
+        tracer = Tracer().attach(cpu)
+        cpu.run()
+        assert [e.address for e in tracer.entries] == [0, 4, 8]
+
+    def test_ring_buffer_caps_entries(self):
+        cpu = _cpu_with(
+            "movi r0, 100\nloop: subi r0, r0, 1\ncmpi r0, 0\nbne loop\nhalt"
+        )
+        tracer = Tracer(capacity=10).attach(cpu)
+        cpu.run()
+        assert len(tracer.entries) <= 10
+        assert tracer.retired > 10
+        assert tracer.entries[-1].text == "halt"
+
+    def test_opcode_statistics(self):
+        cpu = _cpu_with("nop\nnop\nnop\nhalt")
+        tracer = Tracer().attach(cpu)
+        cpu.run()
+        assert tracer.opcode_counts["NOP"] == 3
+        assert tracer.hottest(1) == [("NOP", 3)]
+
+    def test_tail_and_format(self):
+        cpu = _cpu_with("nop\nnop\nhalt")
+        tracer = Tracer().attach(cpu)
+        cpu.run()
+        assert len(tracer.tail(2)) == 2
+        text = tracer.format_tail(2)
+        assert "halt" in text
+
+    def test_detach_stops_recording(self):
+        cpu = _cpu_with("nop\nnop\nhalt")
+        tracer = Tracer().attach(cpu)
+        cpu.step()
+        tracer.detach()
+        cpu.run()
+        assert tracer.retired == 1
+
+    def test_chains_previous_hook(self):
+        cpu = _cpu_with("nop\nhalt")
+        seen = []
+        cpu.on_retire = lambda c, i: seen.append(i.op.name)
+        tracer = Tracer().attach(cpu)
+        cpu.run()
+        assert seen == ["NOP", "HALT"]
+        assert tracer.retired == 2

@@ -1,0 +1,200 @@
+"""Unit tests for the execution-aware MPU enforcement logic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import MemoryProtectionFault, PlatformError
+from repro.machine.access import AccessType
+from repro.mpu.ea_mpu import EaMpu
+from repro.mpu.regions import ANY_SUBJECT, Perm
+
+# A small layout echoing Fig. 3: two trustlets plus an OS.
+A_CODE = (0x0000, 0x1000)
+B_CODE = (0x1000, 0x2000)
+OS_CODE = (0x2000, 0x3000)
+A_DATA = (0x8000, 0x9000)
+B_DATA = (0x9000, 0xA000)
+OS_DATA = (0xA000, 0xB000)
+
+A_IP = 0x0100
+B_IP = 0x1100
+OS_IP = 0x2100
+
+
+@pytest.fixture
+def mpu():
+    """Programmed EA-MPU: regions 0..2 are the code (subject) regions."""
+    made = EaMpu(num_regions=8)
+    made.program_region(0, *A_CODE, Perm.RX, subjects=1 << 0)
+    made.program_region(1, *B_CODE, Perm.RX, subjects=1 << 1)
+    made.program_region(2, *OS_CODE, Perm.RX, subjects=1 << 2)
+    made.program_region(3, *A_DATA, Perm.RW, subjects=1 << 0)
+    made.program_region(4, *B_DATA, Perm.RW, subjects=1 << 1)
+    made.program_region(5, *OS_DATA, Perm.RW, subjects=1 << 2)
+    made.set_enabled(True)
+    return made
+
+
+class TestEnforcement:
+    def test_own_data_accessible(self, mpu):
+        assert mpu.allows(A_IP, 0x8000, 4, AccessType.READ)
+        assert mpu.allows(A_IP, 0x8000, 4, AccessType.WRITE)
+
+    def test_foreign_data_denied(self, mpu):
+        assert not mpu.allows(A_IP, 0x9000, 4, AccessType.READ)
+        assert not mpu.allows(OS_IP, 0x8000, 4, AccessType.READ)
+        assert not mpu.allows(OS_IP, 0x8000, 4, AccessType.WRITE)
+
+    def test_own_code_executable(self, mpu):
+        assert mpu.allows(A_IP, A_IP + 4, 4, AccessType.FETCH)
+
+    def test_foreign_code_not_executable(self, mpu):
+        assert not mpu.allows(OS_IP, A_IP, 4, AccessType.FETCH)
+
+    def test_data_region_not_executable(self, mpu):
+        assert not mpu.allows(A_IP, 0x8000, 4, AccessType.FETCH)
+
+    def test_code_region_not_writable(self, mpu):
+        assert not mpu.allows(A_IP, A_IP, 4, AccessType.WRITE)
+
+    def test_check_raises_with_context(self, mpu):
+        with pytest.raises(MemoryProtectionFault) as excinfo:
+            mpu.check(A_IP, 0x9000, 4, AccessType.WRITE)
+        fault = excinfo.value
+        assert fault.subject_ip == A_IP
+        assert fault.address == 0x9000
+        assert fault.access == "w"
+        assert mpu.fault_address == 0x9000
+        assert mpu.fault_ip == A_IP
+
+    def test_disabled_mpu_allows_everything(self):
+        mpu = EaMpu(num_regions=2)
+        assert mpu.allows(0xDEAD, 0xBEEF, 4, AccessType.WRITE)
+
+    def test_unmapped_address_denied_when_enabled(self, mpu):
+        assert not mpu.allows(A_IP, 0xF0000, 4, AccessType.READ)
+
+    def test_access_straddling_region_end_denied(self, mpu):
+        assert not mpu.allows(A_IP, 0x8FFE, 4, AccessType.READ)
+
+    def test_subject_outside_any_region_denied(self, mpu):
+        assert not mpu.allows(0xF000, 0x8000, 4, AccessType.READ)
+
+
+class TestSharing:
+    def test_shared_region_multiple_subjects(self, mpu):
+        shared = (0xB000, 0xB100)
+        mpu.program_region(6, *shared, Perm.RW, subjects=(1 << 0) | (1 << 1))
+        assert mpu.allows(A_IP, 0xB000, 4, AccessType.WRITE)
+        assert mpu.allows(B_IP, 0xB000, 4, AccessType.WRITE)
+        assert not mpu.allows(OS_IP, 0xB000, 4, AccessType.WRITE)
+
+    def test_any_subject_region(self, mpu):
+        mpu.program_region(6, 0xB000, 0xB100, Perm.R, subjects=ANY_SUBJECT)
+        assert mpu.allows(OS_IP, 0xB000, 4, AccessType.READ)
+        assert mpu.allows(A_IP, 0xB000, 4, AccessType.READ)
+        # ANY grants only the listed permissions.
+        assert not mpu.allows(A_IP, 0xB000, 4, AccessType.WRITE)
+
+    def test_entry_vector_pattern(self, mpu):
+        """A sub-region of A's code executable by everyone (the entry)."""
+        entry = (A_CODE[0], A_CODE[0] + 16)
+        mpu.program_region(6, *entry, Perm.RX, subjects=ANY_SUBJECT)
+        assert mpu.allows(OS_IP, A_CODE[0], 4, AccessType.FETCH)
+        assert not mpu.allows(OS_IP, A_CODE[0] + 16, 4, AccessType.FETCH)
+        # Instructions *inside* the entry act with A's subject identity
+        # because the entry region is contained in A's code region.
+        assert mpu.subject_mask_for(A_CODE[0]) & (1 << 0)
+
+    def test_read_only_sharing_differs_from_rw(self, mpu):
+        mpu.program_region(6, 0xB000, 0xB100, Perm.R, subjects=1 << 1)
+        assert mpu.allows(B_IP, 0xB000, 4, AccessType.READ)
+        assert not mpu.allows(B_IP, 0xB000, 4, AccessType.WRITE)
+
+
+class TestProgramming:
+    def test_three_writes_per_region(self):
+        mpu = EaMpu(num_regions=4)
+        before = mpu.stats.register_writes
+        mpu.program_region(0, 0, 0x100, Perm.RX)
+        assert mpu.stats.register_writes - before == 3
+
+    def test_free_region_index_advances(self):
+        mpu = EaMpu(num_regions=2)
+        assert mpu.free_region_index() == 0
+        mpu.program_region(0, 0, 0x100, Perm.R)
+        assert mpu.free_region_index() == 1
+
+    def test_exhausted_regions_raise(self):
+        mpu = EaMpu(num_regions=1)
+        mpu.program_region(0, 0, 0x100, Perm.R)
+        with pytest.raises(PlatformError):
+            mpu.free_region_index()
+
+    def test_bad_region_index_rejected(self):
+        mpu = EaMpu(num_regions=2)
+        with pytest.raises(PlatformError):
+            mpu.program_region(5, 0, 0x100, Perm.R)
+
+    def test_inverted_range_rejected(self):
+        mpu = EaMpu(num_regions=2)
+        with pytest.raises(PlatformError):
+            mpu.program_region(0, 0x200, 0x100, Perm.R)
+
+    def test_clear_all_invalidates(self):
+        mpu = EaMpu(num_regions=4)
+        mpu.program_region(0, 0, 0x100, Perm.RWX)
+        mpu.clear_all()
+        mpu.set_enabled(True)
+        assert not mpu.allows(0, 0, 4, AccessType.READ)
+
+    def test_zero_regions_rejected(self):
+        with pytest.raises(PlatformError):
+            EaMpu(num_regions=0)
+
+    def test_describe_lists_valid_regions(self, mpu):
+        text = mpu.describe()
+        assert "enabled=True" in text
+        assert text.count("#") == 6
+
+
+class TestStats:
+    def test_checks_and_faults_counted(self, mpu):
+        mpu.check(A_IP, 0x8000, 4, AccessType.READ)
+        with pytest.raises(MemoryProtectionFault):
+            mpu.check(A_IP, 0x9000, 4, AccessType.READ)
+        assert mpu.stats.checks == 2
+        assert mpu.stats.faults == 1
+
+
+@given(
+    subject=st.sampled_from([A_IP, B_IP, OS_IP]),
+    address=st.integers(min_value=0, max_value=0xC000 - 4),
+    access=st.sampled_from(list(AccessType)),
+)
+def test_property_isolation_matrix(subject, address, access):
+    """No trustlet can ever touch another trustlet's private data."""
+    mpu = EaMpu(num_regions=8)
+    mpu.program_region(0, *A_CODE, Perm.RX, subjects=1 << 0)
+    mpu.program_region(1, *B_CODE, Perm.RX, subjects=1 << 1)
+    mpu.program_region(2, *OS_CODE, Perm.RX, subjects=1 << 2)
+    mpu.program_region(3, *A_DATA, Perm.RW, subjects=1 << 0)
+    mpu.program_region(4, *B_DATA, Perm.RW, subjects=1 << 1)
+    mpu.program_region(5, *OS_DATA, Perm.RW, subjects=1 << 2)
+    mpu.set_enabled(True)
+    if mpu.allows(subject, address, 4, access):
+        # Whatever was allowed must be explainable by the intended
+        # policy: r/x inside the subject's own code, or r/w inside the
+        # subject's own data region — never anything else.
+        own_code = {A_IP: A_CODE, B_IP: B_CODE, OS_IP: OS_CODE}[subject]
+        own_data = {A_IP: A_DATA, B_IP: B_DATA, OS_IP: OS_DATA}[subject]
+
+        def inside(window):
+            return window[0] <= address and address + 4 <= window[1]
+
+        if access is AccessType.WRITE:
+            assert inside(own_data)
+        elif access is AccessType.FETCH:
+            assert inside(own_code)
+        else:
+            assert inside(own_code) or inside(own_data)

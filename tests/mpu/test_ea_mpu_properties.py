@@ -1,0 +1,148 @@
+"""Differential fuzzing of the EA-MPU against a naive reference model.
+
+Random rule sets and random accesses: the production enforcement logic
+must agree with an independently written, obviously-correct reference
+on every query, and must satisfy structural properties (monotonicity
+in permissions and subject masks, default-deny, enable/disable).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.machine.access import AccessType
+from repro.mpu.ea_mpu import EaMpu
+from repro.mpu.regions import ANY_SUBJECT, Perm, pack_attr
+
+NUM_REGIONS = 8
+ADDR_SPACE = 0x1_0000
+
+_PERMS = [Perm.NONE, Perm.R, Perm.W, Perm.X, Perm.RW, Perm.RX, Perm.RWX]
+
+
+@st.composite
+def rule(draw):
+    base = draw(st.integers(min_value=0, max_value=ADDR_SPACE - 8)) & ~3
+    size = draw(st.integers(min_value=4, max_value=0x2000)) & ~3
+    end = min(base + size, ADDR_SPACE)
+    perm = draw(st.sampled_from(_PERMS))
+    subjects = draw(
+        st.one_of(
+            st.just(ANY_SUBJECT),
+            st.integers(min_value=0, max_value=(1 << NUM_REGIONS) - 1),
+        )
+    )
+    return base, end, perm, subjects
+
+
+@st.composite
+def policy(draw):
+    return draw(st.lists(rule(), min_size=0, max_size=NUM_REGIONS))
+
+
+def _build(rules) -> EaMpu:
+    mpu = EaMpu(num_regions=NUM_REGIONS)
+    for index, (base, end, perm, subjects) in enumerate(rules):
+        mpu.program_region(index, base, end, perm, subjects=subjects)
+    mpu.set_enabled(True)
+    return mpu
+
+
+def _reference_allows(rules, subject_ip, address, size, access):
+    """Independent re-statement of the Fig. 2 semantics."""
+    needed = {"r": Perm.R, "w": Perm.W, "x": Perm.X}[
+        access.permission_letter
+    ]
+    subject_regions = {
+        index
+        for index, (base, end, _perm, _subj) in enumerate(rules)
+        if end > base and base <= subject_ip < end
+    }
+    for base, end, perm, subjects in rules:
+        if not (end > base and base <= address and address + size <= end):
+            continue
+        if not perm & needed:
+            continue
+        if subjects == ANY_SUBJECT:
+            return True
+        if any(subjects & (1 << i) for i in subject_regions):
+            return True
+    return False
+
+
+accesses = st.tuples(
+    st.integers(min_value=0, max_value=ADDR_SPACE - 1),          # subject ip
+    st.integers(min_value=0, max_value=ADDR_SPACE - 4),          # address
+    st.sampled_from([1, 4]),                                     # size
+    st.sampled_from(list(AccessType)),
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(rules=policy(), access=accesses)
+def test_property_matches_reference_model(rules, access):
+    mpu = _build(rules)
+    subject_ip, address, size, access_type = access
+    assert mpu.allows(subject_ip, address, size, access_type) == \
+        _reference_allows(rules, subject_ip, address, size, access_type)
+
+
+@settings(max_examples=60, deadline=None)
+@given(rules=policy(), access=accesses)
+def test_property_disabled_mpu_allows_everything(rules, access):
+    mpu = _build(rules)
+    mpu.set_enabled(False)
+    subject_ip, address, size, access_type = access
+    assert mpu.allows(subject_ip, address, size, access_type)
+
+
+@settings(max_examples=60, deadline=None)
+@given(access=accesses)
+def test_property_empty_policy_denies_everything(access):
+    mpu = EaMpu(num_regions=NUM_REGIONS)
+    mpu.set_enabled(True)
+    subject_ip, address, size, access_type = access
+    assert not mpu.allows(subject_ip, address, size, access_type)
+
+
+@settings(max_examples=60, deadline=None)
+@given(rules=policy(), access=accesses,
+       extra=st.integers(min_value=0, max_value=(1 << NUM_REGIONS) - 1))
+def test_property_widening_subjects_is_monotonic(rules, access, extra):
+    """Adding subjects to every rule can only allow more, never less."""
+    subject_ip, address, size, access_type = access
+    before = _build(rules).allows(subject_ip, address, size, access_type)
+    widened = [
+        (base, end, perm,
+         ANY_SUBJECT if subjects == ANY_SUBJECT else subjects | extra)
+        for base, end, perm, subjects in rules
+    ]
+    after = _build(widened).allows(subject_ip, address, size, access_type)
+    assert after or not before
+
+
+@settings(max_examples=60, deadline=None)
+@given(rules=policy(), access=accesses)
+def test_property_widening_permissions_is_monotonic(rules, access):
+    subject_ip, address, size, access_type = access
+    before = _build(rules).allows(subject_ip, address, size, access_type)
+    widened = [
+        (base, end, Perm.RWX, subjects)
+        for base, end, _perm, subjects in rules
+    ]
+    after = _build(widened).allows(subject_ip, address, size, access_type)
+    assert after or not before
+
+
+@settings(max_examples=60, deadline=None)
+@given(rules=policy(), access=accesses)
+def test_property_check_and_allows_agree(rules, access):
+    from repro.errors import MemoryProtectionFault
+
+    mpu = _build(rules)
+    subject_ip, address, size, access_type = access
+    allowed = mpu.allows(subject_ip, address, size, access_type)
+    try:
+        mpu.check(subject_ip, address, size, access_type)
+        checked = True
+    except MemoryProtectionFault:
+        checked = False
+    assert allowed == checked

@@ -1,0 +1,90 @@
+"""Unit tests for the MPU MMIO frontend (software-visible registers)."""
+
+import pytest
+
+from repro.errors import BusError
+from repro.machine.access import AccessType
+from repro.mpu import mmio
+from repro.mpu.ea_mpu import EaMpu
+from repro.mpu.mmio import MpuMmioFrontend, mmio_size
+from repro.mpu.regions import ANY_SUBJECT, Perm, pack_attr
+
+
+@pytest.fixture
+def frontend():
+    mpu = EaMpu(num_regions=4)
+    return mpu, MpuMmioFrontend(mpu)
+
+
+class TestRegisterAccess:
+    def test_ctrl_enables_mpu(self, frontend):
+        mpu, dev = frontend
+        dev.write(mmio.CTRL, 4, mmio.CTRL_ENABLE)
+        assert mpu.enabled
+        assert dev.read(mmio.CTRL, 4) == mmio.CTRL_ENABLE
+        dev.write(mmio.CTRL, 4, 0)
+        assert not mpu.enabled
+
+    def test_num_regions_read_only(self, frontend):
+        _, dev = frontend
+        assert dev.read(mmio.NUM_REGIONS, 4) == 4
+        with pytest.raises(BusError):
+            dev.write(mmio.NUM_REGIONS, 4, 9)
+
+    def test_program_region_over_mmio(self, frontend):
+        mpu, dev = frontend
+        base = mmio.REGIONS + 1 * mmio.REGION_STRIDE
+        dev.write(base + 0, 4, 0x100)
+        dev.write(base + 4, 4, 0x200)
+        dev.write(base + 8, 4, pack_attr(Perm.RW, ANY_SUBJECT))
+        mpu.set_enabled(True)
+        assert mpu.allows(0, 0x100, 4, AccessType.WRITE)
+        assert dev.read(base + 0, 4) == 0x100
+        assert dev.read(base + 4, 4) == 0x200
+
+    def test_fault_registers_reflect_last_denial(self, frontend):
+        mpu, dev = frontend
+        mpu.set_enabled(True)
+        assert not mpu.allows(0x42, 0x999, 4, AccessType.READ)
+        # allows() does not latch; check() does.
+        with pytest.raises(Exception):
+            mpu.check(0x42, 0x996, 4, AccessType.READ)
+        assert dev.read(mmio.FAULT_ADDR, 4) == 0x996
+        assert dev.read(mmio.FAULT_IP, 4) == 0x42
+
+    def test_fault_registers_read_only(self, frontend):
+        _, dev = frontend
+        for offset in (mmio.FAULT_ADDR, mmio.FAULT_IP):
+            with pytest.raises(BusError):
+                dev.write(offset, 4, 1)
+
+    def test_out_of_range_region_rejected(self, frontend):
+        _, dev = frontend
+        bad = mmio.REGIONS + 4 * mmio.REGION_STRIDE
+        with pytest.raises(BusError):
+            dev.read(bad, 4)
+
+    def test_misaligned_region_field_rejected(self, frontend):
+        _, dev = frontend
+        with pytest.raises(BusError):
+            dev.read(mmio.REGIONS + 2, 4)
+
+    def test_byte_access_rejected(self, frontend):
+        _, dev = frontend
+        with pytest.raises(BusError):
+            dev.read(mmio.CTRL, 1)
+        with pytest.raises(BusError):
+            dev.write(mmio.CTRL, 1, 1)
+
+    def test_mmio_size_scales_with_regions(self):
+        assert mmio_size(4) == mmio.REGIONS + 4 * mmio.REGION_STRIDE
+        assert MpuMmioFrontend(EaMpu(num_regions=8)).size == mmio_size(8)
+
+    def test_writes_through_mmio_are_counted(self, frontend):
+        mpu, dev = frontend
+        before = mpu.stats.register_writes
+        base = mmio.REGIONS
+        dev.write(base + 0, 4, 0)
+        dev.write(base + 4, 4, 0x10)
+        dev.write(base + 8, 4, pack_attr(Perm.R, ANY_SUBJECT))
+        assert mpu.stats.register_writes - before == 3

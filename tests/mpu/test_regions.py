@@ -1,0 +1,91 @@
+"""Unit and property tests for region registers and attribute packing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import PlatformError
+from repro.mpu.regions import (
+    ANY_SUBJECT,
+    MAX_SUBJECT_REGIONS,
+    Perm,
+    RegionRegister,
+    pack_attr,
+    unpack_attr,
+)
+
+
+class TestPerm:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("r", Perm.R),
+            ("rw", Perm.RW),
+            ("rx", Perm.RX),
+            ("rwx", Perm.RWX),
+            ("", Perm.NONE),
+            ("r-x", Perm.RX),
+            ("XR", Perm.RX),
+        ],
+    )
+    def test_parse(self, text, expected):
+        assert Perm.parse(text) == expected
+
+    def test_parse_rejects_unknown_letters(self):
+        with pytest.raises(PlatformError):
+            Perm.parse("q")
+
+    def test_letters_round_trip(self):
+        for perm in (Perm.NONE, Perm.R, Perm.W, Perm.X, Perm.RW, Perm.RWX):
+            assert Perm.parse(perm.letters()) == perm
+
+
+class TestAttrPacking:
+    def test_any_subject_round_trips(self):
+        perm, subjects = unpack_attr(pack_attr(Perm.RX, ANY_SUBJECT))
+        assert perm == Perm.RX
+        assert subjects == ANY_SUBJECT
+
+    def test_mask_round_trips(self):
+        perm, subjects = unpack_attr(pack_attr(Perm.RW, 0b1010))
+        assert perm == Perm.RW
+        assert subjects == 0b1010
+
+    def test_oversized_mask_rejected(self):
+        with pytest.raises(PlatformError):
+            pack_attr(Perm.R, 1 << MAX_SUBJECT_REGIONS)
+
+    @given(
+        perm=st.sampled_from([Perm.NONE, Perm.R, Perm.W, Perm.X, Perm.RW,
+                              Perm.RX, Perm.RWX]),
+        subjects=st.integers(min_value=0,
+                             max_value=(1 << MAX_SUBJECT_REGIONS) - 1),
+    )
+    def test_property_pack_unpack_identity(self, perm, subjects):
+        assert unpack_attr(pack_attr(perm, subjects)) == (perm, subjects)
+
+
+class TestRegionRegister:
+    def test_invalid_until_programmed(self):
+        region = RegionRegister()
+        assert not region.valid
+        assert not region.contains(0)
+
+    def test_contains_and_covers(self):
+        region = RegionRegister(base=0x100, end=0x200,
+                                attr=pack_attr(Perm.RW, ANY_SUBJECT))
+        assert region.contains(0x100)
+        assert region.contains(0x1FF)
+        assert not region.contains(0x200)
+        assert region.covers(0x1FC, 4)
+        assert not region.covers(0x1FE, 4)  # straddles the end
+
+    def test_clear(self):
+        region = RegionRegister(base=1, end=2, attr=3)
+        region.clear()
+        assert not region.valid
+        assert region.attr == 0
+
+    def test_describe_mentions_permissions(self):
+        region = RegionRegister(base=0, end=0x10,
+                                attr=pack_attr(Perm.RX, ANY_SUBJECT))
+        assert "r-x" in region.describe()

@@ -1,0 +1,104 @@
+"""Unit tests for the conventional MPU baseline (the ablation)."""
+
+import pytest
+
+from repro.errors import MemoryProtectionFault, PlatformError
+from repro.machine.access import AccessType
+from repro.mpu.standard import StandardMpu, TaskRegions
+from repro.mpu.regions import Perm
+
+TASK_A = TaskRegions(
+    name="A",
+    regions=(
+        (0x0000, 0x1000, Perm.RX),   # A code
+        (0x8000, 0x9000, Perm.RW),   # A data
+    ),
+)
+TASK_B = TaskRegions(
+    name="B",
+    regions=(
+        (0x1000, 0x2000, Perm.RX),
+        (0x9000, 0xA000, Perm.RW),
+    ),
+)
+
+
+class TestEnforcement:
+    def test_permissions_checked_by_object_only(self):
+        mpu = StandardMpu(num_regions=4)
+        mpu.switch_task(TASK_A)
+        mpu.set_enabled(True)
+        # The subject IP is irrelevant — that is the defining weakness.
+        assert mpu.allows(0xDEAD_BEE0, 0x8000, 4, AccessType.READ)
+        assert mpu.allows(0x0000_0000, 0x8000, 4, AccessType.WRITE)
+        assert not mpu.allows(0, 0x9000, 4, AccessType.READ)
+
+    def test_check_raises_on_denial(self):
+        mpu = StandardMpu(num_regions=4)
+        mpu.switch_task(TASK_A)
+        mpu.set_enabled(True)
+        with pytest.raises(MemoryProtectionFault):
+            mpu.check(0, 0x9000, 4, AccessType.WRITE)
+
+    def test_disabled_allows_all(self):
+        assert StandardMpu().allows(0, 0xFFFF, 4, AccessType.WRITE)
+
+
+class TestContextSwitchCost:
+    def test_switch_reprograms_regions(self):
+        mpu = StandardMpu(num_regions=4)
+        writes = mpu.switch_task(TASK_A)
+        assert writes == 3 * len(TASK_A.regions)
+        assert mpu.current_task == "A"
+
+    def test_switch_clears_stale_regions(self):
+        mpu = StandardMpu(num_regions=4)
+        mpu.switch_task(TASK_A)
+        mpu.switch_task(TaskRegions(name="tiny", regions=((0, 0x10, Perm.R),)))
+        mpu.set_enabled(True)
+        # Task A's data region must be gone after the switch.
+        assert not mpu.allows(0, 0x8000, 4, AccessType.READ)
+
+    def test_switch_cost_recurs_per_switch(self):
+        mpu = StandardMpu(num_regions=4)
+        for _ in range(10):
+            mpu.switch_task(TASK_A)
+            mpu.switch_task(TASK_B)
+        assert mpu.context_switches == 20
+        assert mpu.stats.register_writes >= 20 * 6
+
+    def test_task_with_too_many_regions_rejected(self):
+        mpu = StandardMpu(num_regions=1)
+        with pytest.raises(PlatformError):
+            mpu.switch_task(TASK_A)
+
+    def test_isolation_depends_on_os_cooperation(self):
+        """A malicious OS can map anything — no hardware backstop."""
+        mpu = StandardMpu(num_regions=4)
+        evil = TaskRegions(
+            name="evil", regions=((0x8000, 0x9000, Perm.RW),)
+        )
+        mpu.switch_task(evil)
+        mpu.set_enabled(True)
+        # "Task A's" private data is now readable by whoever runs.
+        assert mpu.allows(0x9999_0000, 0x8000, 4, AccessType.READ)
+
+
+class TestProgramming:
+    def test_program_region_counts_three_writes(self):
+        mpu = StandardMpu(num_regions=2)
+        before = mpu.stats.register_writes
+        mpu.program_region(0, 0, 0x100, Perm.R)
+        assert mpu.stats.register_writes - before == 3
+
+    def test_bad_index_rejected(self):
+        with pytest.raises(PlatformError):
+            StandardMpu(num_regions=1).program_region(1, 0, 0x10, Perm.R)
+
+    def test_inverted_range_rejected(self):
+        with pytest.raises(PlatformError):
+            StandardMpu().program_region(0, 0x20, 0x10, Perm.R)
+
+    def test_zero_regions_rejected(self):
+        with pytest.raises(PlatformError):
+            StandardMpu(num_regions=0)

@@ -1,0 +1,159 @@
+"""Tests for the guest-software builders (runtime, kernel, trustlets)."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.core import layout
+from repro.core.image import ImageBuilder, ModuleLayout, SoftwareModule
+from repro.isa.disasm import disassemble_word
+from repro.isa.opcodes import Op
+from repro.sw import runtime, trustlets
+from repro.sw.images import (
+    build_attestation_image,
+    build_ipc_image,
+    build_probe_image,
+    build_two_counter_image,
+    os_module,
+)
+from repro.sw.kernel import OS_ENTRY_SIZE, os_source
+
+
+def _dummy_layout(**overrides) -> ModuleLayout:
+    values = dict(
+        name="X", index=1, code_base=0x1000, code_end=0x2000, entry=0x1000,
+        init_ip=0x1100, data_base=0x8000, data_end=0x8100,
+        stack_base=0x8100, stack_end=0x8200, sp_slot=0x7010,
+        peers={"PEER": 0x3000},
+    )
+    values.update(overrides)
+    return ModuleLayout(**values)
+
+
+class TestRuntimeFragments:
+    def test_entry_vector_is_three_slots(self):
+        program = assemble(
+            runtime.entry_vector()
+            + "impl_continue: halt\nimpl_call: halt\nimpl_resume: halt\n"
+        )
+        for slot in range(3):
+            line = disassemble_word(program.data, slot * 8, slot * 8)
+            assert line.instruction.op is Op.JMP
+        assert layout.ENTRY_VECTOR_SIZE == 24
+
+    def test_continue_impl_restores_sp_first(self):
+        lay = _dummy_layout()
+        source = runtime.continue_impl(lay) + "\nmain: halt"
+        program = assemble(source)
+        # Instruction 0 loads the table slot address, instruction 1 is
+        # the SP load — the paper's "very first instruction" rule
+        # (modulo the address-materialization movi the ISA requires).
+        first = disassemble_word(program.data, 0, 0)
+        assert first.instruction.op is Op.MOVI
+        assert first.instruction.imm == lay.sp_slot
+        second = disassemble_word(program.data, 8, 8)
+        assert second.instruction.op is Op.LDW
+
+    def test_continue_pops_full_frame(self):
+        program = assemble(runtime.continue_impl(_dummy_layout()) + "main: halt")
+        ops = []
+        offset = 0
+        while offset < program.size:
+            line = disassemble_word(program.data, offset, offset)
+            ops.append(line.instruction.op)
+            offset += line.size
+        assert ops.count(Op.POP) == 15  # r0..r12, lr, fp
+        assert Op.POPF in ops
+        assert Op.RETS in ops
+
+    def test_save_state_matches_resume_frame_size(self):
+        lay = _dummy_layout()
+        source = (
+            "main:\n"
+            + runtime.save_state_fragment(lay, "resume_here")
+            + "resume_here: halt\n"
+        )
+        program = assemble(source)
+        pushes = 0
+        offset = 0
+        while offset < program.size:
+            line = disassemble_word(program.data, offset, offset)
+            if line.instruction.op in (Op.PUSH, Op.PUSHF):
+                pushes += 1
+            offset += line.size
+        assert pushes == layout.RESUME_FRAME_WORDS
+
+
+class TestKernelSource:
+    def test_kernel_assembles(self):
+        lay = _dummy_layout(name="OS")
+        program = assemble(os_source(lay), base=lay.code_base)
+        for symbol in ("main", "isr_timer", "isr_fault", "isr_swi",
+                       "isr_invalid", "schedule_next"):
+            assert symbol in program.symbols
+
+    def test_ipc_return_slot_within_entry(self):
+        lay = _dummy_layout(name="OS")
+        program = assemble(os_source(lay), base=lay.code_base)
+        # The 4th slot (offset 24) must live inside the declared entry.
+        assert OS_ENTRY_SIZE == 32
+
+    def test_schedule_flag_controls_timer_arm(self):
+        lay = _dummy_layout(name="OS")
+        armed = os_source(lay, schedule=True)
+        disarmed = os_source(lay, schedule=False)
+        assert "timer PERIOD" in armed
+        assert "timer PERIOD" not in disarmed
+
+    def test_fault_policy_variants(self):
+        lay = _dummy_layout(name="OS")
+        assert "halt" in os_source(lay, halt_on_fault=True)
+        assert "jmp schedule_next" in os_source(lay, halt_on_fault=False)
+
+
+class TestTrustletSources:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: trustlets.counter_source(3),
+            lambda: trustlets.queue_receiver_source(),
+            lambda: trustlets.sender_source("PEER"),
+            lambda: trustlets.attestation_source(),
+            lambda: trustlets.probe_source(0x1234, operation="write"),
+            lambda: trustlets.updater_source("PEER", 40, 7),
+            lambda: trustlets.uart_greeter_source(),
+        ],
+    )
+    def test_source_assembles_with_main(self, factory):
+        program = assemble(factory()(_dummy_layout()), base=0x1000)
+        assert "main" in program.symbols
+        assert program.size > layout.ENTRY_VECTOR_SIZE
+
+    def test_probe_rejects_unknown_operation(self):
+        with pytest.raises(ValueError):
+            trustlets.probe_source(0, operation="teleport")
+
+
+class TestCannedImages:
+    @pytest.mark.parametrize(
+        "build",
+        [
+            build_two_counter_image,
+            build_ipc_image,
+            build_attestation_image,
+            lambda: build_probe_image(target="data", operation="read"),
+        ],
+    )
+    def test_image_contains_os_and_boots_structurally(self, build):
+        image = build()
+        assert "OS" in image.module_order
+        os_lay = image.layout_of("OS")
+        assert os_lay.symbols["isr_timer"] > os_lay.code_base
+
+    def test_probe_targets_resolve(self):
+        for target in ("data", "stack", "code", "table", "mpu", "timer"):
+            image = build_probe_image(target=target, operation="read")
+            assert "PROBE" in image.module_order
+
+    def test_os_module_grants_timer_and_uart(self):
+        module = os_module()
+        assert len(module.mmio_grants) == 2

@@ -1,0 +1,47 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "5528" in out and "Sancus" in out
+
+    def test_figure7(self, capsys):
+        assert main(["figure7"]) == 0
+        out = capsys.readouterr().out
+        assert "sancus_modules: 9" in out
+
+    def test_matrix(self, capsys):
+        assert main(["matrix"]) == 0
+        out = capsys.readouterr().out
+        assert "interruptible trusted modules" in out
+
+    def test_fig3(self, capsys):
+        assert main(["fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "TL-A data" in out
+        assert "rw" in out
+
+    def test_demo(self, capsys):
+        assert main(["demo", "--cycles", "50000"]) == 0
+        out = capsys.readouterr().out
+        assert "trustlet preemptions" in out
+        assert "MPU faults           : 0" in out
+
+    def test_disasm_known_module(self, capsys):
+        assert main(["disasm", "TL-A"]) == 0
+        out = capsys.readouterr().out
+        assert "jmp" in out and "movi" in out
+
+    def test_disasm_unknown_module(self, capsys):
+        assert main(["disasm", "GHOST"]) == 1
+        assert "unknown module" in capsys.readouterr().err
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            main([])

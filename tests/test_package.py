@@ -1,0 +1,47 @@
+"""Package-level checks: error hierarchy, public API surface, version."""
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestErrorHierarchy:
+    def test_everything_roots_at_reproerror(self):
+        for name in (
+            "IsaError", "EncodingError", "AssemblerError", "MachineError",
+            "BusError", "AlignmentError", "InvalidInstruction",
+            "MemoryProtectionFault", "PlatformError", "LoaderError",
+            "ImageError", "AttestationError", "IpcError",
+        ):
+            assert issubclass(getattr(errors, name), errors.ReproError)
+
+    def test_specialization_chains(self):
+        assert issubclass(errors.EncodingError, errors.IsaError)
+        assert issubclass(errors.AlignmentError, errors.BusError)
+        assert issubclass(errors.ImageError, errors.LoaderError)
+        assert issubclass(errors.MemoryProtectionFault, errors.MachineError)
+
+    def test_fault_carries_context(self):
+        fault = errors.MemoryProtectionFault(
+            "denied", subject_ip=0x10, address=0x20, access="w"
+        )
+        assert (fault.subject_ip, fault.address, fault.access) == \
+            (0x10, 0x20, "w")
+
+    def test_bus_error_address(self):
+        assert errors.BusError("x", address=0x99).address == 0x99
+
+
+class TestPublicApi:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_one_call_platform_boot(self):
+        platform = repro.TrustLitePlatform()
+        report = platform.boot(repro.build_two_counter_image())
+        assert report.launched == "OS"
