@@ -1,0 +1,52 @@
+"""trustlint — static trustlet/policy verification (offline).
+
+TrustLite's isolation argument rests on invariants the runtime models
+only *observe*: control enters trustlets through declared entry vectors
+(Sec. 4.1), the Secure Loader's EA-MPU policy keeps every subject out
+of every other subject's data and stack (Sec. 3.2/3.5, Fig. 3), the
+MPU window and Trustlet Table are locked after boot, and peripherals
+stay exclusive (Sec. 3.3).  This package *verifies* those invariants
+over an assembled :class:`~repro.core.image.BuiltImage` without
+booting it — in the spirit of offline compartment verification (UCCA)
+rather than hot-path enforcement.
+
+Entry points:
+
+* :func:`lint_image` — run every rule, get an
+  :class:`~repro.analysis.report.AnalysisReport`;
+* ``python -m repro lint`` — the CLI frontend (text or ``--json``);
+* ``TrustLitePlatform.boot(image, verify=True)`` — pre-boot gate that
+  raises :class:`~repro.errors.AnalysisError` on error findings.
+"""
+
+from repro.analysis.cfg import (
+    BasicBlock,
+    Edge,
+    EdgeKind,
+    MemoryAccess,
+    ModuleCfg,
+    build_cfg,
+)
+from repro.analysis.engine import lint_image
+from repro.analysis.policy import AnalysisConfig, PromReader, StaticPolicy
+from repro.analysis.report import AnalysisReport, Finding, Severity
+from repro.analysis.rules import ALL_RULES, AnalysisContext, Rule
+
+__all__ = [
+    "ALL_RULES",
+    "AnalysisConfig",
+    "AnalysisContext",
+    "AnalysisReport",
+    "BasicBlock",
+    "Edge",
+    "EdgeKind",
+    "Finding",
+    "MemoryAccess",
+    "ModuleCfg",
+    "PromReader",
+    "Rule",
+    "Severity",
+    "StaticPolicy",
+    "build_cfg",
+    "lint_image",
+]

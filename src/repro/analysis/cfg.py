@@ -1,0 +1,293 @@
+"""Control-flow graph lifting for static trustlet verification.
+
+Lifts one module's code region (raw SP32 bytes, executed in place from
+PROM) into basic blocks and typed edges.  Three properties matter to
+the policy rules downstream:
+
+* **direct edges** — ``jmp``/``call``/branches carry their absolute
+  target in the extension word, so cross-compartment control transfers
+  are statically visible;
+* **computed edges** — ``jmpr``/``callr`` targets are resolved by a
+  conservative block-local constant propagation (``movi``/``addi``
+  chains, the idiom the assembler emits for materialized addresses);
+  anything else stays ``target=None`` and is treated as opaque rather
+  than guessed;
+* **resolved memory accesses** — loads/stores whose base register holds
+  a known constant yield the exact byte range the instruction touches,
+  which the access-feasibility rule replays against the EA-MPU policy.
+
+The propagation resets at every block leader, so a constant never
+survives a join point — the analysis under-approximates what is known
+(fewer findings), never over-approximates (no false facts).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.isa.disasm import DisassembledLine, linear_sweep
+from repro.isa.opcodes import BRANCH_CONDITIONS, Fmt, Op
+from repro.isa.registers import WORD_MASK, Reg
+
+# Ops that end a basic block; CALL/CALLR/SWI keep a fallthrough edge
+# (execution resumes after the callee returns).
+_DIRECT_JUMPS = {Op.JMP}
+_DIRECT_CALLS = {Op.CALL}
+_COMPUTED_JUMPS = {Op.JMPR}
+_COMPUTED_CALLS = {Op.CALLR}
+_RETURNS = {Op.RET, Op.RETS, Op.IRET}
+
+
+class EdgeKind(enum.Enum):
+    """How control reaches an edge's target."""
+
+    FALLTHROUGH = "fallthrough"
+    JUMP = "jump"          # unconditional direct jump
+    BRANCH = "branch"      # conditional direct branch (taken side)
+    CALL = "call"          # direct call
+    COMPUTED = "computed"  # jmpr/callr — target may be resolved or None
+    RETURN = "return"      # ret/rets/iret — target always unknown
+    SYSCALL = "syscall"    # swi — vectors through the exception engine
+
+
+@dataclass(frozen=True)
+class Edge:
+    """One control transfer, anchored at the transfer instruction."""
+
+    source: int
+    target: int | None
+    kind: EdgeKind
+
+    @property
+    def resolved(self) -> bool:
+        return self.target is not None
+
+
+@dataclass(frozen=True)
+class MemoryAccess:
+    """A load/store whose effective address was statically resolved."""
+
+    address: int      # instruction address
+    target: int       # first byte accessed
+    size: int         # 4 for ldw/stw, 1 for ldb/stb
+    is_store: bool
+
+    @property
+    def letter(self) -> str:
+        return "w" if self.is_store else "r"
+
+
+@dataclass(frozen=True)
+class BasicBlock:
+    """A maximal straight-line instruction run."""
+
+    start: int
+    end: int
+    lines: tuple[DisassembledLine, ...]
+    edges: tuple[Edge, ...]
+
+    @property
+    def terminator(self) -> DisassembledLine | None:
+        return self.lines[-1] if self.lines else None
+
+
+@dataclass(frozen=True)
+class ModuleCfg:
+    """The lifted control-flow graph of one module's code region."""
+
+    name: str
+    base: int
+    end: int
+    blocks: tuple[BasicBlock, ...]
+    accesses: tuple[MemoryAccess, ...]
+    data_words: tuple[int, ...]  # addresses that did not decode
+
+    @property
+    def edges(self) -> tuple[Edge, ...]:
+        return tuple(e for block in self.blocks for e in block.edges)
+
+    def transfer_edges(self) -> tuple[Edge, ...]:
+        """Edges that represent explicit control transfers (no
+        fallthrough, no opaque returns)."""
+        return tuple(
+            e for e in self.edges
+            if e.kind not in (EdgeKind.FALLTHROUGH, EdgeKind.RETURN)
+        )
+
+    def block_at(self, address: int) -> BasicBlock | None:
+        for block in self.blocks:
+            if block.start <= address < block.end:
+                return block
+        return None
+
+    def line_at(self, address: int) -> DisassembledLine | None:
+        for block in self.blocks:
+            for line in block.lines:
+                if line.address == address:
+                    return line
+        return None
+
+    def contains(self, address: int) -> bool:
+        return self.base <= address < self.end
+
+
+def _is_terminator(op: Op) -> bool:
+    return (
+        op in _DIRECT_JUMPS
+        or op in _DIRECT_CALLS
+        or op in _COMPUTED_JUMPS
+        or op in _COMPUTED_CALLS
+        or op in _RETURNS
+        or op in BRANCH_CONDITIONS
+        or op in (Op.HALT, Op.SWI)
+    )
+
+
+def _edges_for(
+    line: DisassembledLine,
+    resolved: dict[int, int],
+) -> tuple[Edge, ...]:
+    ins = line.instruction
+    op = ins.op
+    here = line.address
+    after = line.address + line.size
+    if op in _DIRECT_JUMPS:
+        return (Edge(here, ins.imm & WORD_MASK, EdgeKind.JUMP),)
+    if op in BRANCH_CONDITIONS:
+        return (
+            Edge(here, ins.imm & WORD_MASK, EdgeKind.BRANCH),
+            Edge(here, after, EdgeKind.FALLTHROUGH),
+        )
+    if op in _DIRECT_CALLS:
+        return (
+            Edge(here, ins.imm & WORD_MASK, EdgeKind.CALL),
+            Edge(here, after, EdgeKind.FALLTHROUGH),
+        )
+    if op in _COMPUTED_JUMPS:
+        return (Edge(here, resolved.get(here), EdgeKind.COMPUTED),)
+    if op in _COMPUTED_CALLS:
+        return (
+            Edge(here, resolved.get(here), EdgeKind.COMPUTED),
+            Edge(here, after, EdgeKind.FALLTHROUGH),
+        )
+    if op in _RETURNS:
+        return (Edge(here, None, EdgeKind.RETURN),)
+    if op is Op.SWI:
+        return (
+            Edge(here, None, EdgeKind.SYSCALL),
+            Edge(here, after, EdgeKind.FALLTHROUGH),
+        )
+    # HALT: no successors.
+    return ()
+
+
+def _writes_rd(fmt: Fmt) -> bool:
+    return fmt in (
+        Fmt.RD_RS1_RS2, Fmt.RD_RS1, Fmt.RD_IMM32, Fmt.RD_RS1_IMM32,
+        Fmt.MEM_LOAD, Fmt.RD,
+    )
+
+
+def build_cfg(name: str, code: bytes, base: int) -> ModuleCfg:
+    """Lift ``code`` (loaded at ``base``) into a :class:`ModuleCfg`."""
+    end = base + len(code)
+    lines, gaps = linear_sweep(code, base)
+
+    # Pass 1: leaders from direct transfer targets and terminator
+    # boundaries.
+    leaders: set[int] = {base}
+    for line in lines:
+        op = line.instruction.op
+        if op in _DIRECT_JUMPS or op in _DIRECT_CALLS \
+                or op in BRANCH_CONDITIONS:
+            target = line.instruction.imm & WORD_MASK
+            if base <= target < end:
+                leaders.add(target)
+        if _is_terminator(op):
+            leaders.add(line.address + line.size)
+
+    # Pass 2: block-local constant propagation.  Resolves jmpr/callr
+    # targets and load/store effective addresses; resets at leaders so
+    # nothing flows across a join point.
+    consts: dict[Reg, int] = {}
+    resolved: dict[int, int] = {}
+    accesses: list[MemoryAccess] = []
+    for line in lines:
+        if line.address in leaders:
+            consts.clear()
+        ins = line.instruction
+        op = ins.op
+        if op in _COMPUTED_JUMPS or op in _COMPUTED_CALLS:
+            if ins.rs1 in consts:
+                resolved[line.address] = consts[ins.rs1]
+        if op in (Op.LDW, Op.STW, Op.LDB, Op.STB) and ins.rs1 in consts:
+            accesses.append(
+                MemoryAccess(
+                    address=line.address,
+                    target=(consts[ins.rs1] + ins.imm) & WORD_MASK,
+                    size=4 if op in (Op.LDW, Op.STW) else 1,
+                    is_store=op in (Op.STW, Op.STB),
+                )
+            )
+        # Transfer function (computed before rd is clobbered).
+        if op is Op.MOVI:
+            consts[ins.rd] = ins.imm & WORD_MASK
+        elif op is Op.MOV and ins.rs1 in consts:
+            consts[ins.rd] = consts[ins.rs1]
+        elif op is Op.ADDI and ins.rs1 in consts:
+            consts[ins.rd] = (consts[ins.rs1] + ins.imm) & WORD_MASK
+        elif op is Op.SUBI and ins.rs1 in consts:
+            consts[ins.rd] = (consts[ins.rs1] - ins.imm) & WORD_MASK
+        elif _writes_rd(ins.fmt):
+            consts.pop(ins.rd, None)
+
+    # Resolved computed targets inside the module are leaders too.
+    for target in resolved.values():
+        if base <= target < end:
+            leaders.add(target)
+
+    # Pass 3: carve blocks at leaders / terminators.
+    blocks: list[BasicBlock] = []
+    current: list[DisassembledLine] = []
+
+    def flush() -> None:
+        if not current:
+            return
+        last = current[-1]
+        edges = _edges_for(last, resolved)
+        if not edges and not _is_terminator(last.instruction.op):
+            # Block split by a leader: plain fallthrough.
+            edges = (
+                Edge(
+                    last.address,
+                    last.address + last.size,
+                    EdgeKind.FALLTHROUGH,
+                ),
+            )
+        blocks.append(
+            BasicBlock(
+                start=current[0].address,
+                end=last.address + last.size,
+                lines=tuple(current),
+                edges=edges,
+            )
+        )
+        current.clear()
+
+    for line in lines:
+        if line.address in leaders:
+            flush()
+        current.append(line)
+        if _is_terminator(line.instruction.op):
+            flush()
+    flush()
+
+    return ModuleCfg(
+        name=name,
+        base=base,
+        end=end,
+        blocks=tuple(blocks),
+        accesses=tuple(accesses),
+        data_words=tuple(gaps),
+    )

@@ -1,0 +1,97 @@
+"""Orchestration: lift, derive, check — ``lint_image`` in one call.
+
+The verifier runs entirely on a :class:`~repro.core.image.BuiltImage`:
+
+1. parse the PROM metadata records (the same bytes the Secure Loader
+   reads at boot — what is checked is what will be enforced);
+2. lift every module's code region into a CFG
+   (:mod:`repro.analysis.cfg`);
+3. derive the EA-MPU policy the loader would program
+   (:mod:`repro.analysis.policy` over
+   :func:`repro.core.loader.compute_policy`);
+4. run every rule in :data:`repro.analysis.rules.ALL_RULES`.
+
+No platform is constructed and nothing executes, so linting is safe on
+images that would brick a device.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.cfg import build_cfg
+from repro.analysis.policy import (
+    AnalysisConfig,
+    StaticPolicy,
+    parse_image_modules,
+)
+from repro.analysis.report import AnalysisReport, Finding, Severity
+from repro.analysis.rules import ALL_RULES, AnalysisContext
+from repro.core.image import BuiltImage
+from repro.errors import LoaderError
+
+
+def lint_image(
+    image: BuiltImage,
+    *,
+    config: AnalysisConfig | None = None,
+    image_name: str = "",
+) -> AnalysisReport:
+    """Statically verify a PROM image; returns the full report."""
+    cfgspec = config if config is not None else AnalysisConfig()
+    rule_ids = tuple(rule.rule_id for rule in ALL_RULES)
+
+    try:
+        modules = parse_image_modules(image.prom, cfgspec)
+    except LoaderError as exc:
+        return AnalysisReport(
+            findings=(
+                Finding(
+                    rule="TL-IMG-001",
+                    severity=Severity.ERROR,
+                    message=f"image metadata does not parse: {exc}",
+                ),
+            ),
+            rules_run=rule_ids,
+            image_name=image_name,
+        )
+
+    cfgs = {
+        module.name: build_cfg(
+            module.name,
+            image.prom[module.code_base:module.code_end],
+            module.code_base,
+        )
+        for module in modules
+    }
+
+    try:
+        policy = StaticPolicy.for_modules(modules, cfgspec)
+    except LoaderError as exc:
+        return AnalysisReport(
+            findings=(
+                Finding(
+                    rule="TL-IMG-001",
+                    severity=Severity.ERROR,
+                    message=f"no policy can be derived: {exc}",
+                ),
+            ),
+            modules=tuple(m.name for m in modules),
+            rules_run=rule_ids,
+            image_name=image_name,
+        )
+
+    ctx = AnalysisContext(
+        modules=tuple(modules),
+        cfgs=cfgs,
+        policy=policy,
+        config=cfgspec,
+    )
+    findings: list[Finding] = []
+    for rule in ALL_RULES:
+        findings.extend(rule.run(ctx))
+    return AnalysisReport(
+        findings=tuple(findings),
+        modules=tuple(m.name for m in modules),
+        rules_run=rule_ids,
+        image_name=image_name,
+        notes=tuple(ctx.notes),
+    )

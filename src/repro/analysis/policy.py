@@ -1,0 +1,138 @@
+"""Static model of the EA-MPU policy a PROM image induces.
+
+The Secure Loader derives the boot-time policy purely from the PROM
+metadata records (:func:`repro.core.loader.compute_policy`); this
+module replays that derivation *without a platform* — the image bytes
+are read directly, not over a bus — and answers the same access
+question the hardware answers at runtime: *may subject S perform
+access A on range R?*  Subjects are module names here instead of
+region-index masks; the loader's mask construction maps one onto the
+other bijectively as long as code regions don't overlap (which rule
+TL-OVL-001 checks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import layout
+from repro.core.loader import (
+    ParsedModule,
+    PolicyRule,
+    compute_policy,
+    parse_directory,
+)
+from repro.core.trustlet_table import HEADER_SIZE, ROW_SIZE
+from repro.machine.soc import MPU_MMIO_BASE
+from repro.mpu.mmio import mmio_size
+from repro.mpu.regions import Perm, spans_overlap
+
+
+class PromReader:
+    """Duck-typed stand-in for :class:`repro.machine.bus.Bus` that reads
+    a PROM blob directly — lets :func:`parse_directory` run against an
+    unbooted :class:`~repro.core.image.BuiltImage`."""
+
+    def __init__(self, blob: bytes) -> None:
+        self._blob = blob
+
+    def read_word(self, address: int) -> int:
+        return int.from_bytes(self._blob[address:address + 4], "little")
+
+    def read_bytes(self, address: int, size: int) -> bytes:
+        return bytes(self._blob[address:address + size])
+
+
+@dataclass(frozen=True)
+class AnalysisConfig:
+    """Platform parameters the static policy is checked against.
+
+    Defaults mirror :class:`repro.core.platform.TrustLitePlatform`'s
+    construction defaults so ``lint_image(image)`` verifies exactly
+    what ``TrustLitePlatform().boot(image)`` would program.
+    """
+
+    table_base: int = layout.TRUSTLET_TABLE_BASE
+    table_capacity: int = layout.TRUSTLET_TABLE_CAPACITY
+    mpu_mmio_base: int = MPU_MMIO_BASE
+    num_mpu_regions: int = 24  # platform.DEFAULT_MPU_REGIONS (no cycle)
+    os_extra_regions: tuple[tuple[int, int, Perm], ...] = ()
+    prom_directory: int = layout.PROM_DIRECTORY
+
+    @property
+    def table_end(self) -> int:
+        return self.table_base + HEADER_SIZE + self.table_capacity * ROW_SIZE
+
+    @property
+    def mpu_mmio_end(self) -> int:
+        return self.mpu_mmio_base + mmio_size(self.num_mpu_regions)
+
+
+def parse_image_modules(
+    prom: bytes, config: AnalysisConfig
+) -> list[ParsedModule]:
+    """Read every module metadata record out of a PROM blob."""
+    return parse_directory(PromReader(prom), config.prom_directory)
+
+
+@dataclass(frozen=True)
+class StaticPolicy:
+    """The rule list the loader would program, plus query helpers."""
+
+    rules: tuple[PolicyRule, ...]
+    config: AnalysisConfig
+
+    @classmethod
+    def for_modules(
+        cls, modules: list[ParsedModule], config: AnalysisConfig
+    ) -> "StaticPolicy":
+        return cls(
+            rules=compute_policy(
+                modules,
+                table_base=config.table_base,
+                table_end=config.table_end,
+                mpu_mmio_base=config.mpu_mmio_base,
+                mpu_mmio_end=config.mpu_mmio_end,
+                os_extra_regions=config.os_extra_regions,
+            ),
+            config=config,
+        )
+
+    @property
+    def regions_needed(self) -> int:
+        """MPU region registers the loader will consume."""
+        return len(self.rules)
+
+    def allows(
+        self, subject: str, address: int, size: int, perm: Perm
+    ) -> bool:
+        """Mirror of :meth:`repro.mpu.ea_mpu.EaMpu.allows`: some single
+        rule must wholly cover the range, carry the permission, and name
+        the subject (or be ANY-subject)."""
+        for rule in self.rules:
+            if rule.end <= rule.base:
+                continue
+            if not (rule.base <= address and address + size <= rule.end):
+                continue
+            if not rule.perm & perm:
+                continue
+            if rule.subjects is None or subject in rule.subjects:
+                return True
+        return False
+
+    def rules_overlapping(
+        self, base: int, end: int
+    ) -> tuple[PolicyRule, ...]:
+        return tuple(
+            r for r in self.rules
+            if spans_overlap(r.base, r.end, base, end)
+        )
+
+    def writers_of(
+        self, base: int, end: int
+    ) -> tuple[PolicyRule, ...]:
+        """Rules granting W anywhere inside ``[base, end)``."""
+        return tuple(
+            r for r in self.rules_overlapping(base, end)
+            if r.perm & Perm.W
+        )

@@ -1,0 +1,153 @@
+"""Findings and reporters for the static trustlet verifier.
+
+A :class:`Finding` is one rule violation located as precisely as the
+analysis allows — at worst a module, at best a single instruction
+address.  :class:`AnalysisReport` aggregates a lint run and renders it
+as terminal text or JSON (the ``--json`` form feeds CI gates).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    ``ERROR`` findings violate a TrustLite isolation invariant and make
+    ``TrustLitePlatform.boot(image, verify=True)`` refuse the image;
+    ``WARNING`` findings are suspicious-but-defensible configurations
+    (e.g. the deliberate W+X of a field-update instantiation);
+    ``INFO`` findings are observations.
+    """
+
+    INFO = "info"
+    WARNING = "warning"
+    ERROR = "error"
+
+    @property
+    def rank(self) -> int:
+        return {"info": 0, "warning": 1, "error": 2}[self.value]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation."""
+
+    rule: str
+    severity: Severity
+    message: str
+    module: str | None = None
+    address: int | None = None
+
+    def location(self) -> str:
+        parts = []
+        if self.module:
+            parts.append(self.module)
+        if self.address is not None:
+            parts.append(f"{self.address:#010x}")
+        return ":".join(parts)
+
+    def format(self) -> str:
+        where = self.location()
+        prefix = f"{self.severity.value:<7s} {self.rule}"
+        if where:
+            prefix += f" [{where}]"
+        return f"{prefix}: {self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "module": self.module,
+            "address": self.address,
+            "message": self.message,
+        }
+
+
+@dataclass(frozen=True)
+class AnalysisReport:
+    """Everything one lint run produced."""
+
+    findings: tuple[Finding, ...]
+    modules: tuple[str, ...] = ()
+    rules_run: tuple[str, ...] = ()
+    image_name: str = ""
+    notes: tuple[str, ...] = field(default_factory=tuple)
+
+    @property
+    def ok(self) -> bool:
+        """True when no finding at all was raised."""
+        return not self.findings
+
+    @property
+    def errors(self) -> tuple[Finding, ...]:
+        return tuple(
+            f for f in self.findings if f.severity is Severity.ERROR
+        )
+
+    @property
+    def warnings(self) -> tuple[Finding, ...]:
+        return tuple(
+            f for f in self.findings if f.severity is Severity.WARNING
+        )
+
+    def by_rule(self, rule: str) -> tuple[Finding, ...]:
+        return tuple(f for f in self.findings if f.rule == rule)
+
+    @property
+    def violated_rules(self) -> tuple[str, ...]:
+        seen: list[str] = []
+        for finding in self.findings:
+            if finding.rule not in seen:
+                seen.append(finding.rule)
+        return tuple(seen)
+
+    # ------------------------------------------------------------------
+    # Reporters.
+
+    def format_text(self) -> str:
+        label = f" {self.image_name!r}" if self.image_name else ""
+        lines = [
+            f"repro lint: analyzed {len(self.modules)} module(s)"
+            f"{label} ({', '.join(self.modules)}) "
+            f"against {len(self.rules_run)} rule(s)"
+        ]
+        for note in self.notes:
+            lines.append(f"note    : {note}")
+        ordered = sorted(
+            self.findings,
+            key=lambda f: (-f.severity.rank, f.rule, f.address or 0),
+        )
+        lines.extend(finding.format() for finding in ordered)
+        if self.ok:
+            lines.append("no findings: image satisfies the policy rules")
+        else:
+            lines.append(
+                f"{len(self.findings)} finding(s): "
+                f"{len(self.errors)} error(s), "
+                f"{len(self.warnings)} warning(s)"
+            )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "image": self.image_name or None,
+            "modules": list(self.modules),
+            "rules_run": list(self.rules_run),
+            "notes": list(self.notes),
+            "findings": [
+                f.to_dict()
+                for f in sorted(
+                    self.findings,
+                    key=lambda f: (-f.severity.rank, f.rule, f.address or 0),
+                )
+            ],
+            "counts": {
+                "findings": len(self.findings),
+                "errors": len(self.errors),
+                "warnings": len(self.warnings),
+            },
+            "ok": self.ok,
+        }

@@ -24,7 +24,7 @@ needing both SRAM data and a distant MMIO window).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.crypto import constant_time_equal, mac, sponge_hash
 from repro.errors import PlatformError

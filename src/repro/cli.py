@@ -9,14 +9,24 @@ the simulated platform:
 * ``fig3``      — the live access-control matrix of a booted platform
 * ``demo``      — boot and run the two-trustlet scheduling demo
 * ``disasm``    — disassemble a module of the demo image
+* ``lint``      — statically verify an image (trustlint)
+
+Exit codes are uniform across commands: **0** success / clean,
+**1** findings or a failed check, **2** usage error (unknown command,
+bad argument, unknown module or image name).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.machine.access import AccessType
+
+EXIT_OK = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
 
 
 def _cmd_table1(_args) -> int:
@@ -109,10 +119,33 @@ def _cmd_disasm(args) -> int:
         print(f"unknown module {args.module!r}; "
               f"choose from {', '.join(image.module_order)}",
               file=sys.stderr)
-        return 1
+        return EXIT_USAGE
     code = image.prom[lay.code_base:lay.code_end]
     print(format_listing(disassemble(code, base=lay.code_base)))
-    return 0
+    return EXIT_OK
+
+
+def _lint_images() -> dict:
+    from repro.sw import images
+
+    return {
+        "two-counter": images.build_two_counter_image,
+        "ipc": images.build_ipc_image,
+        "attestation": images.build_attestation_image,
+        "broken": images.build_broken_image,
+    }
+
+
+def _cmd_lint(args) -> int:
+    from repro.analysis import lint_image
+
+    image = _lint_images()[args.image]()
+    report = lint_image(image, image_name=args.image)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.format_text())
+    return EXIT_OK if report.ok else EXIT_FINDINGS
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -136,6 +169,21 @@ def build_parser() -> argparse.ArgumentParser:
     disasm = sub.add_parser("disasm", help="disassemble a demo module")
     disasm.add_argument("module", help="module name (OS, TL-A, TL-B)")
     disasm.set_defaults(func=_cmd_disasm)
+    lint = sub.add_parser(
+        "lint",
+        help="statically verify an image (exit 0 clean, 1 findings)",
+    )
+    lint.add_argument(
+        "--image",
+        choices=("two-counter", "ipc", "attestation", "broken"),
+        default="two-counter",
+        help="canned image to verify (default: two-counter)",
+    )
+    lint.add_argument(
+        "--json", action="store_true",
+        help="emit the machine-readable report",
+    )
+    lint.set_defaults(func=_cmd_lint)
     return parser
 
 

@@ -22,7 +22,6 @@ from dataclasses import dataclass, field
 from repro.core.trustlet_table import TrustletRow, TrustletTable
 from repro.crypto import constant_time_equal, mac, sponge_hash
 from repro.errors import AttestationError
-from repro.machine.access import AccessType
 from repro.machine.bus import Bus
 from repro.mpu.ea_mpu import EaMpu
 from repro.mpu.regions import ANY_SUBJECT, Perm
@@ -79,7 +78,7 @@ class LocalAttestation:
         """
         problems: list[str] = []
         own_mask = 0
-        for index, region in enumerate(self.mpu.regions):
+        for region in self.mpu.regions:
             if not region.valid:
                 continue
             if region.base <= row.code_base and row.code_end <= region.end \

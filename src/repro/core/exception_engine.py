@@ -30,7 +30,7 @@ when a trustlet is interrupted (21 extra in total, a 100% overhead).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import (
     InvalidInstruction,

@@ -92,6 +92,167 @@ class ParsedModule:
         return self.code_base + self.code_size
 
 
+@dataclass(frozen=True)
+class PolicyRule:
+    """One EA-MPU rule the Secure Loader intends to program.
+
+    This is the *declarative* form of the Fig. 3 policy: subjects are
+    module names (``None`` meaning any subject) rather than region-index
+    masks, so it can be computed — and audited by
+    :mod:`repro.analysis` — without a live MPU.  ``kind`` records which
+    Fig. 5 programming step produced the rule:
+
+    ==========  =====================================================
+    kind        meaning
+    ==========  =====================================================
+    table       the world-readable Trustlet Table
+    mpu         the MPU's own MMIO window (read-only => locked)
+    code        a module's private RX code region
+    entry       a module's ANY-subject executable entry vector
+    code-read   world-readable code (FLAG_CODE_READABLE)
+    data        a module's private RW data region
+    stack       a module's private RW stack region
+    mmio        an exclusive peripheral grant (Sec. 3.3)
+    updater     write access to flash code for a field updater (3.6)
+    os-extra    extra OS regions requested at platform construction
+    shared      an inter-trustlet shared region (Sec. 4.2.1)
+    ==========  =====================================================
+    """
+
+    base: int
+    end: int
+    perm: Perm
+    subjects: frozenset[str] | None  # None = ANY subject
+    kind: str
+    module: str | None = None
+
+    def overlaps(self, base: int, end: int) -> bool:
+        return self.base < end and base < self.end and self.end > self.base
+
+    def describe(self) -> str:
+        who = "any" if self.subjects is None \
+            else ",".join(sorted(self.subjects))
+        return (
+            f"[{self.base:#010x},{self.end:#010x}) "
+            f"{self.perm.letters()} {self.kind} subjects={who}"
+        )
+
+
+def compute_policy(
+    modules: list[ParsedModule],
+    *,
+    table_base: int,
+    table_end: int,
+    mpu_mmio_base: int,
+    mpu_mmio_end: int,
+    os_extra_regions: tuple[tuple[int, int, Perm], ...] = (),
+) -> tuple[PolicyRule, ...]:
+    """Derive the EA-MPU policy the Secure Loader programs at boot.
+
+    Rules are emitted in exactly the order :class:`SecureLoader`
+    programs them (module code regions first, so subject masks can be
+    resolved incrementally); the static verifier replays the same list
+    against the platform's region budget.
+    """
+    rules: list[PolicyRule] = [
+        # The Trustlet Table: world-readable, written by nobody.
+        PolicyRule(table_base, table_end, Perm.R, None, "table"),
+        # The MPU's own registers: world-readable (verifyMPU), locked
+        # against writes simply by the absence of any W rule.
+        PolicyRule(mpu_mmio_base, mpu_mmio_end, Perm.R, None, "mpu"),
+    ]
+    # First pass: every module's code region, so the self-subject masks
+    # exist before data rules reference them.
+    for module in modules:
+        rules.append(
+            PolicyRule(
+                module.code_base, module.code_end, Perm.RX,
+                frozenset((module.name,)), "code", module.name,
+            )
+        )
+    # Second pass: entries, readability, data, stacks, grants.
+    shared_subjects: dict[int, frozenset[str]] = {}
+    shared_window: dict[int, tuple[int, int, Perm]] = {}
+    for module in modules:
+        self_subject = frozenset((module.name,))
+        rules.append(
+            PolicyRule(
+                module.code_base,
+                module.code_base + module.entry_size,
+                Perm.X, None, "entry", module.name,
+            )
+        )
+        if module.flags & FLAG_CODE_READABLE:
+            rules.append(
+                PolicyRule(
+                    module.code_base, module.code_end, Perm.R, None,
+                    "code-read", module.name,
+                )
+            )
+        if module.data_size:
+            rules.append(
+                PolicyRule(
+                    module.data_base,
+                    module.data_base + module.data_size,
+                    Perm.RW, self_subject, "data", module.name,
+                )
+            )
+        rules.append(
+            PolicyRule(
+                module.stack_base,
+                module.stack_base + module.stack_size,
+                Perm.RW, self_subject, "stack", module.name,
+            )
+        )
+        for grant in module.mmio_grants:
+            rules.append(
+                PolicyRule(
+                    grant.base, grant.base + grant.size, grant.perm,
+                    self_subject, "mmio", module.name,
+                )
+            )
+        for request in module.shared:
+            shared_subjects[request.tag] = (
+                shared_subjects.get(request.tag, frozenset()) | self_subject
+            )
+            shared_window[request.tag] = (
+                request.base, request.base + request.size, request.perm
+            )
+        if module.updater_tag:
+            updater = next(
+                (m for m in modules
+                 if _module_tag(m.name) == module.updater_tag),
+                None,
+            )
+            if updater is None:
+                raise LoaderError(
+                    f"module {module.name!r} names an unknown update "
+                    "service in its metadata"
+                )
+            # Sec. 3.6: the code region is declared writable to the
+            # designated software-update service (flash required).
+            rules.append(
+                PolicyRule(
+                    module.code_base, module.code_end, Perm.W,
+                    frozenset((updater.name,)), "updater", module.name,
+                )
+            )
+        if module.is_os:
+            for base, end, perm in os_extra_regions:
+                rules.append(
+                    PolicyRule(
+                        base, end, perm, self_subject, "os-extra",
+                        module.name,
+                    )
+                )
+    # Shared regions: one rule naming all participants (Sec. 4.2.1).
+    for tag, (base, end, perm) in shared_window.items():
+        rules.append(
+            PolicyRule(base, end, perm, shared_subjects[tag], "shared")
+        )
+    return tuple(rules)
+
+
 @dataclass
 class BootReport:
     """What one Secure Loader run did (evaluation counters)."""
@@ -314,86 +475,29 @@ class SecureLoader:
     def _program_policy(
         self, modules: list[ParsedModule], report: BootReport
     ) -> None:
-        def program(base: int, end: int, perm: Perm, subjects: int) -> int:
+        rules = compute_policy(
+            modules,
+            table_base=self.table.base,
+            table_end=self.table.end,
+            mpu_mmio_base=self._mpu_mmio[0],
+            mpu_mmio_end=self._mpu_mmio[1],
+            os_extra_regions=self._os_extra_regions,
+        )
+        # Subjects are module names in the declarative policy; hardware
+        # masks name the subject's *code region* register.  Code rules
+        # are emitted first (and self-referencing), so the name->index
+        # map fills in before any rule needs to look a subject up.
+        for rule in rules:
             index = self.mpu.free_region_index()
-            self.mpu.program_region(index, base, end, perm, subjects=subjects)
-            report.mpu_regions_programmed += 1
-            return index
-
-        # The Trustlet Table: world-readable, written by nobody.
-        program(self.table.base, self.table.end, Perm.R, ANY_SUBJECT)
-        # The MPU's own registers: world-readable (verifyMPU), locked
-        # against writes simply by the absence of any W rule.
-        program(*self._mpu_mmio, Perm.R, ANY_SUBJECT)
-
-        # First pass: every module's code region, so the self-subject
-        # masks exist before data rules reference them.
-        for module in modules:
-            index = self.mpu.free_region_index()
+            if rule.kind == "code":
+                report.code_region_index[rule.module] = index
+            if rule.subjects is None:
+                mask = ANY_SUBJECT
+            else:
+                mask = 0
+                for name in rule.subjects:
+                    mask |= 1 << report.code_region_index[name]
             self.mpu.program_region(
-                index, module.code_base, module.code_end, Perm.RX,
-                subjects=1 << index,
+                index, rule.base, rule.end, rule.perm, subjects=mask
             )
             report.mpu_regions_programmed += 1
-            report.code_region_index[module.name] = index
-
-        # Second pass: entries, readability, data, stacks, grants.
-        shared_subjects: dict[int, int] = {}
-        shared_window: dict[int, tuple[int, int, Perm]] = {}
-        for module in modules:
-            self_mask = 1 << report.code_region_index[module.name]
-            program(
-                module.code_base,
-                module.code_base + module.entry_size,
-                Perm.X,
-                ANY_SUBJECT,
-            )
-            if module.flags & FLAG_CODE_READABLE:
-                program(module.code_base, module.code_end, Perm.R, ANY_SUBJECT)
-            if module.data_size:
-                program(
-                    module.data_base,
-                    module.data_base + module.data_size,
-                    Perm.RW,
-                    self_mask,
-                )
-            program(
-                module.stack_base,
-                module.stack_base + module.stack_size,
-                Perm.RW,
-                self_mask,
-            )
-            for grant in module.mmio_grants:
-                program(
-                    grant.base, grant.base + grant.size, grant.perm, self_mask
-                )
-            for request in module.shared:
-                shared_subjects[request.tag] = (
-                    shared_subjects.get(request.tag, 0) | self_mask
-                )
-                shared_window[request.tag] = (
-                    request.base, request.base + request.size, request.perm
-                )
-            if module.updater_tag:
-                updater = next(
-                    (m for m in modules
-                     if _module_tag(m.name) == module.updater_tag),
-                    None,
-                )
-                if updater is None:
-                    raise LoaderError(
-                        f"module {module.name!r} names an unknown update "
-                        "service in its metadata"
-                    )
-                updater_mask = 1 << report.code_region_index[updater.name]
-                # Sec. 3.6: the code region is declared writable to the
-                # designated software-update service (flash required).
-                program(module.code_base, module.code_end, Perm.W,
-                        updater_mask)
-            if module.is_os:
-                for base, end, perm in self._os_extra_regions:
-                    program(base, end, perm, self_mask)
-
-        # Shared regions: one rule naming all participants (Sec. 4.2.1).
-        for tag, (base, end, perm) in shared_window.items():
-            program(base, end, perm, shared_subjects[tag])

@@ -93,6 +93,7 @@ class TrustLitePlatform:
             mpu_mmio_size=self.mpu_frontend.size,
             os_extra_regions=os_extra_regions,
         )
+        self._os_extra_regions = os_extra_regions
         self.image: BuiltImage | None = None
         self.boot_report: BootReport | None = None
 
@@ -119,8 +120,22 @@ class TrustLitePlatform:
 
     # ------------------------------------------------------------------
 
-    def boot(self, image: BuiltImage, *, wipe_data: bool = True) -> BootReport:
-        """Program the PROM with ``image`` and run the Secure Loader."""
+    def boot(
+        self,
+        image: BuiltImage,
+        *,
+        wipe_data: bool = True,
+        verify: bool = False,
+    ) -> BootReport:
+        """Program the PROM with ``image`` and run the Secure Loader.
+
+        ``verify=True`` runs the :mod:`repro.analysis` static verifier
+        against this platform's exact configuration first and raises
+        :class:`~repro.errors.AnalysisError` if any error-severity
+        finding comes back — the image never touches the PROM.
+        """
+        if verify:
+            self.verify_image(image)
         if len(image.prom) > self.soc.prom.size:
             raise PlatformError(
                 f"image ({len(image.prom)} bytes) exceeds PROM "
@@ -131,6 +146,34 @@ class TrustLitePlatform:
         report = self.loader.boot(wipe_data=wipe_data)
         self._wire_vectors(image, report)
         self.boot_report = report
+        return report
+
+    def verify_image(self, image: BuiltImage):
+        """Run the static verifier with this platform's configuration.
+
+        Returns the :class:`~repro.analysis.report.AnalysisReport` on
+        success; raises :class:`~repro.errors.AnalysisError` carrying
+        the findings when any error-severity finding exists.
+        """
+        # Imported lazily: analysis depends on core, not vice versa.
+        from repro.analysis import AnalysisConfig, lint_image
+        from repro.errors import AnalysisError
+
+        config = AnalysisConfig(
+            table_base=self.table.base,
+            table_capacity=self.table.capacity,
+            mpu_mmio_base=MPU_MMIO_BASE,
+            num_mpu_regions=self.mpu.num_regions,
+            os_extra_regions=self._os_extra_regions,
+        )
+        report = lint_image(image, config=config)
+        if report.errors:
+            raise AnalysisError(
+                f"static verification found {len(report.errors)} "
+                f"error(s); rules violated: "
+                f"{', '.join(report.violated_rules)}",
+                findings=report.findings,
+            )
         return report
 
     def warm_reset(self, *, wipe_data: bool = False) -> BootReport:

@@ -74,12 +74,39 @@ class PlatformError(ReproError):
     """Invalid platform construction or configuration."""
 
 
+class RegionExhaustedError(PlatformError):
+    """Every MPU region register is already programmed.
+
+    The paper's Sec. 8 names the fixed region budget as TrustLite's key
+    scalability limit; running out of regions while programming a policy
+    is therefore its own error type so callers (and the static verifier)
+    can distinguish it from plain misconfiguration.
+    """
+
+    def __init__(self, message: str, *, num_regions: int) -> None:
+        super().__init__(message)
+        self.num_regions = num_regions
+
+
 class LoaderError(ReproError):
     """The Secure Loader rejected a PROM image or trustlet metadata."""
 
 
 class ImageError(LoaderError):
     """A trustlet/OS binary image is malformed."""
+
+
+class AnalysisError(ReproError):
+    """Static verification rejected an image before boot.
+
+    Raised by ``TrustLitePlatform.boot(image, verify=True)`` when the
+    :mod:`repro.analysis` linter reports error-severity findings; the
+    findings ride along for programmatic inspection.
+    """
+
+    def __init__(self, message: str, findings: tuple = ()) -> None:
+        super().__init__(message)
+        self.findings = tuple(findings)
 
 
 class AttestationError(ReproError):

@@ -56,6 +56,31 @@ def disassemble_word(
     return DisassembledLine(address, decode(word), (word,))
 
 
+def linear_sweep(
+    blob: bytes, base: int = 0
+) -> tuple[list[DisassembledLine], list[int]]:
+    """Permissive linear-sweep disassembly of ``blob`` loaded at ``base``.
+
+    Returns the decoded lines plus the addresses of words that did not
+    decode (``.word`` data, truncated tails).  The CFG lifter in
+    :mod:`repro.analysis.cfg` needs the gap addresses to tell "code that
+    falls through into data" apart from plain decode noise.
+    """
+    lines: list[DisassembledLine] = []
+    gaps: list[int] = []
+    offset = 0
+    while offset + 4 <= len(blob):
+        try:
+            line = disassemble_word(blob, offset, base + offset)
+        except EncodingError:
+            gaps.append(base + offset)
+            offset += 4
+            continue
+        lines.append(line)
+        offset += line.size
+    return lines, gaps
+
+
 def disassemble(
     blob: bytes, base: int = 0, *, stop_on_error: bool = False
 ) -> list[DisassembledLine]:
@@ -65,16 +90,12 @@ def disassemble(
     ``stop_on_error`` is set (embedded images mix code and data, so the
     permissive mode is the default).
     """
+    if not stop_on_error:
+        return linear_sweep(blob, base)[0]
     lines: list[DisassembledLine] = []
     offset = 0
     while offset + 4 <= len(blob):
-        try:
-            line = disassemble_word(blob, offset, base + offset)
-        except EncodingError:
-            if stop_on_error:
-                raise
-            offset += 4
-            continue
+        line = disassemble_word(blob, offset, base + offset)
         lines.append(line)
         offset += line.size
     return lines

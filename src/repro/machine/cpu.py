@@ -39,7 +39,7 @@ from repro.isa.opcodes import BRANCH_CONDITIONS, Cond, Op
 from repro.isa.registers import Reg, to_s32, to_u32
 from repro.machine.access import AccessType
 from repro.machine.bus import Bus
-from repro.machine.irq import Interrupt, InterruptController
+from repro.machine.irq import InterruptController
 
 
 @dataclass

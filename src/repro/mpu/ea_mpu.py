@@ -23,9 +23,13 @@ against this) and per-access check statistics.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-from repro.errors import MemoryProtectionFault, PlatformError
+from repro.errors import (
+    MemoryProtectionFault,
+    PlatformError,
+    RegionExhaustedError,
+)
 from repro.machine.access import AccessType
 from repro.mpu.regions import (
     ANY_SUBJECT,
@@ -161,9 +165,10 @@ class EaMpu:
         for index, region in enumerate(self.regions):
             if not region.valid:
                 return index
-        raise PlatformError(
+        raise RegionExhaustedError(
             f"all {self.num_regions} MPU regions are in use; the paper's "
-            "Sec. 8 notes the region budget as the key limitation"
+            "Sec. 8 notes the region budget as the key limitation",
+            num_regions=self.num_regions,
         )
 
     # ------------------------------------------------------------------

@@ -69,6 +69,20 @@ class Perm(enum.IntFlag):
         return out
 
 
+def spans_overlap(
+    a_base: int, a_end: int, b_base: int, b_end: int
+) -> bool:
+    """True when the half-open ranges ``[a_base, a_end)`` and
+    ``[b_base, b_end)`` share at least one byte.
+
+    Empty spans (``end <= base``) never overlap anything, mirroring how
+    an invalid region register takes part in no checks.
+    """
+    if a_end <= a_base or b_end <= b_base:
+        return False
+    return a_base < b_end and b_base < a_end
+
+
 def pack_attr(perm: Perm, subjects: int) -> int:
     """Build an attribute word from permissions and a subject spec.
 

@@ -2,12 +2,19 @@
 
 from __future__ import annotations
 
-from repro.core.image import ImageBuilder, MmioGrant, SoftwareModule
+from repro.core import layout
+from repro.core.image import (
+    ImageBuilder,
+    MmioGrant,
+    SharedRegionRequest,
+    SoftwareModule,
+)
 from repro.machine import soc as socmap
 from repro.machine.devices import crypto_engine as ce
 from repro.machine.devices import timer as tm
 from repro.machine.devices import uart as um
-from repro.sw import kernel, trustlets
+from repro.mpu.regions import Perm
+from repro.sw import kernel, runtime, trustlets
 
 
 def os_module(
@@ -147,3 +154,75 @@ def build_probe_image(
         "table": draft.layout_of("PROBE").sp_slot,
     }[target]
     return make(address)
+
+
+def _rogue_source(victim_stack: int):
+    """A misbehaving trustlet for :func:`build_broken_image`.
+
+    Stores into the victim's stack (no rule will ever permit it) and
+    then jumps past the victim's entry vector into the middle of its
+    code — both statically provable violations.
+    """
+
+    def source(lay):
+        mid_victim = (
+            lay.peer_entry("VICTIM") + layout.ENTRY_VECTOR_SIZE + 4
+        )
+        return f"""
+{runtime.entry_vector()}
+main:
+    movi r4, {victim_stack:#x}
+    movi r5, 0x41
+    stw r5, [r4]            ; foreign stack smash (TL-ACC-001)
+    jmp {mid_victim:#x}     ; bypass the entry vector (TL-ENTRY-001)
+{runtime.continue_impl(lay)}
+{runtime.halt_stub()}
+"""
+
+    return source
+
+
+def build_broken_image():
+    """A deliberately-misconfigured image the static verifier must flag.
+
+    Every defect is real in the sense that the Secure Loader would
+    happily program it — the metadata is well-formed — but the resulting
+    platform violates TrustLite invariants:
+
+    * ``EVIL``'s "MMIO grant" windows actually cover ``VICTIM``'s data
+      region and the MPU's own register window (cross-trustlet write +
+      broken lockdown);
+    * ``EVIL`` requests an ``rwx`` shared region (W^X violation);
+    * ``EVIL``'s code stores into ``VICTIM``'s stack and jumps into the
+      middle of ``VICTIM``'s code, bypassing the entry vector.
+
+    Built with the same two-pass trick as :func:`build_probe_image`:
+    the victim's layout is deterministic, so a draft build resolves the
+    addresses the rogue module bakes in.
+    """
+
+    def make(victim_data: int, victim_stack: int):
+        builder = ImageBuilder()
+        builder.add_module(os_module(schedule=False))
+        builder.add_module(
+            SoftwareModule(name="VICTIM", source=trustlets.counter_source(1))
+        )
+        builder.add_module(
+            SoftwareModule(
+                name="EVIL",
+                source=_rogue_source(victim_stack),
+                mmio_grants=(
+                    # Not peripherals at all: foreign SRAM and the MPU.
+                    MmioGrant(victim_data, 0x100, Perm.RW),
+                    MmioGrant(socmap.MPU_MMIO_BASE, 12, Perm.RW),
+                ),
+                shared=(
+                    SharedRegionRequest("scratch", 0x40, Perm.RWX),
+                ),
+            )
+        )
+        return builder.build()
+
+    draft = make(0x2000_0000, 0x2000_0000)
+    victim = draft.layout_of("VICTIM")
+    return make(victim.data_base, victim.stack_base)

@@ -1,0 +1,161 @@
+"""Unit tests for CFG lifting (repro.analysis.cfg)."""
+
+from repro.analysis.cfg import EdgeKind, build_cfg
+from repro.asm import assemble
+
+
+def lift(source: str, base: int = 0x1000):
+    program = assemble(source, base=base)
+    return build_cfg("M", program.data, base)
+
+
+class TestBlocks:
+    def test_straight_line_single_block(self):
+        cfg = lift("""
+            movi r1, 1
+            add r2, r1, r1
+            halt
+        """)
+        assert len(cfg.blocks) == 1
+        block = cfg.blocks[0]
+        assert block.start == cfg.base
+        assert block.terminator.instruction.op.name == "HALT"
+        assert block.edges == ()  # halt has no successors
+
+    def test_jump_creates_edge_and_leader(self):
+        cfg = lift("""
+            jmp target
+            movi r1, 1
+        target:
+            halt
+        """)
+        jumps = [e for e in cfg.edges if e.kind is EdgeKind.JUMP]
+        assert len(jumps) == 1
+        target = jumps[0].target
+        assert cfg.block_at(target).start == target
+
+    def test_branch_has_taken_and_fallthrough(self):
+        cfg = lift("""
+            cmp r1, r2
+            beq out
+            movi r3, 1
+        out:
+            halt
+        """)
+        kinds = {e.kind for e in cfg.edges}
+        assert EdgeKind.BRANCH in kinds
+        assert EdgeKind.FALLTHROUGH in kinds
+        branch = next(e for e in cfg.edges if e.kind is EdgeKind.BRANCH)
+        fall = next(
+            e for e in cfg.edges
+            if e.kind is EdgeKind.FALLTHROUGH and e.source == branch.source
+        )
+        assert fall.target == branch.source + 8  # beq is an imm32 op
+
+    def test_call_keeps_fallthrough(self):
+        cfg = lift("""
+            call fn
+            halt
+        fn:
+            ret
+        """)
+        kinds = {e.kind for e in cfg.edges}
+        assert EdgeKind.CALL in kinds and EdgeKind.FALLTHROUGH in kinds
+        ret = next(e for e in cfg.edges if e.kind is EdgeKind.RETURN)
+        assert ret.target is None
+
+
+class TestConstantPropagation:
+    def test_computed_jump_resolved_in_block(self):
+        cfg = lift("""
+            movi r1, 0x1040
+            jmpr r1
+        """)
+        computed = next(
+            e for e in cfg.edges if e.kind is EdgeKind.COMPUTED
+        )
+        assert computed.target == 0x1040
+
+    def test_addi_chain_resolves(self):
+        cfg = lift("""
+            movi r1, 0x1000
+            addi r2, r1, 0x40
+            jmpr r2
+        """)
+        computed = next(
+            e for e in cfg.edges if e.kind is EdgeKind.COMPUTED
+        )
+        assert computed.target == 0x1040
+
+    def test_constants_die_at_leaders(self):
+        # r1 is constant before the join point, but `target` is a
+        # branch target (leader), so nothing may flow across it.
+        cfg = lift("""
+            movi r1, 0x1040
+            cmp r0, r0
+            beq target
+        target:
+            jmpr r1
+        """)
+        computed = next(
+            e for e in cfg.edges if e.kind is EdgeKind.COMPUTED
+        )
+        assert computed.target is None
+
+    def test_clobber_kills_constant(self):
+        cfg = lift("""
+            movi r1, 0x1040
+            add r1, r2, r3
+            jmpr r1
+        """)
+        computed = next(
+            e for e in cfg.edges if e.kind is EdgeKind.COMPUTED
+        )
+        assert computed.target is None
+
+    def test_resolved_memory_accesses(self):
+        cfg = lift("""
+            movi r4, 0x20000B00
+            stw r5, [r4+4]
+            ldb r6, [r4]
+            halt
+        """)
+        assert len(cfg.accesses) == 2
+        store = next(a for a in cfg.accesses if a.is_store)
+        load = next(a for a in cfg.accesses if not a.is_store)
+        assert (store.target, store.size) == (0x2000_0B04, 4)
+        assert (load.target, load.size) == (0x2000_0B00, 1)
+
+    def test_unknown_base_yields_no_access(self):
+        cfg = lift("""
+            stw r5, [r4]
+            halt
+        """)
+        assert cfg.accesses == ()
+
+
+class TestDataTolerance:
+    def test_embedded_data_recorded_as_gap(self):
+        cfg = lift("""
+            jmp over
+            .word 0xFFFFFFFF
+        over:
+            halt
+        """)
+        assert cfg.data_words  # the undecodable word is reported
+        # The code on either side still lifted.
+        assert any(
+            e.kind is EdgeKind.JUMP and e.resolved for e in cfg.edges
+        )
+
+    def test_transfer_edges_exclude_fallthrough_and_return(self):
+        cfg = lift("""
+            call fn
+            halt
+        fn:
+            ret
+        """)
+        kinds = {e.kind for e in cfg.transfer_edges()}
+        assert EdgeKind.FALLTHROUGH not in kinds
+        assert EdgeKind.RETURN not in kinds
+        assert EdgeKind.CALL in kinds

@@ -1,0 +1,87 @@
+"""Integration tests: lint_image end-to-end and the pre-boot gate."""
+
+import pytest
+
+from repro.analysis import lint_image
+from repro.core.platform import TrustLitePlatform
+from repro.errors import AnalysisError
+from repro.sw.images import (
+    build_attestation_image,
+    build_broken_image,
+    build_ipc_image,
+    build_two_counter_image,
+)
+
+
+class TestCleanImages:
+    @pytest.mark.parametrize(
+        "build",
+        [build_two_counter_image, build_ipc_image, build_attestation_image],
+    )
+    def test_canned_images_lint_clean(self, build):
+        report = lint_image(build())
+        assert report.ok, report.format_text()
+        assert len(report.rules_run) >= 12
+        assert len(report.modules) >= 2
+
+
+class TestBrokenImage:
+    def test_expected_rules_fire(self):
+        report = lint_image(build_broken_image(), image_name="broken")
+        fired = set(report.violated_rules)
+        # The acceptance triad: entry-vector, W^X, cross-trustlet write.
+        assert {"TL-ENTRY-001", "TL-WX-001", "TL-PRIV-001"} <= fired
+        # Plus the overlap/lockdown/feasibility fallout of the rogue
+        # metadata.
+        assert {"TL-OVL-001", "TL-PRIV-002", "TL-ACC-001"} <= fired
+        assert report.errors and not report.ok
+
+    def test_json_report_shape(self):
+        report = lint_image(build_broken_image(), image_name="broken")
+        as_dict = report.to_dict()
+        assert as_dict["image"] == "broken"
+        assert as_dict["ok"] is False
+        assert as_dict["counts"]["findings"] == len(as_dict["findings"])
+        assert as_dict["counts"]["errors"] >= 3
+        for finding in as_dict["findings"]:
+            assert set(finding) == {
+                "rule", "severity", "module", "address", "message",
+            }
+
+    def test_text_report_mentions_every_rule(self):
+        report = lint_image(build_broken_image())
+        text = report.format_text()
+        for rule in report.violated_rules:
+            assert rule in text
+
+
+class TestPreBootGate:
+    def test_boot_refuses_broken_image(self):
+        platform = TrustLitePlatform()
+        with pytest.raises(AnalysisError) as exc:
+            platform.boot(build_broken_image(), verify=True)
+        # The image never reached the PROM.
+        assert platform.image is None
+        assert exc.value.findings
+        assert any(f.rule == "TL-PRIV-001" for f in exc.value.findings)
+
+    def test_boot_accepts_clean_image(self):
+        platform = TrustLitePlatform()
+        report = platform.boot(build_two_counter_image(), verify=True)
+        assert report.launched == "OS"
+        # The verified platform actually runs.
+        platform.run(max_cycles=20_000)
+        assert platform.mpu.stats.faults == 0
+
+    def test_verify_image_returns_report(self):
+        platform = TrustLitePlatform()
+        report = platform.verify_image(build_two_counter_image())
+        assert report.ok
+
+    def test_verify_uses_platform_configuration(self):
+        # A platform with too few MPU regions must fail verification
+        # even though the default config would pass.
+        platform = TrustLitePlatform(num_mpu_regions=8)
+        with pytest.raises(AnalysisError) as exc:
+            platform.verify_image(build_two_counter_image())
+        assert any(f.rule == "TL-RES-001" for f in exc.value.findings)

@@ -1,0 +1,198 @@
+"""Per-rule unit tests for the trustlint catalogue.
+
+Each test crafts the smallest image that violates exactly one
+invariant and asserts the matching rule id fires (and, where it
+matters, that neighbouring rules stay quiet).
+"""
+
+from repro.analysis import AnalysisConfig, lint_image
+from repro.core import layout
+from repro.core.image import (
+    ImageBuilder,
+    MmioGrant,
+    SharedRegionRequest,
+    SoftwareModule,
+)
+from repro.machine import soc as socmap
+from repro.machine.devices import timer as tm
+from repro.mpu.regions import Perm
+from repro.sw import runtime, trustlets
+from repro.sw.images import build_two_counter_image, os_module
+
+
+def _evil_source(body):
+    """Wrap a body (str or fn(lay) -> str) in the standard runtime."""
+
+    def source(lay):
+        text = body(lay) if callable(body) else body
+        return f"""
+{runtime.entry_vector()}
+main:
+{text}
+    halt
+{runtime.continue_impl(lay)}
+{runtime.halt_stub()}
+"""
+
+    return source
+
+
+def make_image(body="    movi r4, 0", *, mmio_grants=(), shared=()):
+    """OS + VICTIM counter + an EVIL module shaped by the test."""
+    builder = ImageBuilder()
+    builder.add_module(os_module(schedule=False))
+    builder.add_module(
+        SoftwareModule(name="VICTIM", source=trustlets.counter_source(1))
+    )
+    builder.add_module(
+        SoftwareModule(
+            name="EVIL",
+            source=_evil_source(body),
+            mmio_grants=tuple(mmio_grants),
+            shared=tuple(shared),
+        )
+    )
+    return builder.build()
+
+
+# VICTIM's layout does not depend on EVIL (it is packed first), so a
+# draft build resolves the addresses tests bake into EVIL.
+def victim_layout():
+    return make_image().layout_of("VICTIM")
+
+
+def rules_fired(image, **kwargs):
+    return set(lint_image(image, **kwargs).violated_rules)
+
+
+class TestEntryDiscipline:
+    def test_benign_image_is_clean(self):
+        report = lint_image(make_image())
+        assert report.ok, report.format_text()
+
+    def test_jump_past_entry_vector_fires_entry_001(self):
+        image = make_image(
+            lambda lay: "    jmp "
+            f"{lay.peer_entry('VICTIM') + layout.ENTRY_VECTOR_SIZE + 8:#x}"
+        )
+        fired = rules_fired(image)
+        assert "TL-ENTRY-001" in fired
+        assert "TL-ENTRY-002" not in fired
+
+    def test_misaligned_slot_fires_entry_002(self):
+        image = make_image(
+            lambda lay: f"    jmp {lay.peer_entry('VICTIM') + 4:#x}"
+        )
+        fired = rules_fired(image)
+        assert "TL-ENTRY-002" in fired
+        assert "TL-ENTRY-001" not in fired
+
+    def test_aligned_entry_slot_is_clean(self):
+        image = make_image(
+            lambda lay: f"    jmp {lay.peer_entry('VICTIM') + 8:#x}"
+        )
+        fired = rules_fired(image)
+        assert not fired & {"TL-ENTRY-001", "TL-ENTRY-002"}
+
+    def test_missing_entry_vector_warns_entry_003(self):
+        builder = ImageBuilder()
+        builder.add_module(os_module(schedule=False))
+        builder.add_module(
+            SoftwareModule(
+                name="LAME",
+                # No entry vector at all: code starts with plain compute.
+                source=lambda lay: "main:\n    movi r4, 0\n    halt\n",
+            )
+        )
+        report = lint_image(builder.build())
+        lame = [f for f in report.by_rule("TL-ENTRY-003")
+                if f.module == "LAME"]
+        assert lame
+        assert all(f.severity.value == "warning" for f in lame)
+
+
+class TestMemoryPolicy:
+    def test_rwx_shared_region_fires_wx_001(self):
+        image = make_image(
+            shared=(SharedRegionRequest("scratch", 0x40, Perm.RWX),)
+        )
+        report = lint_image(image)
+        findings = report.by_rule("TL-WX-001")
+        assert findings and findings[0].severity.value == "error"
+
+    def test_grant_over_foreign_data_fires_ovl_and_priv(self):
+        victim = victim_layout()
+        image = make_image(
+            mmio_grants=(MmioGrant(victim.data_base, 0x100, Perm.RW),)
+        )
+        fired = rules_fired(image)
+        assert "TL-OVL-001" in fired
+        assert "TL-PRIV-001" in fired
+
+    def test_grant_over_mpu_window_fires_priv_002(self):
+        image = make_image(
+            mmio_grants=(MmioGrant(socmap.MPU_MMIO_BASE, 12, Perm.RW),)
+        )
+        report = lint_image(image)
+        findings = report.by_rule("TL-PRIV-002")
+        assert findings
+        assert "lockdown" in findings[0].message
+
+    def test_shared_peripheral_warns_periph_001(self):
+        # The OS already owns the timer; granting it to EVIL too breaks
+        # Sec. 3.3's exclusive-assignment expectation.
+        image = make_image(
+            mmio_grants=(MmioGrant(socmap.TIMER_BASE, tm.SIZE),)
+        )
+        report = lint_image(image)
+        findings = report.by_rule("TL-PERIPH-001")
+        assert findings
+        assert all(f.severity.value == "warning" for f in findings)
+        # A duplicated peripheral is not a trustlet-privacy violation.
+        assert not report.by_rule("TL-PRIV-001")
+
+
+class TestCodeRules:
+    def test_unmappable_store_fires_acc_001(self):
+        image = make_image(
+            "    movi r4, 0x30000000\n"
+            "    movi r5, 1\n"
+            "    stw r5, [r4]"
+        )
+        report = lint_image(image)
+        findings = report.by_rule("TL-ACC-001")
+        assert findings
+        assert findings[0].module == "EVIL"
+        assert "0x30000000" in findings[0].message
+
+    def test_legal_store_is_silent(self):
+        # EVIL writing its *own* data region is exactly what the policy
+        # allows — the feasibility rule must not fire.
+        image = make_image(
+            lambda lay: f"    movi r4, {lay.data_base:#x}\n"
+            "    movi r5, 1\n"
+            "    stw r5, [r4]"
+        )
+        assert not lint_image(image).by_rule("TL-ACC-001")
+
+    def test_wild_branch_fires_cfg_001(self):
+        image = make_image("    jmp 0x000f0000")
+        report = lint_image(image)
+        findings = report.by_rule("TL-CFG-001")
+        assert findings
+        assert findings[0].module == "EVIL"
+
+
+class TestResourceBudget:
+    def test_too_few_regions_fires_res_001(self):
+        report = lint_image(
+            build_two_counter_image(),
+            config=AnalysisConfig(num_mpu_regions=8),
+        )
+        findings = report.by_rule("TL-RES-001")
+        assert findings
+        assert "8 region registers" in findings[0].message
+
+    def test_default_budget_suffices(self):
+        report = lint_image(build_two_counter_image())
+        assert not report.by_rule("TL-RES-001")

@@ -9,7 +9,7 @@ from repro.crypto import sponge_hash
 from repro.errors import LoaderError
 from repro.machine.access import AccessType
 from repro.machine.soc import MPU_MMIO_BASE
-from repro.sw.images import build_two_counter_image, os_module
+from repro.sw.images import build_two_counter_image
 from repro.sw import trustlets
 
 MINIMAL = """

@@ -12,7 +12,6 @@ manager can install new rules in the field.  These tests run such a
 policy-manager trustlet as guest code.
 """
 
-import pytest
 
 from repro.core.image import ImageBuilder, MmioGrant, SoftwareModule
 from repro.core.platform import TrustLitePlatform

@@ -6,7 +6,6 @@ from hypothesis import given, strategies as st
 from repro.asm import assemble
 from repro.errors import EncodingError
 from repro.isa.disasm import (
-    DisassembledLine,
     disassemble,
     disassemble_word,
     format_listing,

@@ -3,7 +3,11 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.errors import MemoryProtectionFault, PlatformError
+from repro.errors import (
+    MemoryProtectionFault,
+    PlatformError,
+    RegionExhaustedError,
+)
 from repro.machine.access import AccessType
 from repro.mpu.ea_mpu import EaMpu
 from repro.mpu.regions import ANY_SUBJECT, Perm
@@ -130,6 +134,16 @@ class TestProgramming:
         mpu.program_region(0, 0, 0x100, Perm.R)
         with pytest.raises(PlatformError):
             mpu.free_region_index()
+
+    def test_exhaustion_error_is_typed(self):
+        mpu = EaMpu(num_regions=2)
+        mpu.program_region(0, 0, 0x100, Perm.R)
+        mpu.program_region(1, 0x100, 0x200, Perm.R)
+        with pytest.raises(RegionExhaustedError) as exc:
+            mpu.free_region_index()
+        assert isinstance(exc.value, PlatformError)
+        assert exc.value.num_regions == 2
+        assert "2" in str(exc.value)
 
     def test_bad_region_index_rejected(self):
         mpu = EaMpu(num_regions=2)

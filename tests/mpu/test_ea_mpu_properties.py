@@ -10,7 +10,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.machine.access import AccessType
 from repro.mpu.ea_mpu import EaMpu
-from repro.mpu.regions import ANY_SUBJECT, Perm, pack_attr
+from repro.mpu.regions import ANY_SUBJECT, Perm
 
 NUM_REGIONS = 8
 ADDR_SPACE = 0x1_0000

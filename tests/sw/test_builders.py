@@ -4,7 +4,7 @@ import pytest
 
 from repro.asm import assemble
 from repro.core import layout
-from repro.core.image import ImageBuilder, ModuleLayout, SoftwareModule
+from repro.core.image import ModuleLayout
 from repro.isa.disasm import disassemble_word
 from repro.isa.opcodes import Op
 from repro.sw import runtime, trustlets
@@ -93,7 +93,7 @@ class TestKernelSource:
 
     def test_ipc_return_slot_within_entry(self):
         lay = _dummy_layout(name="OS")
-        program = assemble(os_source(lay), base=lay.code_base)
+        assemble(os_source(lay), base=lay.code_base)  # must assemble
         # The 4th slot (offset 24) must live inside the declared entry.
         assert OS_ENTRY_SIZE == 32
 

@@ -1,8 +1,10 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
+import json
+
 import pytest
 
-from repro.cli import main
+from repro.cli import EXIT_FINDINGS, EXIT_OK, EXIT_USAGE, main
 
 
 class TestCommands:
@@ -39,9 +41,45 @@ class TestCommands:
         assert "jmp" in out and "movi" in out
 
     def test_disasm_unknown_module(self, capsys):
-        assert main(["disasm", "GHOST"]) == 1
+        assert main(["disasm", "GHOST"]) == EXIT_USAGE
         assert "unknown module" in capsys.readouterr().err
 
     def test_missing_command_errors(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestLint:
+    def test_clean_image_exits_zero(self, capsys):
+        assert main(["lint"]) == EXIT_OK
+        out = capsys.readouterr().out
+        assert "no findings" in out
+
+    def test_broken_image_exits_one(self, capsys):
+        assert main(["lint", "--image", "broken"]) == EXIT_FINDINGS
+        out = capsys.readouterr().out
+        # The three headline rule families must all appear.
+        assert "TL-ENTRY-001" in out
+        assert "TL-WX-001" in out
+        assert "TL-PRIV-001" in out
+
+    def test_json_report(self, capsys):
+        assert main(["lint", "--image", "broken", "--json"]) == EXIT_FINDINGS
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] is False
+        rules = {f["rule"] for f in report["findings"]}
+        assert {"TL-ENTRY-001", "TL-WX-001", "TL-PRIV-001"} <= rules
+        assert report["counts"]["errors"] == len(
+            [f for f in report["findings"] if f["severity"] == "error"]
+        )
+
+    def test_json_clean_report(self, capsys):
+        assert main(["lint", "--json"]) == EXIT_OK
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] is True
+        assert report["findings"] == []
+
+    def test_unknown_image_is_usage_error(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["lint", "--image", "ghost"])
+        assert exc.value.code == EXIT_USAGE

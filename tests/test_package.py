@@ -1,6 +1,5 @@
 """Package-level checks: error hierarchy, public API surface, version."""
 
-import pytest
 
 import repro
 from repro import errors
