@@ -10,6 +10,7 @@ the simulated platform:
 * ``demo``      — boot and run the two-trustlet scheduling demo
 * ``disasm``    — disassemble a module of the demo image
 * ``lint``      — statically verify an image (trustlint)
+* ``fleet``     — clone a device fleet and run remote attestation
 
 Exit codes are uniform across commands: **0** success / clean,
 **1** findings or a failed check, **2** usage error (unknown command,
@@ -148,6 +149,34 @@ def _cmd_lint(args) -> int:
     return EXIT_OK if report.ok else EXIT_FINDINGS
 
 
+def _cmd_fleet(args) -> int:
+    from repro.errors import FleetError
+    from repro.fleet import FleetConfig, format_report, run_fleet
+
+    try:
+        config = FleetConfig(
+            devices=args.devices,
+            rounds=args.rounds,
+            seed=args.seed,
+            compromise=args.compromise,
+            drop_rate=args.drop_rate,
+            delay_min=args.delay_min,
+            delay_max=args.delay_max,
+            timeout_cycles=args.timeout_cycles,
+            max_retries=args.retries,
+            workers=args.workers,
+        )
+    except FleetError as exc:
+        print(f"fleet: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    report = run_fleet(config)
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(format_report(report))
+    return EXIT_OK if report["ok"] else EXIT_FINDINGS
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -184,6 +213,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the machine-readable report",
     )
     lint.set_defaults(func=_cmd_lint)
+    fleet = sub.add_parser(
+        "fleet",
+        help="clone a fleet and attest it (exit 0 all verdicts as "
+             "expected, 1 otherwise)",
+    )
+    fleet.add_argument("--devices", type=int, default=8,
+                       help="fleet size (default: 8)")
+    fleet.add_argument("--rounds", type=int, default=1,
+                       help="attestation rounds (default: 1)")
+    fleet.add_argument("--seed", type=int, default=0,
+                       help="seed for nonces, faults and compromise choice")
+    fleet.add_argument("--compromise", type=int, default=1,
+                       help="devices to tamper post-boot (default: 1)")
+    fleet.add_argument("--drop-rate", type=float, default=0.0,
+                       help="per-link message loss probability")
+    fleet.add_argument("--delay-min", type=int, default=0,
+                       help="minimum link delay in cycles")
+    fleet.add_argument("--delay-max", type=int, default=512,
+                       help="maximum link delay in cycles")
+    fleet.add_argument("--timeout-cycles", type=int, default=8192,
+                       help="per-attempt response timeout in cycles")
+    fleet.add_argument("--retries", type=int, default=2,
+                       help="re-challenges before marking unresponsive")
+    fleet.add_argument("--workers", type=int, default=8,
+                       help="verifier worker threads")
+    fleet.add_argument("--json", action="store_true",
+                       help="emit the machine-readable report")
+    fleet.set_defaults(func=_cmd_fleet)
     return parser
 
 

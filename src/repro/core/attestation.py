@@ -27,6 +27,23 @@ from repro.mpu.ea_mpu import EaMpu
 from repro.mpu.regions import ANY_SUBJECT, Perm
 
 
+def expected_measurements(image) -> dict[str, bytes]:
+    """Reference code digests of every module, straight from the image.
+
+    The verifier side of remote attestation: hash each module's code
+    region out of the built PROM bytes (PROM is mapped at address 0, so
+    layout addresses index the image directly) without touching any
+    device.  Matches what :func:`measure_code` yields on an untampered
+    platform.
+    """
+    return {
+        name: sponge_hash(
+            image.prom[lay.code_base:lay.code_end]
+        )
+        for name, lay in image.layouts.items()
+    }
+
+
 def measure_code(bus: Bus, code_base: int, code_end: int) -> bytes:
     """Hash a code region exactly as the Secure Loader does."""
     if code_end <= code_base:

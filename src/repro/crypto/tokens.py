@@ -15,9 +15,20 @@ NONCE_SIZE = 8
 
 
 class NonceSource:
-    """Deterministic nonce generator, unique per (seed, counter)."""
+    """Deterministic nonce generator, unique per (seed, counter).
 
-    def __init__(self, seed: bytes = b"trustlite-nonce-seed") -> None:
+    ``seed`` may be raw bytes, or an ``int``/``str`` convenience form
+    (encoded to a canonical byte string) so callers can thread one
+    integer ``--seed`` through every nonce stream in an experiment.
+    """
+
+    def __init__(
+        self, seed: bytes | str | int = b"trustlite-nonce-seed"
+    ) -> None:
+        if isinstance(seed, int):
+            seed = f"int:{seed}".encode("ascii")
+        elif isinstance(seed, str):
+            seed = seed.encode("utf-8")
         self._seed = bytes(seed)
         self._counter = 0
 

@@ -115,3 +115,7 @@ class AttestationError(ReproError):
 
 class IpcError(ReproError):
     """Trusted IPC protocol violation (bad nonce, unknown peer, replay)."""
+
+
+class FleetError(ReproError):
+    """Fleet orchestration failure (bad config, transport misuse)."""

@@ -1,0 +1,61 @@
+"""Fleet-scale remote attestation over snapshot-cloned devices.
+
+The paper targets *large numbers of tiny devices*; this package scales
+the single-platform simulator out to a fleet:
+
+* :mod:`repro.fleet.transport` — challenge/response messages over a
+  lossy, delayed, seed-deterministic in-process link;
+* :mod:`repro.fleet.device` — the device endpoint: live code
+  re-measurement MAC'd under a per-device key, replay protection;
+* :mod:`repro.fleet.verifier` — batched challenges, a worker pool over
+  device endpoints, healthy/compromised/unresponsive verdicts with
+  retry and timeout in simulated cycles;
+* :mod:`repro.fleet.metrics` — counters and latency histograms
+  exported as JSON;
+* :mod:`repro.fleet.service` — the one-call experiment: boot one
+  golden image, snapshot-clone N devices, tamper some, attest all.
+"""
+
+from repro.fleet.device import FleetDevice
+from repro.fleet.metrics import Counter, Histogram, MetricsRegistry
+from repro.fleet.service import (
+    FleetConfig,
+    build_fleet,
+    device_key,
+    format_report,
+    run_fleet,
+)
+from repro.fleet.transport import (
+    FaultModel,
+    InProcessTransport,
+    Message,
+    TransportStats,
+)
+from repro.fleet.verifier import (
+    COMPROMISED,
+    DeviceVerdict,
+    FleetVerifier,
+    HEALTHY,
+    UNRESPONSIVE,
+)
+
+__all__ = [
+    "COMPROMISED",
+    "Counter",
+    "DeviceVerdict",
+    "FaultModel",
+    "FleetConfig",
+    "FleetDevice",
+    "FleetVerifier",
+    "HEALTHY",
+    "Histogram",
+    "InProcessTransport",
+    "Message",
+    "MetricsRegistry",
+    "TransportStats",
+    "UNRESPONSIVE",
+    "build_fleet",
+    "device_key",
+    "format_report",
+    "run_fleet",
+]

@@ -1,0 +1,107 @@
+"""Fleet metrics: counters and latency histograms.
+
+A tiny Prometheus-shaped registry for the fleet verifier.  Everything
+is measured in *simulated cycles* (never wall clock), so two runs with
+the same seed export byte-identical JSON.  Counters and histograms are
+individually locked because the verifier's worker pool observes them
+from device-stepper threads.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class Counter:
+    """Monotonic named counter."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+
+class Histogram:
+    """Value distribution with nearest-rank percentiles."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._values: list[int] = []
+        self._lock = threading.Lock()
+
+    def observe(self, value: int) -> None:
+        with self._lock:
+            self._values.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    def percentile(self, pct: float) -> int:
+        """Nearest-rank percentile; 0 on an empty histogram."""
+        with self._lock:
+            if not self._values:
+                return 0
+            ordered = sorted(self._values)
+            rank = max(1, -(-len(ordered) * pct // 100))  # ceil
+            return ordered[int(rank) - 1]
+
+    def summary(self) -> dict:
+        with self._lock:
+            values = sorted(self._values)
+        if not values:
+            return {"count": 0}
+
+        def rank(pct: float) -> int:
+            return values[int(max(1, -(-len(values) * pct // 100))) - 1]
+
+        return {
+            "count": len(values),
+            "min": values[0],
+            "max": values[-1],
+            "mean": round(sum(values) / len(values), 2),
+            "p50": rank(50),
+            "p95": rank(95),
+            "p99": rank(99),
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create registry exporting one JSON-ready dict."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._lock = threading.Lock()
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            if name not in self._counters:
+                self._counters[name] = Counter(name)
+            return self._counters[name]
+
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            if name not in self._histograms:
+                self._histograms[name] = Histogram(name)
+            return self._histograms[name]
+
+    def to_dict(self) -> dict:
+        return {
+            "counters": {
+                name: counter.value
+                for name, counter in sorted(self._counters.items())
+            },
+            "histograms": {
+                name: histogram.summary()
+                for name, histogram in sorted(self._histograms.items())
+            },
+        }

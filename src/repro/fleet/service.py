@@ -1,0 +1,231 @@
+"""Fleet orchestration: golden image → clones → attestation rounds.
+
+``run_fleet`` is the one-call entry point behind
+``python -m repro fleet``:
+
+1. boot **one** golden platform from the attestation image and snapshot
+   it (:class:`repro.machine.Snapshot`);
+2. stamp out N devices by cloning the snapshot (O(memcpy) each) and
+   provision each with a per-device key derived from the run seed;
+3. tamper the code of a seed-chosen subset post-boot (the attack the
+   fleet is supposed to catch);
+4. run R verifier rounds over a lossy/delayed in-process transport and
+   export verdicts plus metrics as one JSON-ready report.
+
+Everything downstream of the seed is deterministic — nonces, link
+faults, compromise choice, simulated-cycle latencies — so the same
+command line reproduces the same report byte for byte.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import asdict, dataclass
+
+from repro.core.attestation import expected_measurements
+from repro.core.platform import TrustLitePlatform
+from repro.core.trustlet_table import name_tag
+from repro.crypto import mac, sponge_hash
+from repro.errors import FleetError
+from repro.fleet.device import FleetDevice
+from repro.fleet.metrics import MetricsRegistry
+from repro.fleet.transport import FaultModel, InProcessTransport
+from repro.fleet.verifier import (
+    COMPROMISED,
+    FleetVerifier,
+    HEALTHY,
+    UNRESPONSIVE,
+)
+from repro.machine.snapshot import Snapshot
+from repro.sw.images import build_attestation_image
+
+SCHEMA = "repro.fleet/1"
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """One fleet experiment, fully determined by these fields."""
+
+    devices: int = 8
+    rounds: int = 1
+    seed: int = 0
+    compromise: int = 1
+    drop_rate: float = 0.0
+    delay_min: int = 0
+    delay_max: int = 512
+    timeout_cycles: int = 8192
+    max_retries: int = 2
+    workers: int = 8
+
+    def __post_init__(self) -> None:
+        if self.devices < 1:
+            raise FleetError("fleet needs at least one device")
+        if self.rounds < 1:
+            raise FleetError("fleet needs at least one round")
+        if not 0 <= self.compromise <= self.devices:
+            raise FleetError(
+                f"cannot compromise {self.compromise} of "
+                f"{self.devices} devices"
+            )
+
+
+def device_key(seed: int, device_id: int) -> bytes:
+    """Per-device symmetric key (manufacturing-time provisioning)."""
+    master = sponge_hash(f"fleet-master:{seed}".encode("ascii"))
+    return mac(master, b"device:" + device_id.to_bytes(4, "little"))
+
+
+def build_fleet(
+    config: FleetConfig,
+) -> tuple[dict[int, FleetDevice], Snapshot, object]:
+    """Boot the golden image once, clone it into the fleet."""
+    golden = TrustLitePlatform()
+    image = build_attestation_image()
+    golden.boot(image)
+    snapshot = Snapshot.save(golden)
+    devices: dict[int, FleetDevice] = {}
+    for device_id in range(config.devices):
+        key = device_key(config.seed, device_id)
+        platform = snapshot.clone()
+        platform.soc.crypto.set_key(key)
+        devices[device_id] = FleetDevice(device_id, platform, key)
+    return devices, snapshot, image
+
+
+def run_fleet(config: FleetConfig) -> dict:
+    """Run the whole experiment; returns the JSON-ready report."""
+    devices, snapshot, image = build_fleet(config)
+
+    compromise_rng = random.Random(f"fleet-compromise:{config.seed}")
+    expected_compromised = sorted(
+        compromise_rng.sample(range(config.devices), config.compromise)
+    )
+    for device_id in expected_compromised:
+        devices[device_id].tamper_code()
+
+    metrics = MetricsRegistry()
+    transport = InProcessTransport(
+        seed=config.seed,
+        fault_model=FaultModel(
+            drop_rate=config.drop_rate,
+            delay_min=config.delay_min,
+            delay_max=config.delay_max,
+        ),
+    )
+    digests = expected_measurements(image)
+    expected_rows = [
+        (name_tag(name), digests[name]) for name in image.module_order
+    ]
+    verifier = FleetVerifier(
+        devices,
+        transport,
+        # Symmetric scheme (as in SMART): the verifier holds key copies.
+        {i: device_key(config.seed, i) for i in devices},
+        expected_rows,
+        seed=config.seed,
+        timeout_cycles=config.timeout_cycles,
+        max_retries=config.max_retries,
+        workers=config.workers,
+        metrics=metrics,
+    )
+
+    rounds = []
+    flagged_compromised: set[int] = set()
+    flagged_unresponsive: set[int] = set()
+    for round_index in range(config.rounds):
+        verdicts = verifier.run_round()
+        for device_id, verdict in verdicts.items():
+            if verdict.status == COMPROMISED:
+                flagged_compromised.add(device_id)
+            elif verdict.status == UNRESPONSIVE:
+                flagged_unresponsive.add(device_id)
+        rounds.append(
+            {
+                "round": round_index,
+                "verdicts": {
+                    str(device_id): verdicts[device_id].to_dict()
+                    for device_id in sorted(verdicts)
+                },
+                "healthy": sum(
+                    1 for v in verdicts.values() if v.status == HEALTHY
+                ),
+                "compromised": sum(
+                    1 for v in verdicts.values()
+                    if v.status == COMPROMISED
+                ),
+                "unresponsive": sum(
+                    1 for v in verdicts.values()
+                    if v.status == UNRESPONSIVE
+                ),
+            }
+        )
+
+    ok = (
+        sorted(flagged_compromised) == expected_compromised
+        and not flagged_unresponsive
+    )
+    return {
+        "schema": SCHEMA,
+        "config": asdict(config),
+        "image": {
+            "modules": list(image.module_order),
+            "prom_bytes": len(image.prom),
+        },
+        "fleet": {
+            "devices": config.devices,
+            "clone_memory_bytes": snapshot.memory_bytes,
+        },
+        "expected_compromised": expected_compromised,
+        "rounds": rounds,
+        "flagged": {
+            "compromised": sorted(flagged_compromised),
+            "unresponsive": sorted(flagged_unresponsive),
+        },
+        "ok": ok,
+        "transport": transport.stats.to_dict(),
+        "metrics": metrics.to_dict(),
+    }
+
+
+def format_report(report: dict) -> str:
+    """Human-readable rendering of a ``run_fleet`` report."""
+    lines = []
+    config = report["config"]
+    lines.append(
+        f"fleet: {config['devices']} devices, {config['rounds']} "
+        f"round(s), seed {config['seed']}"
+    )
+    lines.append(
+        f"image: {', '.join(report['image']['modules'])} "
+        f"({report['image']['prom_bytes']} PROM bytes)"
+    )
+    lines.append(
+        f"expected compromised: "
+        f"{report['expected_compromised'] or 'none'}"
+    )
+    for round_report in report["rounds"]:
+        lines.append(
+            f"round {round_report['round']}: "
+            f"{round_report['healthy']} healthy, "
+            f"{round_report['compromised']} compromised, "
+            f"{round_report['unresponsive']} unresponsive"
+        )
+    flagged = report["flagged"]
+    lines.append(f"flagged compromised : {flagged['compromised'] or 'none'}")
+    lines.append(f"flagged unresponsive: {flagged['unresponsive'] or 'none'}")
+    transport = report["transport"]
+    lines.append(
+        f"transport: {transport['sent']} sent, "
+        f"{transport['delivered']} delivered, "
+        f"{transport['dropped']} dropped"
+    )
+    latency = report["metrics"]["histograms"].get(
+        "fleet_round_latency_cycles", {}
+    )
+    if latency.get("count"):
+        lines.append(
+            f"round latency cycles: p50={latency['p50']} "
+            f"p95={latency['p95']} max={latency['max']}"
+        )
+    lines.append(f"verdict: {'OK' if report['ok'] else 'MISMATCH'}")
+    return "\n".join(lines)

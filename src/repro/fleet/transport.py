@@ -1,0 +1,190 @@
+"""Attestation message transport between the verifier and the fleet.
+
+The wire format is a frozen :class:`Message` carrying a challenge nonce
+or a response quote plus a per-device sequence number.  The transport
+interface is socket-shaped — ``send()`` one message, ``poll()`` an
+endpoint's inbox — so an implementation backed by real sockets can
+drop in later; the in-process implementation here keeps one queue per
+(endpoint, device) pair.
+
+Time is simulated: each message is stamped ``sent_at`` and becomes
+visible to ``poll()`` only once the polling side's clock reaches
+``deliver_at``.  A :class:`FaultModel` injects per-link loss and delay
+from a per-device ``random.Random`` stream, so a run is bit-for-bit
+reproducible for a given seed no matter how the verifier's worker
+threads are scheduled.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass, field
+
+from repro.errors import FleetError
+
+CHALLENGE = "challenge"
+RESPONSE = "response"
+
+_ENDPOINTS = ("device", "verifier")
+
+
+@dataclass(frozen=True)
+class Message:
+    """One attestation protocol message.
+
+    ``nonce`` is set on challenges; ``quote`` on responses.  ``seq`` is
+    the verifier-assigned per-device sequence number — devices reject
+    anything not strictly newer than what they last answered (replay
+    protection), and the verifier ignores responses for superseded
+    sequence numbers (stale retries).
+    """
+
+    kind: str
+    device_id: int
+    seq: int
+    sent_at: int
+    deliver_at: int
+    nonce: bytes = b""
+    quote: bytes = b""
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """Per-link loss and latency injection.
+
+    ``drop_rate`` is the probability a message vanishes; surviving
+    messages are delayed by a uniform draw from
+    ``[delay_min, delay_max]`` cycles.
+    """
+
+    drop_rate: float = 0.0
+    delay_min: int = 0
+    delay_max: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.drop_rate < 1.0:
+            raise FleetError(
+                f"drop_rate must be in [0, 1): {self.drop_rate}"
+            )
+        if self.delay_min < 0 or self.delay_max < self.delay_min:
+            raise FleetError(
+                f"bad delay window [{self.delay_min}, {self.delay_max}]"
+            )
+
+    def roll(self, rng: random.Random) -> tuple[bool, int]:
+        """One link traversal: (dropped?, delay in cycles)."""
+        dropped = self.drop_rate > 0.0 and rng.random() < self.drop_rate
+        delay = rng.randint(self.delay_min, self.delay_max) \
+            if self.delay_max else self.delay_min
+        return dropped, delay
+
+
+@dataclass
+class TransportStats:
+    """Aggregate link statistics (drops are per-link, not per-retry)."""
+
+    sent: int = 0
+    delivered: int = 0
+    dropped: int = 0
+    in_flight: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "sent": self.sent,
+            "delivered": self.delivered,
+            "dropped": self.dropped,
+            "in_flight": self.in_flight,
+        }
+
+
+class InProcessTransport:
+    """Queue-backed transport with per-device fault streams.
+
+    Each device's link gets its own ``random.Random`` seeded from
+    ``(seed, device_id)`` — the fault pattern a device experiences is a
+    pure function of the seed, independent of thread interleaving.
+    """
+
+    def __init__(
+        self, *, seed: int = 0, fault_model: FaultModel | None = None
+    ) -> None:
+        self.fault_model = fault_model or FaultModel()
+        self._seed = seed
+        self._queues: dict[tuple[str, int], list[Message]] = {}
+        self._rngs: dict[int, random.Random] = {}
+        self.stats = TransportStats()
+        self._stats_lock = threading.Lock()
+
+    def _rng(self, device_id: int) -> random.Random:
+        if device_id not in self._rngs:
+            # String seeding hashes with SHA-512 internally: stable
+            # across processes, independent of PYTHONHASHSEED.
+            self._rngs[device_id] = random.Random(
+                f"fleet-link:{self._seed}:{device_id}"
+            )
+        return self._rngs[device_id]
+
+    def register(self, device_id: int) -> None:
+        """Create the device's queues and fault stream up front.
+
+        Registration order fixes RNG creation order, keeping fault
+        streams deterministic even when sends happen from worker
+        threads.
+        """
+        self._rng(device_id)
+        for endpoint in _ENDPOINTS:
+            self._queues.setdefault((endpoint, device_id), [])
+
+    # ------------------------------------------------------------------
+
+    def send(self, message: Message) -> bool:
+        """Put ``message`` on the wire; returns False if the link ate it.
+
+        The destination endpoint is implied by the message kind:
+        challenges flow verifier → device, responses device → verifier.
+        """
+        if message.kind == CHALLENGE:
+            endpoint = "device"
+        elif message.kind == RESPONSE:
+            endpoint = "verifier"
+        else:
+            raise FleetError(f"unknown message kind {message.kind!r}")
+        key = (endpoint, message.device_id)
+        if key not in self._queues:
+            raise FleetError(f"device {message.device_id} not registered")
+        dropped, delay = self.fault_model.roll(self._rng(message.device_id))
+        with self._stats_lock:
+            self.stats.sent += 1
+            if dropped:
+                self.stats.dropped += 1
+            else:
+                self.stats.in_flight += 1
+        if dropped:
+            return False
+        delivered = Message(
+            kind=message.kind,
+            device_id=message.device_id,
+            seq=message.seq,
+            sent_at=message.sent_at,
+            deliver_at=message.sent_at + delay,
+            nonce=message.nonce,
+            quote=message.quote,
+        )
+        queue = self._queues[key]
+        queue.append(delivered)
+        queue.sort(key=lambda m: (m.deliver_at, m.seq))
+        return True
+
+    def poll(self, endpoint: str, device_id: int, now: int) -> list[Message]:
+        """Drain every message for ``endpoint`` delivered by ``now``."""
+        if endpoint not in _ENDPOINTS:
+            raise FleetError(f"unknown endpoint {endpoint!r}")
+        queue = self._queues.get((endpoint, device_id), [])
+        ready = [m for m in queue if m.deliver_at <= now]
+        if ready:
+            queue[:] = [m for m in queue if m.deliver_at > now]
+            with self._stats_lock:
+                self.stats.delivered += len(ready)
+                self.stats.in_flight -= len(ready)
+        return ready

@@ -15,6 +15,7 @@ from repro.machine.bus import Bus
 from repro.machine.memories import Dram, Prom, Ram
 from repro.machine.cpu import Cpu, CpuFlags
 from repro.machine.irq import Interrupt, InterruptController
+from repro.machine.snapshot import Snapshot
 from repro.machine.soc import SoC
 
 __all__ = [
@@ -27,5 +28,6 @@ __all__ = [
     "InterruptController",
     "Prom",
     "Ram",
+    "Snapshot",
     "SoC",
 ]

@@ -35,6 +35,19 @@ class Device(abc.ABC):
     def tick(self, cycles: int) -> None:
         """Advance device time; default devices are timeless."""
 
+    def snapshot_state(self):
+        """Capture internal state for machine snapshots.
+
+        Returns an opaque, immutable blob that :meth:`restore_state`
+        accepts, or ``None`` for stateless devices.  This is a
+        hardware-level path (think scan-chain readout), not a bus
+        access: it never goes through the MPU and never ticks time.
+        """
+        return None
+
+    def restore_state(self, state) -> None:
+        """Restore state captured by :meth:`snapshot_state`."""
+
     def _check_offset(self, offset: int, size: int) -> None:
         if offset < 0 or offset + size > self.size:
             raise BusError(

@@ -100,6 +100,17 @@ class CryptoEngine(Device):
         else:
             raise BusError(f"unknown crypto CTRL command {value:#x}")
 
+    def snapshot_state(self) -> tuple:
+        return (bytes(self._absorbed), self._digest, bytes(self._key),
+                self.words_absorbed)
+
+    def restore_state(self, state) -> None:
+        absorbed, digest, key, words = state
+        self._absorbed[:] = absorbed
+        self._digest = digest
+        self._key[:] = key
+        self.words_absorbed = words
+
     def set_key(self, key: bytes) -> None:
         """Host-side key provisioning (manufacturing time)."""
         if len(key) != DIGEST_SIZE:

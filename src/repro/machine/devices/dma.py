@@ -106,6 +106,14 @@ class DmaController(Device):
         else:
             raise BusError(f"unwritable DMA register offset {offset:#x}")
 
+    def snapshot_state(self) -> tuple:
+        return (self.src, self.dst, self.length, self.owner, self.done,
+                self.faulted, self.transfers, self.words_copied)
+
+    def restore_state(self, state) -> None:
+        self.src, self.dst, self.length, self.owner, self.done, \
+            self.faulted, self.transfers, self.words_copied = state
+
     def _check(self, address: int, access: AccessType) -> None:
         if self.mpu is None or self.owner == 0:
             return  # legacy mode: the documented attack surface

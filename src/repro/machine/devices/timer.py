@@ -80,6 +80,14 @@ class Timer(Device):
         else:
             raise BusError(f"unknown timer register offset {offset:#x}")
 
+    def snapshot_state(self) -> tuple:
+        return (self.period, self.handler, self.enabled, self._count,
+                self.fired)
+
+    def restore_state(self, state) -> None:
+        self.period, self.handler, self.enabled, self._count, \
+            self.fired = state
+
     def tick(self, cycles: int) -> None:
         """Advance the down-counter; fires the IRQ when it reaches zero."""
         if not self.enabled or self.period == 0:

@@ -46,6 +46,12 @@ class Uart(Device):
             return
         raise BusError(f"UART register at offset {offset:#x} is read-only")
 
+    def snapshot_state(self) -> bytes:
+        return bytes(self._output)
+
+    def restore_state(self, state) -> None:
+        self._output[:] = state
+
     @property
     def output(self) -> bytes:
         """Everything the guest has transmitted so far."""

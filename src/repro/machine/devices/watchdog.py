@@ -75,6 +75,12 @@ class Watchdog(Device):
         else:
             raise BusError(f"unknown watchdog register offset {offset:#x}")
 
+    def snapshot_state(self) -> tuple:
+        return (self.period, self.enabled, self._count, self.fired)
+
+    def restore_state(self, state) -> None:
+        self.period, self.enabled, self._count, self.fired = state
+
     def tick(self, cycles: int) -> None:
         if not self.enabled or self.period == 0:
             return

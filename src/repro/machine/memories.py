@@ -47,6 +47,17 @@ class Ram(Device):
         for i in range(len(self._data)):
             self._data[i] = 0
 
+    def snapshot_state(self) -> bytes:
+        return bytes(self._data)
+
+    def restore_state(self, state) -> None:
+        if len(state) != len(self._data):
+            raise BusError(
+                f"snapshot of {len(state)} bytes does not fit memory "
+                f"{self.name!r} of {len(self._data)} bytes"
+            )
+        self._data[:] = state
+
 
 class Dram(Ram):
     """External DRAM: same behaviour, different trust domain.

@@ -36,8 +36,13 @@ class Tracer:
     entries: list[TraceEntry] = field(default_factory=list)
     opcode_counts: Counter = field(default_factory=Counter)
     retired: int = 0
+    dropped: int = 0
     _attached_cpu: Cpu | None = None
     _previous_hook: object = None
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ValueError(f"tracer capacity must be >= 1: {self.capacity}")
 
     def attach(self, cpu: Cpu) -> "Tracer":
         """Install on ``cpu`` (chains any existing on_retire hook)."""
@@ -60,9 +65,13 @@ class Tracer:
             text=str(instr),
             sp=cpu.sp,
         )
+        # True ring buffer: evict before appending, so the list never
+        # exceeds capacity even transiently, and count what fell off.
+        if len(self.entries) >= self.capacity:
+            excess = len(self.entries) - self.capacity + 1
+            del self.entries[:excess]
+            self.dropped += excess
         self.entries.append(entry)
-        if len(self.entries) > self.capacity:
-            del self.entries[: len(self.entries) - self.capacity]
         if callable(self._previous_hook):
             self._previous_hook(cpu, instr)
 
@@ -76,3 +85,13 @@ class Tracer:
     def hottest(self, count: int = 5) -> list[tuple[str, int]]:
         """Most frequently retired opcodes."""
         return self.opcode_counts.most_common(count)
+
+    @property
+    def stats(self) -> dict:
+        """Buffer health: how much history survives in the ring."""
+        return {
+            "capacity": self.capacity,
+            "recorded": len(self.entries),
+            "retired": self.retired,
+            "dropped": self.dropped,
+        }

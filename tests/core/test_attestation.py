@@ -5,11 +5,13 @@ import pytest
 from repro.core.attestation import (
     LocalAttestation,
     RemoteAttestor,
+    expected_measurements,
     measure_code,
 )
 from repro.core.platform import TrustLitePlatform
 from repro.crypto import sponge_hash
 from repro.errors import AttestationError
+from repro.mpu.regions import ANY_SUBJECT, Perm
 from repro.sw.images import build_two_counter_image
 
 DEVICE_KEY = b"\x07" * 16
@@ -79,6 +81,70 @@ class TestAttest:
         row = inspector.find_task("TL-B")
         platform.soc.prom.load(row.code_base + 0x30, b"\xde\xad\xbe\xef")
         assert not inspector.attest(row)
+
+
+class TestInspectNegativePaths:
+    def test_missing_peer_reported_not_trusted(self, inspector):
+        report = inspector.inspect("NOPE")
+        assert not report.row_found
+        assert not report.trusted
+        assert report.problems
+
+    def test_tampered_code_fails_inspection(self, inspector, platform):
+        row = inspector.find_task("TL-A")
+        original = platform.bus.read(row.code_base + 0x40, 1)
+        platform.soc.prom.load(
+            row.code_base + 0x40, bytes([original ^ 0x01])
+        )
+        report = inspector.inspect("TL-A")
+        assert report.row_found
+        assert report.isolation_ok
+        assert not report.measurement_ok
+        assert not report.trusted
+        assert "code measurement mismatch" in report.problems
+
+    def test_foreign_writable_data_fails_verify_mpu(
+        self, inspector, platform
+    ):
+        row = inspector.find_task("TL-B")
+        # A rogue world-writable window over the peer's private data —
+        # the exact misconfiguration verifyMPU exists to catch.
+        platform.mpu.program_region(
+            platform.mpu.free_region_index(),
+            row.data_base,
+            row.data_end,
+            Perm.W,
+            ANY_SUBJECT,
+        )
+        problems = inspector.verify_mpu(row)
+        assert "peer data writable by foreign subject" in problems
+        report = inspector.inspect("TL-B")
+        assert not report.isolation_ok
+        assert not report.trusted
+        # The code itself is untouched; only isolation is broken.
+        assert report.measurement_ok
+
+
+class TestExpectedMeasurements:
+    def test_matches_live_measurement(self, platform):
+        digests = expected_measurements(platform.image)
+        assert set(digests) == set(platform.image.module_order)
+        for name in platform.image.module_order:
+            lay = platform.image.layout_of(name)
+            assert digests[name] == measure_code(
+                platform.bus, lay.code_base, lay.code_end
+            )
+
+    def test_diverges_after_tampering(self, platform):
+        digests = expected_measurements(platform.image)
+        lay = platform.image.layout_of("TL-A")
+        original = platform.bus.read(lay.code_base + 0x40, 1)
+        platform.soc.prom.load(
+            lay.code_base + 0x40, bytes([original ^ 0xFF])
+        )
+        assert digests["TL-A"] != measure_code(
+            platform.bus, lay.code_base, lay.code_end
+        )
 
 
 class TestRemoteAttestor:

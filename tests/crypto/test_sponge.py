@@ -88,6 +88,15 @@ class TestTokens:
     def test_distinct_seeds_distinct_nonces(self):
         assert NonceSource(b"a").next_nonce() != NonceSource(b"b").next_nonce()
 
+    def test_int_and_str_seeds_are_canonical(self):
+        assert NonceSource(7).next_nonce() == NonceSource(7).next_nonce()
+        assert NonceSource(7).next_nonce() != NonceSource(8).next_nonce()
+        assert NonceSource("run").next_nonce() == \
+            NonceSource(b"run").next_nonce()
+        # An int seed is namespaced, not just stringified into the
+        # byte-seed space.
+        assert NonceSource(7).next_nonce() != NonceSource("7").next_nonce()
+
     def test_session_token_binds_all_fields(self):
         base = session_token(b"A", b"B", b"n1", b"n2")
         assert base != session_token(b"X", b"B", b"n1", b"n2")

@@ -1,0 +1,16 @@
+"""Shared fleet fixtures: boot the golden image exactly once."""
+
+import pytest
+
+from repro.core.platform import TrustLitePlatform
+from repro.machine import Snapshot
+from repro.sw.images import build_attestation_image
+
+
+@pytest.fixture(scope="session")
+def golden():
+    """(snapshot, image) of one booted attestation platform."""
+    platform = TrustLitePlatform()
+    image = build_attestation_image()
+    platform.boot(image)
+    return Snapshot.save(platform), image

@@ -1,0 +1,115 @@
+"""Tests for the device-side fleet endpoint."""
+
+import pytest
+
+from repro.crypto import mac
+from repro.errors import FleetError
+from repro.fleet.device import FleetDevice, quote_material
+from repro.fleet.transport import CHALLENGE, RESPONSE, Message
+
+KEY = b"\x21" * 16
+
+
+def make_device(golden, device_id=0):
+    snapshot, _image = golden
+    return FleetDevice(device_id, snapshot.clone(), KEY)
+
+
+def make_challenge(device_id=0, seq=1, deliver_at=100, nonce=b"nonce-01"):
+    return Message(
+        kind=CHALLENGE, device_id=device_id, seq=seq,
+        sent_at=deliver_at, deliver_at=deliver_at, nonce=nonce,
+    )
+
+
+class TestQuote:
+    def test_quote_macs_live_measurements(self, golden):
+        device = make_device(golden)
+        quote, cycles = device.compute_quote(b"nonce-01", 1)
+        rows = [
+            (row.name_tag, row.measurement)
+            for row in device.platform.table.rows()
+        ]
+        # Untampered: live measurement equals the load-time table one.
+        expected = mac(KEY, quote_material(b"nonce-01", 1, 0, rows))
+        assert quote == expected
+        assert cycles > 0
+
+    def test_quote_bound_to_nonce_seq_and_device(self, golden):
+        device = make_device(golden)
+        base, _ = device.compute_quote(b"nonce-01", 1)
+        assert device.compute_quote(b"nonce-02", 1)[0] != base
+        assert device.compute_quote(b"nonce-01", 2)[0] != base
+        other = make_device(golden, device_id=1)
+        assert other.compute_quote(b"nonce-01", 1)[0] != base
+
+    def test_quote_cost_deterministic(self, golden):
+        device = make_device(golden)
+        assert device.compute_quote(b"n", 1)[1] == \
+            device.compute_quote(b"n", 1)[1]
+
+
+class TestHandleChallenge:
+    def test_response_carries_quote_and_cost(self, golden):
+        device = make_device(golden)
+        response = device.handle_challenge(make_challenge(deliver_at=100))
+        assert response is not None
+        assert response.kind == RESPONSE
+        assert response.seq == 1
+        quote, cycles = FleetDevice(
+            0, device.platform, KEY
+        ).compute_quote(b"nonce-01", 1)
+        assert response.quote == quote
+        assert response.sent_at == 100 + cycles
+        assert device.challenges_answered == 1
+
+    def test_replay_rejected(self, golden):
+        device = make_device(golden)
+        assert device.handle_challenge(make_challenge(seq=3)) is not None
+        assert device.handle_challenge(make_challenge(seq=3)) is None
+        assert device.handle_challenge(make_challenge(seq=2)) is None
+        assert device.replays_rejected == 2
+        assert device.challenges_answered == 1
+
+    def test_wrong_kind_or_address_rejected(self, golden):
+        device = make_device(golden)
+        with pytest.raises(FleetError):
+            device.handle_challenge(Message(
+                kind=RESPONSE, device_id=0, seq=1, sent_at=0, deliver_at=0,
+            ))
+        with pytest.raises(FleetError):
+            device.handle_challenge(make_challenge(device_id=5))
+
+    def test_empty_key_rejected(self, golden):
+        snapshot, _image = golden
+        with pytest.raises(FleetError):
+            FleetDevice(0, snapshot.clone(), b"")
+
+
+class TestTamper:
+    def test_tamper_changes_quote_not_table(self, golden):
+        device = make_device(golden)
+        before, _ = device.compute_quote(b"n", 1)
+        table_before = [
+            row.measurement for row in device.platform.table.rows()
+        ]
+        module = device.tamper_code()
+        assert module in device.platform.image.module_order
+        assert device.tampered_modules == [module]
+        after, _ = device.compute_quote(b"n", 1)
+        assert after != before
+        table_after = [
+            row.measurement for row in device.platform.table.rows()
+        ]
+        assert table_before == table_after
+
+    def test_tamper_prefers_a_trustlet(self, golden):
+        device = make_device(golden)
+        assert device.tamper_code() == "ATTEST"
+
+    def test_tamper_leaves_sibling_clones_untouched(self, golden):
+        tampered = make_device(golden)
+        honest = make_device(golden)
+        tampered.tamper_code()
+        assert honest.compute_quote(b"n", 1)[0] != \
+            tampered.compute_quote(b"n", 1)[0]

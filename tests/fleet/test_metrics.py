@@ -1,0 +1,81 @@
+"""Tests for the fleet metrics registry."""
+
+import threading
+
+from repro.fleet.metrics import Counter, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        counter = Counter("c")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_thread_safe_increments(self):
+        counter = Counter("c")
+
+        def worker():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 8000
+
+
+class TestHistogram:
+    def test_nearest_rank_percentiles(self):
+        histogram = Histogram("h")
+        for value in range(1, 101):
+            histogram.observe(value)
+        assert histogram.percentile(50) == 50
+        assert histogram.percentile(95) == 95
+        assert histogram.percentile(99) == 99
+        assert histogram.percentile(100) == 100
+
+    def test_empty_histogram(self):
+        histogram = Histogram("h")
+        assert histogram.percentile(50) == 0
+        assert histogram.summary() == {"count": 0}
+
+    def test_summary_shape(self):
+        histogram = Histogram("h")
+        for value in (10, 20, 30, 40):
+            histogram.observe(value)
+        summary = histogram.summary()
+        assert summary["count"] == 4
+        assert summary["min"] == 10
+        assert summary["max"] == 40
+        assert summary["mean"] == 25.0
+        assert summary["p50"] == 20
+
+    def test_single_observation(self):
+        histogram = Histogram("h")
+        histogram.observe(7)
+        summary = histogram.summary()
+        assert summary["p50"] == summary["p95"] == summary["p99"] == 7
+
+
+class TestRegistry:
+    def test_get_or_create_identity(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_to_dict_sorted_and_json_ready(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.counter("b").inc()
+        registry.counter("a").inc(2)
+        registry.histogram("lat").observe(5)
+        exported = registry.to_dict()
+        assert list(exported["counters"]) == ["a", "b"]
+        assert exported["counters"]["a"] == 2
+        assert exported["histograms"]["lat"]["count"] == 1
+        json.dumps(exported)  # must serialize cleanly

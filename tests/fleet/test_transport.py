@@ -1,0 +1,141 @@
+"""Tests for the in-process attestation transport."""
+
+import pytest
+
+from repro.errors import FleetError
+from repro.fleet.transport import (
+    CHALLENGE,
+    RESPONSE,
+    FaultModel,
+    InProcessTransport,
+    Message,
+)
+
+
+def challenge(device_id=0, seq=1, sent_at=0, nonce=b"n"):
+    return Message(
+        kind=CHALLENGE, device_id=device_id, seq=seq,
+        sent_at=sent_at, deliver_at=sent_at, nonce=nonce,
+    )
+
+
+class TestFaultModel:
+    def test_defaults_are_lossless_and_instant(self):
+        import random
+
+        dropped, delay = FaultModel().roll(random.Random(0))
+        assert not dropped
+        assert delay == 0
+
+    def test_validation(self):
+        with pytest.raises(FleetError):
+            FaultModel(drop_rate=1.0)
+        with pytest.raises(FleetError):
+            FaultModel(drop_rate=-0.1)
+        with pytest.raises(FleetError):
+            FaultModel(delay_min=10, delay_max=5)
+        with pytest.raises(FleetError):
+            FaultModel(delay_min=-1)
+
+    def test_delay_window_respected(self):
+        import random
+
+        model = FaultModel(delay_min=100, delay_max=200)
+        rng = random.Random(42)
+        for _ in range(50):
+            _dropped, delay = model.roll(rng)
+            assert 100 <= delay <= 200
+
+
+class TestInProcessTransport:
+    def test_delivery_waits_for_deliver_at(self):
+        transport = InProcessTransport(
+            fault_model=FaultModel(delay_min=100, delay_max=100)
+        )
+        transport.register(0)
+        assert transport.send(challenge(sent_at=50))
+        assert transport.poll("device", 0, now=149) == []
+        delivered = transport.poll("device", 0, now=150)
+        assert len(delivered) == 1
+        assert delivered[0].deliver_at == 150
+        # Drained: a second poll sees nothing.
+        assert transport.poll("device", 0, now=10_000) == []
+
+    def test_kind_selects_endpoint(self):
+        transport = InProcessTransport()
+        transport.register(3)
+        transport.send(challenge(device_id=3))
+        transport.send(Message(
+            kind=RESPONSE, device_id=3, seq=1,
+            sent_at=0, deliver_at=0, quote=b"q",
+        ))
+        assert len(transport.poll("device", 3, now=0)) == 1
+        assert len(transport.poll("verifier", 3, now=0)) == 1
+
+    def test_unregistered_device_rejected(self):
+        transport = InProcessTransport()
+        with pytest.raises(FleetError):
+            transport.send(challenge(device_id=9))
+
+    def test_unknown_kind_and_endpoint_rejected(self):
+        transport = InProcessTransport()
+        transport.register(0)
+        with pytest.raises(FleetError):
+            transport.send(Message(
+                kind="gossip", device_id=0, seq=1, sent_at=0, deliver_at=0,
+            ))
+        with pytest.raises(FleetError):
+            transport.poll("attacker", 0, now=0)
+
+    def test_drops_counted_and_deterministic(self):
+        def run():
+            transport = InProcessTransport(
+                seed=11, fault_model=FaultModel(drop_rate=0.5)
+            )
+            transport.register(0)
+            outcomes = [
+                transport.send(challenge(seq=seq))
+                for seq in range(1, 101)
+            ]
+            return outcomes, transport.stats
+
+        first_outcomes, first_stats = run()
+        second_outcomes, second_stats = run()
+        assert first_outcomes == second_outcomes
+        assert first_stats.sent == 100
+        assert 0 < first_stats.dropped < 100
+        assert first_stats.dropped + first_stats.in_flight == 100
+        assert second_stats.dropped == first_stats.dropped
+
+    def test_per_device_fault_streams_independent(self):
+        """Device 0's fault draws don't shift when device 1 also sends."""
+        solo = InProcessTransport(
+            seed=5, fault_model=FaultModel(drop_rate=0.4)
+        )
+        solo.register(0)
+        solo_outcomes = [
+            solo.send(challenge(seq=seq)) for seq in range(1, 51)
+        ]
+
+        mixed = InProcessTransport(
+            seed=5, fault_model=FaultModel(drop_rate=0.4)
+        )
+        mixed.register(0)
+        mixed.register(1)
+        mixed_outcomes = []
+        for seq in range(1, 51):
+            mixed.send(challenge(device_id=1, seq=seq))
+            mixed_outcomes.append(mixed.send(challenge(seq=seq)))
+        assert solo_outcomes == mixed_outcomes
+
+    def test_stats_balance(self):
+        transport = InProcessTransport(
+            fault_model=FaultModel(drop_rate=0.3)
+        )
+        transport.register(0)
+        for seq in range(1, 41):
+            transport.send(challenge(seq=seq))
+        transport.poll("device", 0, now=1 << 30)
+        stats = transport.stats
+        assert stats.sent == stats.delivered + stats.dropped
+        assert stats.in_flight == 0

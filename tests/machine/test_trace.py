@@ -65,6 +65,55 @@ class TestTracer:
         cpu.run()
         assert tracer.retired == 1
 
+    def test_dropped_counts_evictions(self):
+        cpu = _cpu_with(
+            "movi r0, 100\nloop: subi r0, r0, 1\ncmpi r0, 0\nbne loop\nhalt"
+        )
+        tracer = Tracer(capacity=10).attach(cpu)
+        cpu.run()
+        assert len(tracer.entries) == 10
+        assert tracer.dropped == tracer.retired - len(tracer.entries)
+        assert tracer.dropped > 0
+
+    def test_dropped_zero_under_capacity(self):
+        cpu = _cpu_with("nop\nnop\nhalt")
+        tracer = Tracer(capacity=10).attach(cpu)
+        cpu.run()
+        assert tracer.dropped == 0
+        assert len(tracer.entries) == 3
+
+    def test_buffer_never_exceeds_capacity(self):
+        cpu = _cpu_with(
+            "movi r0, 50\nloop: subi r0, r0, 1\ncmpi r0, 0\nbne loop\nhalt"
+        )
+        tracer = Tracer(capacity=4)
+        sizes = []
+        # Probe first, tracer on top: the chained probe observes the
+        # buffer right after each record.
+        cpu.on_retire = lambda c, i: sizes.append(len(tracer.entries))
+        tracer.attach(cpu)
+        cpu.run()
+        assert sizes and max(sizes) <= 4
+
+    def test_stats_reports_buffer_health(self):
+        cpu = _cpu_with(
+            "movi r0, 20\nloop: subi r0, r0, 1\ncmpi r0, 0\nbne loop\nhalt"
+        )
+        tracer = Tracer(capacity=8).attach(cpu)
+        cpu.run()
+        stats = tracer.stats
+        assert stats["capacity"] == 8
+        assert stats["recorded"] == len(tracer.entries)
+        assert stats["retired"] == tracer.retired
+        assert stats["dropped"] == tracer.dropped
+        assert stats["retired"] == stats["recorded"] + stats["dropped"]
+
+    def test_capacity_must_be_positive(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
     def test_chains_previous_hook(self):
         cpu = _cpu_with("nop\nhalt")
         seen = []

@@ -44,6 +44,28 @@ class TestCommands:
         assert main(["disasm", "GHOST"]) == EXIT_USAGE
         assert "unknown module" in capsys.readouterr().err
 
+    def test_fleet_text_report(self, capsys):
+        assert main([
+            "fleet", "--devices", "3", "--seed", "7",
+        ]) == EXIT_OK
+        out = capsys.readouterr().out
+        assert "3 devices" in out
+        assert "verdict: OK" in out
+
+    def test_fleet_json_report(self, capsys):
+        assert main([
+            "fleet", "--devices", "3", "--compromise", "0", "--json",
+        ]) == EXIT_OK
+        report = json.loads(capsys.readouterr().out)
+        assert report["schema"] == "repro.fleet/1"
+        assert report["ok"] is True
+        assert report["rounds"][0]["healthy"] == 3
+
+    def test_fleet_bad_compromise_is_usage_error(self, capsys):
+        assert main([
+            "fleet", "--devices", "2", "--compromise", "5",
+        ]) == EXIT_USAGE
+
     def test_missing_command_errors(self):
         with pytest.raises(SystemExit):
             main([])
