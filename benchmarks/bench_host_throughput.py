@@ -1,0 +1,168 @@
+"""Host execution throughput: fast-path engine vs uncached reference.
+
+The fast path (decode cache + EA-MPU lookaside + bus routing cache,
+:mod:`repro.machine.fastpath`) exists to make the simulator fast enough
+for fleet-scale experiments without changing a single architectural
+outcome.  This benchmark pins the speed half of that claim — the
+correctness half is pinned by ``tests/integration/test_lockstep.py``.
+
+Three workloads, each run on the same platform with ``fastpath=True``
+and ``fastpath=False``:
+
+* ``busy-loop``   — a register-only spin, the decode cache's best case
+  and the dominant instruction mix of idle guests; must clear the 3x
+  floor.
+* ``memcpy``      — a word-copy loop, exercising the MPU lookaside and
+  the bus RAM short-circuit on every iteration.
+* ``trustlet-ipc``— the full sender/receiver IPC image with preemptive
+  scheduling: interrupts, state spills, MPU reprogramming — the
+  worst realistic case.
+
+Both engines must retire the *same* instruction count in the same
+simulated-cycle budget (a cheap lockstep sanity check); throughput is
+retired instructions per host second, best of ``HOST_BENCH_REPEATS``.
+
+Artifacts: a human-readable table in ``benchmarks/out/
+host_throughput.txt`` and machine-readable ``BENCH_host_throughput.json``
+at the repo root for trend tracking across commits.
+
+Scale knobs (so CI smoke runs stay quick):
+
+    HOST_BENCH_CYCLES    simulated cycles per measurement (default 400000)
+    HOST_BENCH_REPEATS   best-of repeat count             (default 3)
+"""
+
+import json
+import os
+import pathlib
+import time
+
+from benchmarks._util import write_artifact
+from repro.core.image import ImageBuilder, SoftwareModule
+from repro.core.platform import TrustLitePlatform
+from repro.sw import runtime
+from repro.sw.images import build_ipc_image, os_module
+
+CYCLES = int(os.environ.get("HOST_BENCH_CYCLES", "400000"))
+REPEATS = int(os.environ.get("HOST_BENCH_REPEATS", "3"))
+SPEEDUP_FLOOR = 3.0
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+MEMCPY_WORDS = 64
+
+
+def _busy_source(lay):
+    return f"""
+{runtime.entry_vector()}
+main:
+    movi r4, 0
+loop:
+    addi r4, r4, 1
+    jmp loop
+{runtime.continue_impl(lay)}
+{runtime.halt_stub()}
+"""
+
+
+def _memcpy_source(lay):
+    src = lay.data_base + 0x40
+    dst = lay.data_base + 0x40 + 4 * MEMCPY_WORDS
+    return f"""
+{runtime.entry_vector()}
+main:
+outer:
+    movi r4, {src:#x}
+    movi r5, {dst:#x}
+    movi r6, {MEMCPY_WORDS}
+copy:
+    ldw r7, [r4]
+    stw r7, [r5]
+    addi r4, r4, 4
+    addi r5, r5, 4
+    subi r6, r6, 1
+    cmpi r6, 0
+    bne copy
+    jmp outer
+{runtime.continue_impl(lay)}
+{runtime.halt_stub()}
+"""
+
+
+def _single_trustlet_image(source):
+    builder = ImageBuilder()
+    builder.add_module(os_module(timer_period=400))
+    builder.add_module(
+        SoftwareModule(name="BENCH", source=source, data_size=0x400)
+    )
+    return builder.build()
+
+
+WORKLOADS = {
+    "busy-loop": lambda: _single_trustlet_image(_busy_source),
+    "memcpy": lambda: _single_trustlet_image(_memcpy_source),
+    "trustlet-ipc": lambda: build_ipc_image(timer_period=600),
+}
+
+
+def _throughput(build_image, *, fastpath: bool) -> tuple[float, int]:
+    """Best-of-N retired instructions per host second (and the count)."""
+    best = 0.0
+    retired = 0
+    for _ in range(REPEATS):
+        platform = TrustLitePlatform(fastpath=fastpath)
+        platform.boot(build_image())
+        base = platform.cpu.instructions_retired
+        started = time.perf_counter()
+        platform.run(max_cycles=CYCLES)
+        elapsed = time.perf_counter() - started
+        retired = platform.cpu.instructions_retired - base
+        best = max(best, retired / elapsed)
+    return best, retired
+
+
+def test_host_throughput():
+    """Fast path >= 3x on the busy loop; both engines retire identically."""
+    results = {}
+    for name, build_image in WORKLOADS.items():
+        fast_ips, fast_retired = _throughput(build_image, fastpath=True)
+        slow_ips, slow_retired = _throughput(build_image, fastpath=False)
+        assert fast_retired == slow_retired, (
+            f"{name}: engines diverged "
+            f"({fast_retired} vs {slow_retired} retired)"
+        )
+        assert fast_retired > 0, f"{name}: workload retired nothing"
+        results[name] = {
+            "fast_ips": round(fast_ips),
+            "slow_ips": round(slow_ips),
+            "speedup": round(fast_ips / slow_ips, 2),
+            "retired": fast_retired,
+        }
+
+    lines = [
+        f"host throughput, {CYCLES} simulated cycles, "
+        f"best of {REPEATS}",
+        f"  {'workload':<14}{'cached':>12}{'reference':>12}"
+        f"{'speedup':>9}",
+    ]
+    for name, row in results.items():
+        lines.append(
+            f"  {name:<14}{row['fast_ips']:>10}/s{row['slow_ips']:>10}/s"
+            f"{row['speedup']:>8.2f}x"
+        )
+    lines.append(f"  floor: busy-loop >= {SPEEDUP_FLOOR:.0f}x")
+    write_artifact("host_throughput.txt", "\n".join(lines))
+
+    payload = {
+        "bench": "host_throughput",
+        "cycles": CYCLES,
+        "repeats": REPEATS,
+        "speedup_floor": SPEEDUP_FLOOR,
+        "workloads": results,
+    }
+    (REPO_ROOT / "BENCH_host_throughput.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+
+    speedup = results["busy-loop"]["speedup"]
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"busy-loop speedup only {speedup:.2f}x (floor {SPEEDUP_FLOOR}x)"
+    )

@@ -63,8 +63,14 @@ class TrustLitePlatform:
         flash_prom: bool = False,
         with_dma: bool = False,
         checked_dma: bool = True,
+        fastpath: bool = True,
     ) -> None:
-        self.soc = SoC(flash_prom=flash_prom, with_dma=with_dma)
+        # ``fastpath=False`` selects the uncached reference engine; it
+        # is deliberately *not* part of the snapshot-compatibility
+        # config — the two engines are architecturally identical.
+        self.soc = SoC(
+            flash_prom=flash_prom, with_dma=with_dma, fastpath=fastpath
+        )
         self.mpu = EaMpu(num_regions=num_mpu_regions)
         self.mpu_frontend = MpuMmioFrontend(self.mpu)
         self.soc.bus.attach(MPU_MMIO_BASE, self.mpu_frontend)

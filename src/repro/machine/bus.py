@@ -5,14 +5,29 @@ never talks to the bus directly — the CPU routes every fetch/load/store
 through the MPU hook first.  Hardware blocks (the exception engine, the
 Secure Loader model, devices) use the bus directly, which is exactly
 the authority they have in the paper's design.
+
+Address decoding is cached: a last-mapping memo catches the streak
+locality of fetch/data traffic, a bisect over the sorted window bases
+replaces the linear scan on memo misses, and accesses that land in a
+plain byte-array memory (RAM/DRAM/flash/PROM reads) are serviced from
+the backing ``bytearray`` directly instead of dispatching through the
+device object.  All three are pure strength reductions — unmapped,
+cross-end and alignment faults are raised exactly as before.
+
+Two observer hooks exist for cache coherence (used by
+:mod:`repro.machine.fastpath`): write listeners fire after every
+successful bus write with the absolute address range touched, and
+topology listeners fire when a new window is attached.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
 
 from repro.errors import AlignmentError, BusError
 from repro.machine.device import Device
+from repro.machine.memories import Ram
 
 
 @dataclass(frozen=True)
@@ -36,6 +51,18 @@ class Bus:
 
     def __init__(self) -> None:
         self._mappings: list[Mapping] = []
+        # Parallel routing arrays, rebuilt on attach: sorted window
+        # bases/ends, the device per window, and — for windows backed
+        # by an unmodified Ram-family byte array — the array itself,
+        # so loads/stores skip the device dispatch entirely.
+        self._bases: list[int] = []
+        self._ends: list[int] = []
+        self._devices: list[Device] = []
+        self._ram_data: list[bytearray | None] = []
+        self._ram_writable: list[bool] = []
+        self._last = -1  # index of the most recently hit window
+        self._write_listeners: list = []
+        self._topology_listeners: list = []
 
     def attach(self, base: int, device: Device) -> Mapping:
         """Map ``device`` at ``base``; windows must not overlap."""
@@ -52,19 +79,77 @@ class Bus:
                 )
         self._mappings.append(new)
         self._mappings.sort(key=lambda m: m.base)
+        self._rebuild_routing()
+        for listener in self._topology_listeners:
+            listener()
         return new
+
+    def _rebuild_routing(self) -> None:
+        self._bases = [m.base for m in self._mappings]
+        self._ends = [m.end for m in self._mappings]
+        self._devices = [m.device for m in self._mappings]
+        self._ram_data = []
+        self._ram_writable = []
+        for device in self._devices:
+            # Short-circuit only devices that kept the stock Ram byte
+            # semantics; any override (PROM's absent write port, future
+            # side-effecting memories) keeps the device dispatch.
+            if isinstance(device, Ram) and type(device).read is Ram.read:
+                self._ram_data.append(device._data)
+                self._ram_writable.append(type(device).write is Ram.write)
+            else:
+                self._ram_data.append(None)
+                self._ram_writable.append(False)
+        self._last = -1
+
+    # ------------------------------------------------------------------
+    # Coherence observers.
+
+    def add_write_listener(self, listener) -> None:
+        """``listener(address, length)`` after every successful write."""
+        if listener not in self._write_listeners:
+            self._write_listeners.append(listener)
+
+    def add_topology_listener(self, listener) -> None:
+        """``listener()`` after every new window attach."""
+        if listener not in self._topology_listeners:
+            self._topology_listeners.append(listener)
+
+    # ------------------------------------------------------------------
+    # Address decoding.
 
     @property
     def mappings(self) -> tuple[Mapping, ...]:
         """All device windows, sorted by base address."""
         return tuple(self._mappings)
 
+    def _index_of(self, address: int) -> int:
+        """Index of the window covering ``address``; raises BusError."""
+        i = self._last
+        if i >= 0 and self._bases[i] <= address < self._ends[i]:
+            return i
+        i = bisect_right(self._bases, address) - 1
+        if i >= 0 and address < self._ends[i]:
+            self._last = i
+            return i
+        raise BusError(f"unmapped address {address:#010x}", address=address)
+
     def find(self, address: int) -> Mapping:
         """The mapping covering ``address``; raises :class:`BusError`."""
-        for mapping in self._mappings:
-            if mapping.contains(address):
-                return mapping
-        raise BusError(f"unmapped address {address:#010x}", address=address)
+        return self._mappings[self._index_of(address)]
+
+    def is_ram_backed(self, address: int, size: int) -> bool:
+        """Whole range inside one side-effect-free byte-array memory?
+
+        The decode cache only holds instructions from such windows:
+        re-reading them is unobservable, so a cached decode may skip
+        the memory read entirely.
+        """
+        try:
+            i = self._index_of(address)
+        except BusError:
+            return False
+        return self._ram_data[i] is not None and address + size <= self._ends[i]
 
     def device_named(self, name: str) -> Device:
         """Look up an attached device by name."""
@@ -81,28 +166,47 @@ class Bus:
         raise BusError(f"no device named {name!r}")
 
     def _locate(self, address: int, size: int) -> tuple[Device, int]:
+        i = self._check_access(address, size)
+        return self._devices[i], address - self._bases[i]
+
+    def _check_access(self, address: int, size: int) -> int:
         if size == 4 and address % 4 != 0:
             raise AlignmentError(
                 f"unaligned word access at {address:#010x}", address=address
             )
-        mapping = self.find(address)
-        if address + size > mapping.end:
+        i = self._index_of(address)
+        if address + size > self._ends[i]:
             raise BusError(
                 f"access at {address:#010x} crosses the end of device "
-                f"{mapping.device.name!r}",
+                f"{self._devices[i].name!r}",
                 address=address,
             )
-        return mapping.device, address - mapping.base
+        return i
+
+    # ------------------------------------------------------------------
+    # Single-access ports.
 
     def read(self, address: int, size: int = 4) -> int:
         """Read ``size`` bytes (1 or 4) from the physical address space."""
-        device, offset = self._locate(address, size)
-        return device.read(offset, size)
+        i = self._check_access(address, size)
+        data = self._ram_data[i]
+        offset = address - self._bases[i]
+        if data is not None:
+            return int.from_bytes(data[offset:offset + size], "little")
+        return self._devices[i].read(offset, size)
 
     def write(self, address: int, value: int, size: int = 4) -> None:
         """Write ``size`` bytes (1 or 4) to the physical address space."""
-        device, offset = self._locate(address, size)
-        device.write(offset, size, value)
+        i = self._check_access(address, size)
+        offset = address - self._bases[i]
+        if self._ram_writable[i]:
+            self._ram_data[i][offset:offset + size] = (
+                value & ((1 << (8 * size)) - 1)
+            ).to_bytes(size, "little")
+        else:
+            self._devices[i].write(offset, size, value)
+        for listener in self._write_listeners:
+            listener(address, size)
 
     def read_word(self, address: int) -> int:
         return self.read(address, 4)
@@ -110,14 +214,43 @@ class Bus:
     def write_word(self, address: int, value: int) -> None:
         self.write(address, value, 4)
 
+    # ------------------------------------------------------------------
+    # Block ports (host-side convenience; image loading, measurement
+    # and snapshotting all sit on these).
+
     def read_bytes(self, address: int, length: int) -> bytes:
-        """Read ``length`` bytes, byte by byte (host-side convenience)."""
-        return bytes(self.read(address + i, 1) for i in range(length))
+        """Read ``length`` bytes, block-wise per window."""
+        out = bytearray()
+        cursor = address
+        remaining = length
+        while remaining > 0:
+            i = self._index_of(cursor)
+            span = min(self._ends[i] - cursor, remaining)
+            offset = cursor - self._bases[i]
+            data = self._ram_data[i]
+            if data is not None:
+                out += data[offset:offset + span]
+            else:
+                out += self._devices[i].read_block(offset, span)
+            cursor += span
+            remaining -= span
+        return bytes(out)
 
     def write_bytes(self, address: int, blob: bytes) -> None:
-        """Write ``blob``, byte by byte (host-side convenience)."""
-        for i, byte in enumerate(blob):
-            self.write(address + i, byte, 1)
+        """Write ``blob``, block-wise per window."""
+        cursor = address
+        position = 0
+        remaining = len(blob)
+        while remaining > 0:
+            i = self._index_of(cursor)
+            span = min(self._ends[i] - cursor, remaining)
+            chunk = blob[position:position + span]
+            self._devices[i].write_block(cursor - self._bases[i], chunk)
+            for listener in self._write_listeners:
+                listener(cursor, span)
+            cursor += span
+            position += span
+            remaining -= span
 
     def tick(self, cycles: int) -> None:
         """Advance time on every attached device."""

@@ -39,6 +39,7 @@ from repro.isa.opcodes import BRANCH_CONDITIONS, Cond, Op
 from repro.isa.registers import Reg, to_s32, to_u32
 from repro.machine.access import AccessType
 from repro.machine.bus import Bus
+from repro.machine.fastpath import FastPath
 from repro.machine.irq import InterruptController
 
 
@@ -87,6 +88,7 @@ class Cpu:
         bus: Bus,
         irq: InterruptController | None = None,
         reset_vector: int = 0,
+        fastpath: bool = True,
     ) -> None:
         self.bus = bus
         self.irq = irq if irq is not None else InterruptController()
@@ -100,9 +102,35 @@ class Cpu:
         # The address of the instruction currently executing; this is
         # the curr_IP subject the EA-MPU sees (paper Fig. 2).
         self.curr_ip = reset_vector
-        self.mpu = None
+        # ``fastpath=False`` is the reference engine: no decode cache,
+        # no MPU lookaside.  Semantics are identical either way — the
+        # lockstep differential harness enforces that.
+        self.fastpath = FastPath(self) if fastpath else None
+        self._checker = None
+        self._mpu = None
         self.exception_engine = None
         self.on_retire: Optional[Callable[["Cpu", Instruction], None]] = None
+
+    @property
+    def mpu(self):
+        return self._mpu
+
+    @mpu.setter
+    def mpu(self, value) -> None:
+        """Install the protection hook; resolves the check fast path once.
+
+        ``_checker`` is the bound callable every access goes through:
+        ``None`` (no MPU), the MPU's own ``check``, or a
+        :class:`~repro.machine.fastpath.MpuLookaside` front end when the
+        fast path is on and the MPU supports one.
+        """
+        self._mpu = value
+        if value is None:
+            self._checker = None
+        elif self.fastpath is not None:
+            self._checker = self.fastpath.attach_mpu(value)
+        else:
+            self._checker = value.check
 
     # ------------------------------------------------------------------
     # Register access helpers.
@@ -144,8 +172,8 @@ class Cpu:
     # Checked memory paths (software accesses, subject = curr_ip).
 
     def _check(self, address: int, size: int, access: AccessType) -> None:
-        if self.mpu is not None:
-            self.mpu.check(self.curr_ip, address, size, access)
+        if self._checker is not None:
+            self._checker(self.curr_ip, address, size, access)
 
     def load(self, address: int, size: int = 4) -> int:
         """MPU-checked data read performed by the executing instruction."""
@@ -249,8 +277,13 @@ class Cpu:
                 self._account(cycles)
                 return cycles
         try:
-            instr, length = self._fetch()
-            cycles = self._execute(instr, length)
+            fp = self.fastpath
+            if fp is not None:
+                instr, length, cost = fp.fetch()
+            else:
+                instr, length = self._fetch()
+                cost = None
+            cycles = self._execute(instr, length, cost)
         except MemoryProtectionFault as fault:
             if engine is None:
                 raise
@@ -276,11 +309,13 @@ class Cpu:
             self.step()
         return self.cycles - start
 
-    def _execute(self, instr: Instruction, length: int) -> int:
+    def _execute(
+        self, instr: Instruction, length: int, cost: int | None = None
+    ) -> int:
         op = instr.op
         self.curr_ip = self.ip
         next_ip = self.ip + length
-        cycles = cycle_cost(op)
+        cycles = cycle_cost(op) if cost is None else cost
 
         if op in _ALU_REG_OPS:
             a = self.get_reg(instr.rs1)

@@ -35,6 +35,22 @@ class Device(abc.ABC):
     def tick(self, cycles: int) -> None:
         """Advance device time; default devices are timeless."""
 
+    def read_block(self, offset: int, length: int) -> bytes:
+        """Read ``length`` consecutive bytes starting at ``offset``.
+
+        The default walks the byte port, preserving whatever per-byte
+        semantics (including errors) the device implements; plain
+        memories override this with a slice.
+        """
+        self._check_offset(offset, max(length, 1))
+        return bytes(self.read(offset + i, 1) for i in range(length))
+
+    def write_block(self, offset: int, data: bytes) -> None:
+        """Write ``data`` starting at ``offset`` (byte-port default)."""
+        self._check_offset(offset, max(len(data), 1))
+        for i, byte in enumerate(data):
+            self.write(offset + i, 1, byte)
+
     def snapshot_state(self):
         """Capture internal state for machine snapshots.
 

@@ -6,6 +6,11 @@ security boundary, while external DRAM holds only the untrusted OS bulk
 and integrity-protected public data.  Functionally all three are byte
 arrays; PROM additionally rejects guest writes (it is programmed by the
 image builder before boot, via :meth:`Prom.load`).
+
+Host-side mutation paths (``load``, ``wipe``, ``restore_state``) bypass
+the bus, so memories expose *mutation hooks* — the fast-path decode
+cache registers one per RAM window and is told the touched offset range
+whenever contents change behind the bus's back.
 """
 
 from __future__ import annotations
@@ -20,6 +25,19 @@ class Ram(Device):
     def __init__(self, name: str, size: int, fill: int = 0x00) -> None:
         super().__init__(name, size)
         self._data = bytearray([fill & 0xFF]) * size
+        # key -> hook(offset, length); fired on host-side mutation.
+        self._mutation_hooks: dict = {}
+
+    def add_mutation_hook(self, key, hook) -> None:
+        """Register (or replace) a host-mutation observer under ``key``."""
+        self._mutation_hooks[key] = hook
+
+    def remove_mutation_hook(self, key) -> None:
+        self._mutation_hooks.pop(key, None)
+
+    def _notify_mutation(self, offset: int, length: int) -> None:
+        for hook in self._mutation_hooks.values():
+            hook(offset, length)
 
     def read(self, offset: int, size: int) -> int:
         self._check_offset(offset, size)
@@ -30,10 +48,21 @@ class Ram(Device):
         self._data[offset:offset + size] = (value & ((1 << (8 * size)) - 1)) \
             .to_bytes(size, "little")
 
+    def read_block(self, offset: int, length: int) -> bytes:
+        """Bulk read: one slice instead of ``length`` byte dispatches."""
+        self._check_offset(offset, max(length, 1))
+        return bytes(self._data[offset:offset + length])
+
+    def write_block(self, offset: int, data: bytes) -> None:
+        """Bulk write: one slice instead of ``len(data)`` dispatches."""
+        self._check_offset(offset, max(len(data), 1))
+        self._data[offset:offset + len(data)] = data
+
     def load(self, offset: int, blob: bytes) -> None:
         """Bulk-initialize memory contents (host-side, not a bus access)."""
         self._check_offset(offset, max(len(blob), 1))
         self._data[offset:offset + len(blob)] = blob
+        self._notify_mutation(offset, len(blob))
 
     def dump(self, offset: int = 0, length: int | None = None) -> bytes:
         """Snapshot memory contents (host-side, not a bus access)."""
@@ -44,8 +73,8 @@ class Ram(Device):
 
     def wipe(self) -> None:
         """Clear all contents, as SMART/Sancus require on every reset."""
-        for i in range(len(self._data)):
-            self._data[i] = 0
+        self._data[:] = bytes(len(self._data))
+        self._notify_mutation(0, len(self._data))
 
     def snapshot_state(self) -> bytes:
         return bytes(self._data)
@@ -57,6 +86,7 @@ class Ram(Device):
                 f"{self.name!r} of {len(self._data)} bytes"
             )
         self._data[:] = state
+        self._notify_mutation(0, len(self._data))
 
 
 class Dram(Ram):
@@ -90,6 +120,12 @@ class Prom(Ram):
     """
 
     def write(self, offset: int, size: int, value: int) -> None:
+        raise BusError(
+            f"write to PROM {self.name!r} at offset {offset:#x} "
+            "(PROM has no write port)"
+        )
+
+    def write_block(self, offset: int, data: bytes) -> None:
         raise BusError(
             f"write to PROM {self.name!r} at offset {offset:#x} "
             "(PROM has no write port)"

@@ -103,6 +103,9 @@ class MpuState:
         mpu.enabled = self.enabled
         mpu.fault_address = self.fault_address
         mpu.fault_ip = self.fault_ip
+        # The region file changed behind the programming interface:
+        # any permission lookaside must flush before the next check.
+        mpu.notify_modified()
 
 
 @dataclass(frozen=True)

@@ -57,6 +57,7 @@ class SoC:
         reset_vector: int = PROM_BASE,
         flash_prom: bool = False,
         with_dma: bool = False,
+        fastpath: bool = True,
     ) -> None:
         self.bus = Bus()
         self.irq = InterruptController()
@@ -86,7 +87,9 @@ class SoC:
 
             self.dma = DmaController(self.bus)
             self.bus.attach(DMA_BASE, self.dma)
-        self.cpu = Cpu(self.bus, self.irq, reset_vector=reset_vector)
+        self.cpu = Cpu(
+            self.bus, self.irq, reset_vector=reset_vector, fastpath=fastpath
+        )
 
     def step(self) -> int:
         """One CPU step plus device time; returns cycles elapsed."""

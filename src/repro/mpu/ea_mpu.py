@@ -49,16 +49,30 @@ _PERM_FOR_ACCESS = {
 
 @dataclass
 class MpuStats:
-    """Observable counters for the evaluation harness."""
+    """Observable counters for the evaluation harness.
+
+    ``checks``/``faults`` count *checks performed*, regardless of how
+    they were answered — a fast-path lookaside hit still increments
+    ``checks``.  Only ``regions_scanned`` legitimately drops under the
+    lookaside; ``lookaside_hits``/``lookaside_misses`` expose its hit
+    rate (both stay zero on the uncached engine).
+    """
 
     checks: int = 0
     faults: int = 0
     register_writes: int = 0
     regions_scanned: int = 0
+    lookaside_hits: int = 0
+    lookaside_misses: int = 0
 
 
 class EaMpu:
     """Execution-aware MPU with a fixed set of region registers."""
+
+    # Advertises that the region-file semantics are cacheable and that
+    # ``generation`` tracks every mutation — the contract
+    # :class:`repro.machine.fastpath.MpuLookaside` builds on.
+    supports_lookaside = True
 
     def __init__(self, num_regions: int = DEFAULT_NUM_REGIONS) -> None:
         if num_regions <= 0:
@@ -69,6 +83,9 @@ class EaMpu:
         self.fault_address = 0
         self.fault_ip = 0
         self.stats = MpuStats()
+        # Bumped on every configuration change (register writes, enable
+        # toggles, snapshot restore); lookasides flush when it moves.
+        self.generation = 0
         # Sec. 3.6: "designers may decide to hardwire certain MPU
         # regions ... to provide 'hardware trustlets'".  Hardwired
         # region registers are mask-programmed: no write — not even by
@@ -90,14 +107,17 @@ class EaMpu:
     def write_base(self, index: int, value: int) -> None:
         self._writable_region(index).base = value & 0xFFFF_FFFF
         self.stats.register_writes += 1
+        self.generation += 1
 
     def write_end(self, index: int, value: int) -> None:
         self._writable_region(index).end = value & 0xFFFF_FFFF
         self.stats.register_writes += 1
+        self.generation += 1
 
     def write_attr(self, index: int, value: int) -> None:
         self._writable_region(index).attr = value & 0xFFFF_FFFF
         self.stats.register_writes += 1
+        self.generation += 1
 
     def program_region(
         self,
@@ -152,6 +172,11 @@ class EaMpu:
 
     def set_enabled(self, enabled: bool) -> None:
         self.enabled = enabled
+        self.generation += 1
+
+    def notify_modified(self) -> None:
+        """Record an out-of-band region-file mutation (snapshot restore)."""
+        self.generation += 1
 
     def _region(self, index: int) -> RegionRegister:
         if not 0 <= index < self.num_regions:
@@ -216,6 +241,17 @@ class EaMpu:
         self.stats.checks += 1
         if self.allows(subject_ip, address, size, access):
             return
+        self.raise_denial(subject_ip, address, size, access)
+
+    def raise_denial(
+        self,
+        subject_ip: int,
+        address: int,
+        size: int,
+        access: AccessType,
+    ) -> None:
+        """Latch fault state and raise; shared with the fast-path
+        lookaside so denials are bit-identical on both engines."""
         self.stats.faults += 1
         self.fault_address = address
         self.fault_ip = subject_ip

@@ -103,6 +103,11 @@ class TestMachineBehaviour:
         # The wipe destroyed the module's state — the cost TrustLite's
         # recoverable faults avoid.
         assert machine.soc.bus.read_word(MODULE.data_base) == 0
+        # wipe() micro-semantics: the whole SRAM is zeroed in place and
+        # keeps its size (pins the single-slice-assignment rewrite).
+        sram = machine.soc.sram
+        assert len(sram._data) == sram.size
+        assert not any(sram._data)
 
     def test_mid_text_entry_resets(self):
         machine = self._machine()

@@ -123,3 +123,16 @@ class TestKeyGateOnMachine:
     def test_bad_key_length_rejected(self):
         with pytest.raises(PlatformError):
             SmartMachine(b"short")
+
+
+class TestWipeSemantics:
+    """Pin ``Ram.wipe()`` behavior the fast-path rewrite must not change."""
+
+    def test_wipe_zeroes_in_place(self, machine):
+        sram = machine.soc.sram
+        assert machine.bus.read_word(KEY_ADDR) != 0  # key material present
+        backing = sram._data
+        sram.wipe()
+        assert sram._data is backing  # zeroed in place, no realloc
+        assert len(sram._data) == sram.size
+        assert not any(sram._data)

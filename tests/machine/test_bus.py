@@ -72,6 +72,46 @@ class TestAccess:
         assert bus.read_bytes(0x2100, 5) == b"hello"
 
 
+class TestBlockPaths:
+    """The bulk helpers route block-wise through ``Device.read_block`` /
+    ``write_block`` — semantics must match the old byte-at-a-time loop."""
+
+    def test_read_bytes_spans_adjacent_devices(self, bus):
+        bus.attach(0x1000, Ram("gap", 0x1000))
+        bus.device_named("prom").load(0xFFC, b"ABCD")
+        bus.write_bytes(0x1000, b"EFGH")
+        assert bus.read_bytes(0xFFC, 8) == b"ABCDEFGH"
+
+    def test_write_bytes_spans_adjacent_ram_windows(self, bus):
+        bus.attach(0x3000, Ram("high", 0x1000))
+        bus.write_bytes(0x2FFC, b"wxyz5678")
+        assert bus.device_named("ram").dump(0xFFC, 4) == b"wxyz"
+        assert bus.device_named("high").dump(0, 4) == b"5678"
+
+    def test_write_bytes_into_prom_rejected(self, bus):
+        with pytest.raises(BusError):
+            bus.write_bytes(0x0010, b"\x00" * 8)
+
+    def test_prom_write_block_rejected_directly(self):
+        with pytest.raises(BusError):
+            Prom("p", 16).write_block(0, b"\x01\x02")
+
+    def test_read_bytes_unmapped_gap_rejected(self, bus):
+        with pytest.raises(BusError):
+            bus.read_bytes(0xFFC, 8)  # hole at 0x1000
+
+    def test_block_default_implementation_matches_ports(self):
+        # The Device-level default (byte-port loop) and Ram's slice
+        # override must agree byte for byte.
+        from repro.machine.device import Device
+
+        ram = Ram("r", 16)
+        ram.load(0, bytes(range(16)))
+        assert Device.read_block(ram, 4, 8) == ram.read_block(4, 8)
+        Device.write_block(ram, 0, b"\xaa\xbb")
+        assert ram.dump(0, 2) == b"\xaa\xbb"
+
+
 class TestMemories:
     def test_prom_rejects_bus_writes(self, bus):
         with pytest.raises(BusError):
