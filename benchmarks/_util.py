@@ -2,14 +2,18 @@
 
 Every benchmark regenerates its table/figure as text and stores it in
 ``benchmarks/out/`` so the reproduction artifacts can be diffed against
-the paper without re-running pytest.
+the paper without re-running pytest.  Machine-readable results go to
+``BENCH_<name>.json`` at the repo root — one writer, one envelope — so
+trend tracking across commits never has to special-case a benchmark.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 OUT_DIR = pathlib.Path(__file__).parent / "out"
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
 
 def write_artifact(name: str, content: str) -> pathlib.Path:
@@ -17,4 +21,17 @@ def write_artifact(name: str, content: str) -> pathlib.Path:
     OUT_DIR.mkdir(exist_ok=True)
     path = OUT_DIR / name
     path.write_text(content + "\n")
+    return path
+
+
+def write_bench_json(name: str, payload: dict) -> pathlib.Path:
+    """Persist ``BENCH_<name>.json`` at the repo root; returns its path.
+
+    The envelope always leads with the benchmark name; the payload
+    carries the knobs, floors and per-workload results.
+    """
+    path = REPO_ROOT / f"BENCH_{name}.json"
+    path.write_text(
+        json.dumps({"bench": name, **payload}, indent=2) + "\n"
+    )
     return path

@@ -16,7 +16,7 @@ Scale knobs (so CI smoke runs stay quick):
 import os
 import time
 
-from benchmarks._util import write_artifact
+from benchmarks._util import write_artifact, write_bench_json
 from repro.core.platform import TrustLitePlatform
 from repro.fleet import FleetConfig, run_fleet
 from repro.machine import Snapshot
@@ -59,6 +59,21 @@ def test_snapshot_clone_beats_cold_boot(benchmark):
         f"  state/device   : {snapshot.memory_bytes // 1024} KiB",
     ]
     write_artifact("fleet_attest.txt", "\n".join(lines))
+    write_bench_json(
+        "fleet_attest",
+        {
+            "devices": DEVICES,
+            "speedup_floor": SPEEDUP_FLOOR,
+            "workloads": {
+                "provisioning": {
+                    "cold_boot_ms": round(boot_total * 1e3, 2),
+                    "clone_ms": round(clone_total * 1e3, 2),
+                    "speedup": round(speedup, 2),
+                    "state_bytes_per_device": snapshot.memory_bytes,
+                },
+            },
+        },
+    )
     assert clone_total * SPEEDUP_FLOOR <= boot_total, (
         f"clone speedup only {speedup:.1f}x "
         f"({clone_total * 1e3:.1f} ms vs {boot_total * 1e3:.1f} ms)"

@@ -1,0 +1,138 @@
+"""Fleet scale-out: sharded multiprocess execution vs one process.
+
+The sharded executor (:mod:`repro.fleet.parallel`) exists so a fleet
+experiment's wall clock is bounded by one *shard*, not the whole
+fleet.  This benchmark pins both halves of that claim:
+
+* **determinism** — the report (minus the ``execution`` section) is
+  byte-identical for every worker count, always asserted;
+* **throughput** — 4 workers clear ``SPEEDUP_FLOOR`` (2x) over 1
+  worker on a >= 64-device fleet.
+
+The throughput floor is only *enforced* when the host actually has the
+cores to show it (>= 4, or ``FLEET_SCALE_ENFORCE=1`` to force the
+assertion); a 1-core CI runner cannot express a multiprocess speedup,
+so there — mirroring the CI smoke job — the numbers are recorded but
+not gated.  The JSON artifact always says whether the floor was
+enforced and on how many cores.
+
+Only ``execute_run`` is timed: the golden boot, snapshot encode and
+expected-measurement derivation happen once in ``prepare_run`` and are
+shared by every worker count, so the comparison isolates executor
+throughput.
+
+Scale knobs (so CI smoke runs stay quick):
+
+    FLEET_SCALE_DEVICES    fleet size                   (default 64)
+    FLEET_SCALE_ROUNDS     attestation rounds           (default 1)
+    FLEET_SCALE_STEP       guest cycles between rounds  (default 2000)
+    FLEET_SCALE_WORKERS    comma-separated worker counts (default 1,2,4)
+    FLEET_SCALE_ENFORCE    1 = assert the floor regardless of cores
+"""
+
+import json
+import os
+import time
+
+from benchmarks._util import write_artifact, write_bench_json
+from repro.fleet import ExecutionPlan, FleetConfig, execute_run, prepare_run
+
+DEVICES = int(os.environ.get("FLEET_SCALE_DEVICES", "64"))
+ROUNDS = int(os.environ.get("FLEET_SCALE_ROUNDS", "1"))
+STEP_CYCLES = int(os.environ.get("FLEET_SCALE_STEP", "2000"))
+WORKER_COUNTS = tuple(
+    int(w) for w in os.environ.get("FLEET_SCALE_WORKERS", "1,2,4").split(",")
+)
+SPEEDUP_FLOOR = 2.0
+FLOOR_WORKERS = 4
+ENFORCE_CORES = 4
+
+
+def _floor_enforced() -> tuple[bool, int]:
+    cores = os.cpu_count() or 1
+    if os.environ.get("FLEET_SCALE_ENFORCE") == "1":
+        return True, cores
+    return cores >= ENFORCE_CORES, cores
+
+
+def test_fleet_scale():
+    """Worker-count determinism always; 2x at 4 workers when cores allow."""
+    config = FleetConfig(
+        devices=DEVICES, rounds=ROUNDS, seed=11, compromise=2,
+        delay_min=0, delay_max=512, step_cycles=STEP_CYCLES,
+    )
+    prepared = prepare_run(config)
+
+    results = {}
+    baseline_json = None
+    for workers in WORKER_COUNTS:
+        plan = ExecutionPlan(workers=workers, shard_size=16)
+        started = time.perf_counter()
+        report = execute_run(prepared, plan)
+        elapsed = time.perf_counter() - started
+        assert report["ok"] is True
+        execution = report.pop("execution")
+        assert execution["workers"] == workers
+        canonical = json.dumps(report, sort_keys=True)
+        if baseline_json is None:
+            baseline_json = canonical
+        else:
+            assert canonical == baseline_json, (
+                f"report at {workers} workers diverged from baseline"
+            )
+        results[str(workers)] = {
+            "workers": workers,
+            "shards": execution["shards"],
+            "seconds": round(elapsed, 3),
+            "devices_per_sec": round(DEVICES * ROUNDS / elapsed, 1),
+        }
+
+    base = results[str(WORKER_COUNTS[0])]["seconds"]
+    for row in results.values():
+        row["speedup"] = round(base / row["seconds"], 2)
+
+    enforced, cores = _floor_enforced()
+    lines = [
+        f"fleet scale-out, {DEVICES} devices x {ROUNDS} round(s), "
+        f"{STEP_CYCLES} guest cycles/round, {cores} host core(s)",
+        f"  {'workers':>7}{'shards':>8}{'seconds':>9}"
+        f"{'devices/s':>11}{'speedup':>9}",
+    ]
+    for row in results.values():
+        lines.append(
+            f"  {row['workers']:>7}{row['shards']:>8}"
+            f"{row['seconds']:>9.3f}{row['devices_per_sec']:>11.1f}"
+            f"{row['speedup']:>8.2f}x"
+        )
+    if enforced:
+        floor_note = "enforced"
+    else:
+        floor_note = f"recorded only: {cores} core(s) < {ENFORCE_CORES}"
+    lines.append(
+        f"  floor: {SPEEDUP_FLOOR:.0f}x at {FLOOR_WORKERS} workers "
+        f"({floor_note})"
+    )
+    lines.append("  determinism: reports byte-identical across workers")
+    write_artifact("fleet_scale.txt", "\n".join(lines))
+
+    write_bench_json(
+        "fleet_scale",
+        {
+            "devices": DEVICES,
+            "rounds": ROUNDS,
+            "step_cycles": STEP_CYCLES,
+            "speedup_floor": SPEEDUP_FLOOR,
+            "floor_workers": FLOOR_WORKERS,
+            "floor_enforced": enforced,
+            "host_cores": cores,
+            "deterministic_across_workers": True,
+            "workloads": results,
+        },
+    )
+
+    if enforced and str(FLOOR_WORKERS) in results:
+        speedup = results[str(FLOOR_WORKERS)]["speedup"]
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"{FLOOR_WORKERS}-worker speedup only {speedup:.2f}x "
+            f"(floor {SPEEDUP_FLOOR}x)"
+        )

@@ -32,12 +32,10 @@ Scale knobs (so CI smoke runs stay quick):
     HOST_BENCH_REPEATS   best-of repeat count             (default 3)
 """
 
-import json
 import os
-import pathlib
 import time
 
-from benchmarks._util import write_artifact
+from benchmarks._util import write_artifact, write_bench_json
 from repro.core.image import ImageBuilder, SoftwareModule
 from repro.core.platform import TrustLitePlatform
 from repro.sw import runtime
@@ -46,7 +44,6 @@ from repro.sw.images import build_ipc_image, os_module
 CYCLES = int(os.environ.get("HOST_BENCH_CYCLES", "400000"))
 REPEATS = int(os.environ.get("HOST_BENCH_REPEATS", "3"))
 SPEEDUP_FLOOR = 3.0
-REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 MEMCPY_WORDS = 64
 
 
@@ -151,15 +148,14 @@ def test_host_throughput():
     lines.append(f"  floor: busy-loop >= {SPEEDUP_FLOOR:.0f}x")
     write_artifact("host_throughput.txt", "\n".join(lines))
 
-    payload = {
-        "bench": "host_throughput",
-        "cycles": CYCLES,
-        "repeats": REPEATS,
-        "speedup_floor": SPEEDUP_FLOOR,
-        "workloads": results,
-    }
-    (REPO_ROOT / "BENCH_host_throughput.json").write_text(
-        json.dumps(payload, indent=2) + "\n"
+    write_bench_json(
+        "host_throughput",
+        {
+            "cycles": CYCLES,
+            "repeats": REPEATS,
+            "speedup_floor": SPEEDUP_FLOOR,
+            "workloads": results,
+        },
     )
 
     speedup = results["busy-loop"]["speedup"]

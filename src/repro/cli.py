@@ -151,9 +151,19 @@ def _cmd_lint(args) -> int:
 
 def _cmd_fleet(args) -> int:
     from repro.errors import FleetError
-    from repro.fleet import FleetConfig, format_report, run_fleet
+    from repro.fleet import (
+        ExecutionPlan,
+        FleetConfig,
+        format_report,
+        run_fleet,
+    )
 
     try:
+        plan = ExecutionPlan(
+            workers=args.workers,
+            shard_size=args.shard_size,
+            engine=args.engine,
+        )
         config = FleetConfig(
             devices=args.devices,
             rounds=args.rounds,
@@ -164,12 +174,12 @@ def _cmd_fleet(args) -> int:
             delay_max=args.delay_max,
             timeout_cycles=args.timeout_cycles,
             max_retries=args.retries,
-            workers=args.workers,
+            step_cycles=args.step_cycles,
         )
     except FleetError as exc:
         print(f"fleet: {exc}", file=sys.stderr)
         return EXIT_USAGE
-    report = run_fleet(config)
+    report = run_fleet(config, plan)
     if args.json:
         print(json.dumps(report, indent=2))
     else:
@@ -236,8 +246,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-attempt response timeout in cycles")
     fleet.add_argument("--retries", type=int, default=2,
                        help="re-challenges before marking unresponsive")
-    fleet.add_argument("--workers", type=int, default=8,
-                       help="verifier worker threads")
+    fleet.add_argument("--step-cycles", type=int, default=0,
+                       help="guest cycles each device runs between rounds")
+    fleet.add_argument("--workers", type=int, default=1,
+                       help="worker processes for sharded execution "
+                            "(default: 1; verdicts are identical for "
+                            "any worker count)")
+    fleet.add_argument("--shard-size", type=int, default=16,
+                       help="devices per shard (default: 16)")
+    fleet.add_argument("--engine", choices=("fast", "reference"),
+                       default="fast",
+                       help="execution engine for hydrated clones")
     fleet.add_argument("--json", action="store_true",
                        help="emit the machine-readable report")
     fleet.set_defaults(func=_cmd_fleet)

@@ -70,6 +70,17 @@ class MemoryProtectionFault(MachineError):
         self.access = access
 
 
+class SnapcodecError(MachineError):
+    """A serialized snapshot is malformed (bad magic, version, layout).
+
+    Raised by :mod:`repro.machine.snapcodec` when decoding a byte
+    stream that is not a well-formed snapshot of a supported version,
+    or when asked to encode a value outside the codec's closed type
+    set (which would mean a live object was about to cross a process
+    boundary).
+    """
+
+
 class PlatformError(ReproError):
     """Invalid platform construction or configuration."""
 

@@ -12,17 +12,31 @@ the single-platform simulator out to a fleet:
   retry and timeout in simulated cycles;
 * :mod:`repro.fleet.metrics` — counters and latency histograms
   exported as JSON;
+* :mod:`repro.fleet.parallel` — the sharded executor: the fleet cut
+  into worker-count-independent shards, each hydrated from the encoded
+  golden snapshot on a process pool, with an order-independent merge;
 * :mod:`repro.fleet.service` — the one-call experiment: boot one
   golden image, snapshot-clone N devices, tamper some, attest all.
 """
 
 from repro.fleet.device import FleetDevice
 from repro.fleet.metrics import Counter, Histogram, MetricsRegistry
+from repro.fleet.parallel import (
+    ENGINES,
+    ExecutionPlan,
+    ShardTask,
+    run_shard,
+    run_shards,
+    shard_ids,
+)
 from repro.fleet.service import (
     FleetConfig,
+    PreparedRun,
     build_fleet,
     device_key,
+    execute_run,
     format_report,
+    prepare_run,
     run_fleet,
 )
 from repro.fleet.transport import (
@@ -43,6 +57,8 @@ __all__ = [
     "COMPROMISED",
     "Counter",
     "DeviceVerdict",
+    "ENGINES",
+    "ExecutionPlan",
     "FaultModel",
     "FleetConfig",
     "FleetDevice",
@@ -52,10 +68,17 @@ __all__ = [
     "InProcessTransport",
     "Message",
     "MetricsRegistry",
+    "PreparedRun",
+    "ShardTask",
     "TransportStats",
     "UNRESPONSIVE",
     "build_fleet",
     "device_key",
+    "execute_run",
     "format_report",
+    "prepare_run",
     "run_fleet",
+    "run_shard",
+    "run_shards",
+    "shard_ids",
 ]

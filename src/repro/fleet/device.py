@@ -46,7 +46,9 @@ def quote_material(
 class FleetDevice:
     """One fleet member: a platform plus its attestation endpoint."""
 
-    def __init__(self, device_id: int, platform, key: bytes) -> None:
+    def __init__(
+        self, device_id: int, platform, key: bytes, *, tracer=None
+    ) -> None:
         if not key:
             raise FleetError(f"device {device_id}: empty device key")
         self.device_id = device_id
@@ -56,6 +58,11 @@ class FleetDevice:
         self.replays_rejected = 0
         self.challenges_answered = 0
         self.tampered_modules: list[str] = []
+        # Optional per-device execution tracer; when attached, its ring
+        # buffer health (``dropped``) is surfaced in the fleet metrics.
+        self.tracer = tracer
+        if tracer is not None:
+            tracer.attach(platform.cpu)
 
     # ------------------------------------------------------------------
 

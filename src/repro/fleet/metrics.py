@@ -45,6 +45,12 @@ class Histogram:
     def count(self) -> int:
         return len(self._values)
 
+    @property
+    def values(self) -> list[int]:
+        """A copy of every observation (raw export for shard merging)."""
+        with self._lock:
+            return list(self._values)
+
     def percentile(self, pct: float) -> int:
         """Nearest-rank percentile; 0 on an empty histogram."""
         with self._lock:
@@ -105,3 +111,34 @@ class MetricsRegistry:
                 for name, histogram in sorted(self._histograms.items())
             },
         }
+
+    # ------------------------------------------------------------------
+    # Shard merging.  A worker process exports its registry as plain
+    # data (``raw_dict``: counter values and *every* histogram
+    # observation, not summaries); the parent folds shard exports into
+    # one fleet-level registry with ``merge_raw``.  Summaries sort
+    # their observations, so the merged percentiles are independent of
+    # merge order — a requirement for worker-count determinism.
+
+    def raw_dict(self) -> dict:
+        """Everything needed to reconstruct this registry elsewhere."""
+        return {
+            "counters": {
+                name: counter.value
+                for name, counter in sorted(self._counters.items())
+            },
+            "histograms": {
+                name: histogram.values
+                for name, histogram in sorted(self._histograms.items())
+            },
+        }
+
+    def merge_raw(self, raw: dict, *, skip_counters: tuple = ()) -> None:
+        """Fold a :meth:`raw_dict` export into this registry."""
+        for name, value in raw["counters"].items():
+            if name not in skip_counters:
+                self.counter(name).inc(value)
+        for name, values in raw["histograms"].items():
+            histogram = self.histogram(name)
+            for value in values:
+                histogram.observe(value)

@@ -1,0 +1,312 @@
+"""Sharded multiprocess fleet execution.
+
+PR 2 made a fleet cheap to *provision* (snapshot cloning) and PR 3 made
+one device fast to *step* (the fast-path engine), but the whole fleet
+still advanced inside a single Python process.  This module partitions
+a fleet into **shards** and runs each shard — hydrate N clones from one
+golden snapshot, attest them for R rounds, aggregate shard metrics —
+on a worker process pool.
+
+Hard rules that make this safe and reproducible:
+
+* **Only bytes cross the process boundary.**  The golden platform
+  travels as the versioned :mod:`repro.machine.snapcodec` byte format;
+  the shard description (:class:`ShardTask`) and the shard result are
+  plain data (ints, strings, bytes, dicts).  No live ``Device``/``Cpu``
+  object is ever pickled.
+* **The shard partition never depends on the worker count.**
+  :func:`shard_ids` cuts ``range(devices)`` into ``shard_size`` chunks;
+  workers merely consume the shard queue.  Combined with the fleet's
+  per-device RNG streams (``fleet-link:{seed}:{id}``,
+  ``fleet-nonce:{seed}:{id}``) and an order-independent merge, verdicts
+  and aggregated metrics are byte-identical for 1, 2 or 4 workers.
+* **Workers re-derive host handles.**  A decoded snapshot carries no
+  ``BuiltImage``; workers rebuild it from a registered builder name
+  (cached per process, like the decoded golden snapshot itself).
+
+:func:`run_shard` is a pure function of its :class:`ShardTask`, so the
+``workers=1`` path simply calls it inline — identical results, no pool.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+from repro.errors import FleetError
+from repro.fleet.device import FleetDevice
+from repro.fleet.metrics import MetricsRegistry
+from repro.fleet.transport import FaultModel, InProcessTransport
+from repro.fleet.verifier import FleetVerifier
+from repro.machine.snapcodec import decode_snapshot
+from repro.machine.trace import Tracer
+
+ENGINE_FAST = "fast"
+ENGINE_REFERENCE = "reference"
+ENGINES = (ENGINE_FAST, ENGINE_REFERENCE)
+
+DEFAULT_SHARD_SIZE = 16
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """How a fleet run is executed (never *what* it computes).
+
+    ``workers`` is the process count, ``shard_size`` the devices per
+    shard, ``engine`` the execution engine of the hydrated clones.
+    None of these may change verdicts or aggregated metrics — the
+    determinism tests hold the plan's knobs against each other.
+    """
+
+    workers: int = 1
+    shard_size: int = DEFAULT_SHARD_SIZE
+    engine: str = ENGINE_FAST
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise FleetError(f"workers must be >= 1: {self.workers}")
+        if self.shard_size < 1:
+            raise FleetError(
+                f"shard_size must be >= 1: {self.shard_size}"
+            )
+        if self.engine not in ENGINES:
+            raise FleetError(
+                f"unknown engine {self.engine!r}; choose from {ENGINES}"
+            )
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """Everything one shard needs, as plain picklable data."""
+
+    shard_index: int
+    snapshot_blob: bytes
+    image_name: str
+    device_ids: tuple[int, ...]
+    compromised: tuple[int, ...]
+    keys: tuple[tuple[int, bytes], ...]
+    expected_rows: tuple[tuple[int, bytes], ...]
+    seed: int
+    rounds: int
+    drop_rate: float
+    delay_min: int
+    delay_max: int
+    timeout_cycles: int
+    max_retries: int
+    step_cycles: int
+    trace_capacity: int
+    engine: str
+
+
+def shard_ids(devices: int, shard_size: int) -> tuple[tuple[int, ...], ...]:
+    """Partition ``range(devices)`` into ``shard_size`` chunks.
+
+    Depends only on (devices, shard_size) — never on worker count —
+    so the same experiment always produces the same shards.
+    """
+    if devices < 1:
+        raise FleetError("cannot shard an empty fleet")
+    if shard_size < 1:
+        raise FleetError(f"shard_size must be >= 1: {shard_size}")
+    return tuple(
+        tuple(range(start, min(start + shard_size, devices)))
+        for start in range(0, devices, shard_size)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Worker side.
+
+# Image builders a worker may be asked to re-derive.  Keyed by name so
+# the task stays plain data; extended here as new fleet images appear.
+def _image_builders() -> dict:
+    from repro.sw.images import build_attestation_image
+
+    return {"attestation": build_attestation_image}
+
+
+# Per-process caches: a worker typically runs several shards of the
+# same experiment, and decoding the golden snapshot / assembling the
+# image once per process amortizes across them.
+_SNAPSHOT_CACHE: dict[bytes, object] = {}
+_IMAGE_CACHE: dict[str, object] = {}
+_CACHE_LIMIT = 4
+
+
+def _cached_snapshot(blob: bytes):
+    digest = hashlib.sha256(blob).digest()
+    snapshot = _SNAPSHOT_CACHE.get(digest)
+    if snapshot is None:
+        if len(_SNAPSHOT_CACHE) >= _CACHE_LIMIT:
+            _SNAPSHOT_CACHE.clear()
+        snapshot = decode_snapshot(blob)
+        _SNAPSHOT_CACHE[digest] = snapshot
+    return snapshot
+
+
+def _cached_image(name: str):
+    image = _IMAGE_CACHE.get(name)
+    if image is None:
+        builders = _image_builders()
+        if name not in builders:
+            raise FleetError(f"unknown fleet image {name!r}")
+        image = builders[name]()
+        _IMAGE_CACHE[name] = image
+    return image
+
+
+def collect_device_perf(device: FleetDevice, metrics: MetricsRegistry) -> None:
+    """Fold one device's engine/tracer counters into ``metrics``.
+
+    Surfaces the PR 3 fast-path observability (decode cache, EA-MPU
+    lookaside, bus routing memo) plus tracer ring-buffer drops at
+    fleet level, so per-shard perf is visible in every report.
+    """
+    platform = device.platform
+    cpu = platform.cpu
+    decode_hits = decode_misses = 0
+    if cpu.fastpath is not None:
+        decode_stats = cpu.fastpath.decode_cache.stats
+        decode_hits = decode_stats["hits"]
+        decode_misses = decode_stats["misses"]
+    metrics.counter("fleet_decode_cache_hits").inc(decode_hits)
+    metrics.counter("fleet_decode_cache_misses").inc(decode_misses)
+    mpu_stats = platform.mpu.stats
+    metrics.counter("fleet_lookaside_hits").inc(
+        getattr(mpu_stats, "lookaside_hits", 0)
+    )
+    metrics.counter("fleet_lookaside_misses").inc(
+        getattr(mpu_stats, "lookaside_misses", 0)
+    )
+    routing = platform.bus.routing_stats
+    metrics.counter("fleet_bus_memo_hits").inc(routing["memo_hits"])
+    metrics.counter("fleet_bus_memo_misses").inc(routing["memo_misses"])
+    metrics.counter("fleet_trace_dropped").inc(
+        device.tracer.dropped if device.tracer is not None else 0
+    )
+
+
+def run_shard(task: ShardTask) -> dict:
+    """Hydrate and attest one shard; returns a plain-data result.
+
+    Pure function of ``task`` — the workers=1 inline path and the
+    process-pool path run exactly this code.
+    """
+    snapshot = _cached_snapshot(task.snapshot_blob)
+    image = _cached_image(task.image_name)
+    keys = dict(task.keys)
+    fastpath = task.engine == ENGINE_FAST
+    devices: dict[int, FleetDevice] = {}
+    for device_id in task.device_ids:
+        platform = snapshot.clone(fastpath=fastpath)
+        # The decoded snapshot carries no host handles; re-attach the
+        # worker's own copy of the built image (tampering needs its
+        # layouts).
+        platform.image = image
+        key = keys[device_id]
+        platform.soc.crypto.set_key(key)
+        tracer = (
+            Tracer(capacity=task.trace_capacity)
+            if task.trace_capacity else None
+        )
+        devices[device_id] = FleetDevice(
+            device_id, platform, key, tracer=tracer
+        )
+    for device_id in task.compromised:
+        devices[device_id].tamper_code()
+
+    metrics = MetricsRegistry()
+    transport = InProcessTransport(
+        seed=task.seed,
+        fault_model=FaultModel(
+            drop_rate=task.drop_rate,
+            delay_min=task.delay_min,
+            delay_max=task.delay_max,
+        ),
+    )
+    verifier = FleetVerifier(
+        devices,
+        transport,
+        {device_id: keys[device_id] for device_id in devices},
+        list(task.expected_rows),
+        seed=task.seed,
+        timeout_cycles=task.timeout_cycles,
+        max_retries=task.max_retries,
+        metrics=metrics,
+    )
+
+    rounds: list[dict[int, dict]] = []
+    for _round_index in range(task.rounds):
+        verdicts = verifier.run_round()
+        rounds.append(
+            {
+                device_id: verdicts[device_id].to_dict()
+                for device_id in sorted(verdicts)
+            }
+        )
+        if task.step_cycles:
+            # Fleet devices keep doing their job between rounds; the
+            # guest work is what the engine choice actually speeds up.
+            for device_id in sorted(devices):
+                devices[device_id].step_cycles(task.step_cycles)
+    for device_id in sorted(devices):
+        collect_device_perf(devices[device_id], metrics)
+
+    return {
+        "shard": task.shard_index,
+        "device_ids": list(task.device_ids),
+        "rounds": rounds,
+        "metrics": metrics.raw_dict(),
+        "transport": transport.stats.to_dict(),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Parent side.
+
+
+def run_shards(tasks: list[ShardTask], workers: int) -> list[dict]:
+    """Execute every shard on ``workers`` processes; ordered results.
+
+    ``workers=1`` runs inline (same pure function, no pool); results
+    are always returned sorted by shard index, so downstream merging
+    is independent of completion order.
+    """
+    if workers < 1:
+        raise FleetError(f"workers must be >= 1: {workers}")
+    if workers == 1 or len(tasks) == 1:
+        results = [run_shard(task) for task in tasks]
+    else:
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(tasks))
+        ) as pool:
+            results = list(pool.map(run_shard, tasks))
+    return sorted(results, key=lambda result: result["shard"])
+
+
+def merge_shard_results(
+    results: list[dict], *, rounds: int
+) -> tuple[list[dict[int, dict]], MetricsRegistry, dict]:
+    """Combine shard results into fleet-level rounds/metrics/transport.
+
+    Every fold is order-independent: counters add, histogram summaries
+    sort their observations, per-round verdict maps key by device id.
+    ``fleet_rounds`` is normalized to the experiment's round count (it
+    would otherwise count once per shard).
+    """
+    merged_rounds: list[dict[int, dict]] = [{} for _ in range(rounds)]
+    metrics = MetricsRegistry()
+    transport_totals = {
+        "sent": 0, "delivered": 0, "dropped": 0, "in_flight": 0,
+    }
+    for result in sorted(results, key=lambda r: r["shard"]):
+        for round_index, verdicts in enumerate(result["rounds"]):
+            merged_rounds[round_index].update(verdicts)
+        metrics.merge_raw(
+            result["metrics"], skip_counters=("fleet_rounds",)
+        )
+        for key in transport_totals:
+            transport_totals[key] += result["transport"][key]
+    metrics.counter("fleet_rounds").inc(rounds)
+    return merged_rounds, metrics, transport_totals

@@ -3,18 +3,23 @@
 ``run_fleet`` is the one-call entry point behind
 ``python -m repro fleet``:
 
-1. boot **one** golden platform from the attestation image and snapshot
-   it (:class:`repro.machine.Snapshot`);
-2. stamp out N devices by cloning the snapshot (O(memcpy) each) and
-   provision each with a per-device key derived from the run seed;
-3. tamper the code of a seed-chosen subset post-boot (the attack the
-   fleet is supposed to catch);
-4. run R verifier rounds over a lossy/delayed in-process transport and
-   export verdicts plus metrics as one JSON-ready report.
+1. boot **one** golden platform from the attestation image, snapshot it
+   and serialize the snapshot to the versioned
+   :mod:`repro.machine.snapcodec` byte format (:func:`prepare_run`);
+2. partition the fleet into shards and hand each shard — the encoded
+   golden bytes plus a plain-data task description — to
+   :mod:`repro.fleet.parallel`, which hydrates N clones per shard and
+   attests them, on one process or a worker pool (:func:`execute_run`);
+3. merge the per-shard verdicts, metrics and transport totals into one
+   fleet-level JSON-ready report.
 
 Everything downstream of the seed is deterministic — nonces, link
 faults, compromise choice, simulated-cycle latencies — so the same
-command line reproduces the same report byte for byte.
+command line reproduces the same report byte for byte.  The
+:class:`~repro.fleet.parallel.ExecutionPlan` (worker count, shard
+size, engine) is deliberately *not* part of :class:`FleetConfig`:
+it may change how fast the report is produced, never what it says.
+Only the report's trailing ``execution`` section records the plan.
 """
 
 from __future__ import annotations
@@ -28,23 +33,30 @@ from repro.core.trustlet_table import name_tag
 from repro.crypto import mac, sponge_hash
 from repro.errors import FleetError
 from repro.fleet.device import FleetDevice
-from repro.fleet.metrics import MetricsRegistry
-from repro.fleet.transport import FaultModel, InProcessTransport
-from repro.fleet.verifier import (
-    COMPROMISED,
-    FleetVerifier,
-    HEALTHY,
-    UNRESPONSIVE,
+from repro.fleet.parallel import (
+    ExecutionPlan,
+    ShardTask,
+    merge_shard_results,
+    run_shards,
+    shard_ids,
 )
+from repro.fleet.verifier import COMPROMISED, HEALTHY, UNRESPONSIVE
+from repro.machine.snapcodec import encode_snapshot
 from repro.machine.snapshot import Snapshot
 from repro.sw.images import build_attestation_image
 
-SCHEMA = "repro.fleet/1"
+SCHEMA = "repro.fleet/2"
 
 
 @dataclass(frozen=True)
 class FleetConfig:
-    """One fleet experiment, fully determined by these fields."""
+    """One fleet experiment, fully determined by these fields.
+
+    ``step_cycles`` runs each device's guest for that many cycles
+    between rounds (devices keep doing their job, and the engine
+    counters in the metrics become meaningful); ``trace_capacity``
+    attaches a ring-buffer tracer of that depth to every device.
+    """
 
     devices: int = 8
     rounds: int = 1
@@ -55,7 +67,8 @@ class FleetConfig:
     delay_max: int = 512
     timeout_cycles: int = 8192
     max_retries: int = 2
-    workers: int = 8
+    step_cycles: int = 0
+    trace_capacity: int = 0
 
     def __post_init__(self) -> None:
         if self.devices < 1:
@@ -66,6 +79,14 @@ class FleetConfig:
             raise FleetError(
                 f"cannot compromise {self.compromise} of "
                 f"{self.devices} devices"
+            )
+        if self.step_cycles < 0:
+            raise FleetError(
+                f"step_cycles must be >= 0: {self.step_cycles}"
+            )
+        if self.trace_capacity < 0:
+            raise FleetError(
+                f"trace_capacity must be >= 0: {self.trace_capacity}"
             )
 
 
@@ -78,7 +99,12 @@ def device_key(seed: int, device_id: int) -> bytes:
 def build_fleet(
     config: FleetConfig,
 ) -> tuple[dict[int, FleetDevice], Snapshot, object]:
-    """Boot the golden image once, clone it into the fleet."""
+    """Boot the golden image once, clone it into the fleet.
+
+    The in-process path (examples, single-host experiments).  The
+    sharded executor does the same hydration worker-side from the
+    encoded snapshot — see :func:`repro.fleet.parallel.run_shard`.
+    """
     golden = TrustLitePlatform()
     image = build_attestation_image()
     golden.boot(image)
@@ -92,99 +118,184 @@ def build_fleet(
     return devices, snapshot, image
 
 
-def run_fleet(config: FleetConfig) -> dict:
-    """Run the whole experiment; returns the JSON-ready report."""
-    devices, snapshot, image = build_fleet(config)
+@dataclass(frozen=True)
+class PreparedRun:
+    """A fleet experiment reduced to plain data, ready to execute.
+
+    Everything here is primitive (bytes, ints, strings, tuples), so a
+    prepared run can be executed on any worker process — and prepared
+    exactly once when benchmarking different execution plans.
+    """
+
+    config: FleetConfig
+    snapshot_blob: bytes
+    image_name: str
+    expected_compromised: tuple[int, ...]
+    keys: tuple[tuple[int, bytes], ...]
+    expected_rows: tuple[tuple[int, bytes], ...]
+    memory_bytes: int
+    modules: tuple[str, ...]
+    prom_bytes: int
+
+
+def prepare_run(config: FleetConfig) -> PreparedRun:
+    """Boot the golden platform once and freeze the experiment.
+
+    This is the one-time cost (boot + snapshot + encode + expected
+    measurements); :func:`execute_run` can then be timed on its own.
+    """
+    golden = TrustLitePlatform()
+    image = build_attestation_image()
+    golden.boot(image)
+    snapshot = Snapshot.save(golden)
+    blob = encode_snapshot(snapshot)
 
     compromise_rng = random.Random(f"fleet-compromise:{config.seed}")
-    expected_compromised = sorted(
-        compromise_rng.sample(range(config.devices), config.compromise)
-    )
-    for device_id in expected_compromised:
-        devices[device_id].tamper_code()
-
-    metrics = MetricsRegistry()
-    transport = InProcessTransport(
-        seed=config.seed,
-        fault_model=FaultModel(
-            drop_rate=config.drop_rate,
-            delay_min=config.delay_min,
-            delay_max=config.delay_max,
-        ),
+    expected_compromised = tuple(
+        sorted(
+            compromise_rng.sample(range(config.devices), config.compromise)
+        )
     )
     digests = expected_measurements(image)
-    expected_rows = [
+    expected_rows = tuple(
         (name_tag(name), digests[name]) for name in image.module_order
-    ]
-    verifier = FleetVerifier(
-        devices,
-        transport,
-        # Symmetric scheme (as in SMART): the verifier holds key copies.
-        {i: device_key(config.seed, i) for i in devices},
-        expected_rows,
-        seed=config.seed,
-        timeout_cycles=config.timeout_cycles,
-        max_retries=config.max_retries,
-        workers=config.workers,
-        metrics=metrics,
+    )
+    keys = tuple(
+        (device_id, device_key(config.seed, device_id))
+        for device_id in range(config.devices)
+    )
+    return PreparedRun(
+        config=config,
+        snapshot_blob=blob,
+        image_name="attestation",
+        expected_compromised=expected_compromised,
+        keys=keys,
+        expected_rows=expected_rows,
+        memory_bytes=snapshot.memory_bytes,
+        modules=tuple(image.module_order),
+        prom_bytes=len(image.prom),
+    )
+
+
+def _shard_tasks(
+    prepared: PreparedRun, plan: ExecutionPlan
+) -> list[ShardTask]:
+    """Cut the prepared run into shard tasks (worker-count agnostic)."""
+    config = prepared.config
+    keys = dict(prepared.keys)
+    compromised = set(prepared.expected_compromised)
+    tasks = []
+    for index, ids in enumerate(
+        shard_ids(config.devices, plan.shard_size)
+    ):
+        tasks.append(
+            ShardTask(
+                shard_index=index,
+                snapshot_blob=prepared.snapshot_blob,
+                image_name=prepared.image_name,
+                device_ids=ids,
+                compromised=tuple(
+                    device_id for device_id in ids
+                    if device_id in compromised
+                ),
+                keys=tuple(
+                    (device_id, keys[device_id]) for device_id in ids
+                ),
+                expected_rows=prepared.expected_rows,
+                seed=config.seed,
+                rounds=config.rounds,
+                drop_rate=config.drop_rate,
+                delay_min=config.delay_min,
+                delay_max=config.delay_max,
+                timeout_cycles=config.timeout_cycles,
+                max_retries=config.max_retries,
+                step_cycles=config.step_cycles,
+                trace_capacity=config.trace_capacity,
+                engine=plan.engine,
+            )
+        )
+    return tasks
+
+
+def execute_run(
+    prepared: PreparedRun, plan: ExecutionPlan | None = None
+) -> dict:
+    """Execute a prepared run under ``plan``; returns the report.
+
+    The report carries no wall-clock fields, and the ``execution``
+    section is the only part that mentions the plan — pop it and two
+    reports from different worker counts compare byte for byte.
+    """
+    plan = plan or ExecutionPlan()
+    config = prepared.config
+    tasks = _shard_tasks(prepared, plan)
+    results = run_shards(tasks, plan.workers)
+    merged_rounds, metrics, transport = merge_shard_results(
+        results, rounds=config.rounds
     )
 
     rounds = []
     flagged_compromised: set[int] = set()
     flagged_unresponsive: set[int] = set()
-    for round_index in range(config.rounds):
-        verdicts = verifier.run_round()
+    for round_index, verdicts in enumerate(merged_rounds):
+        statuses = [verdicts[i]["status"] for i in verdicts]
         for device_id, verdict in verdicts.items():
-            if verdict.status == COMPROMISED:
+            if verdict["status"] == COMPROMISED:
                 flagged_compromised.add(device_id)
-            elif verdict.status == UNRESPONSIVE:
+            elif verdict["status"] == UNRESPONSIVE:
                 flagged_unresponsive.add(device_id)
         rounds.append(
             {
                 "round": round_index,
                 "verdicts": {
-                    str(device_id): verdicts[device_id].to_dict()
+                    str(device_id): verdicts[device_id]
                     for device_id in sorted(verdicts)
                 },
-                "healthy": sum(
-                    1 for v in verdicts.values() if v.status == HEALTHY
-                ),
-                "compromised": sum(
-                    1 for v in verdicts.values()
-                    if v.status == COMPROMISED
-                ),
-                "unresponsive": sum(
-                    1 for v in verdicts.values()
-                    if v.status == UNRESPONSIVE
-                ),
+                "healthy": statuses.count(HEALTHY),
+                "compromised": statuses.count(COMPROMISED),
+                "unresponsive": statuses.count(UNRESPONSIVE),
             }
         )
 
     ok = (
-        sorted(flagged_compromised) == expected_compromised
+        tuple(sorted(flagged_compromised)) == prepared.expected_compromised
         and not flagged_unresponsive
     )
     return {
         "schema": SCHEMA,
         "config": asdict(config),
         "image": {
-            "modules": list(image.module_order),
-            "prom_bytes": len(image.prom),
+            "modules": list(prepared.modules),
+            "prom_bytes": prepared.prom_bytes,
         },
         "fleet": {
             "devices": config.devices,
-            "clone_memory_bytes": snapshot.memory_bytes,
+            "clone_memory_bytes": prepared.memory_bytes,
+            "snapshot_blob_bytes": len(prepared.snapshot_blob),
         },
-        "expected_compromised": expected_compromised,
+        "expected_compromised": list(prepared.expected_compromised),
         "rounds": rounds,
         "flagged": {
             "compromised": sorted(flagged_compromised),
             "unresponsive": sorted(flagged_unresponsive),
         },
         "ok": ok,
-        "transport": transport.stats.to_dict(),
+        "transport": transport,
         "metrics": metrics.to_dict(),
+        "execution": {
+            "workers": plan.workers,
+            "shard_size": plan.shard_size,
+            "shards": len(tasks),
+            "engine": plan.engine,
+        },
     }
+
+
+def run_fleet(
+    config: FleetConfig, plan: ExecutionPlan | None = None
+) -> dict:
+    """Run the whole experiment; returns the JSON-ready report."""
+    return execute_run(prepare_run(config), plan)
 
 
 def format_report(report: dict) -> str:
@@ -195,6 +306,13 @@ def format_report(report: dict) -> str:
         f"fleet: {config['devices']} devices, {config['rounds']} "
         f"round(s), seed {config['seed']}"
     )
+    execution = report.get("execution")
+    if execution:
+        lines.append(
+            f"execution: {execution['workers']} worker(s), "
+            f"{execution['shards']} shard(s) of <= "
+            f"{execution['shard_size']}, {execution['engine']} engine"
+        )
     lines.append(
         f"image: {', '.join(report['image']['modules'])} "
         f"({report['image']['prom_bytes']} PROM bytes)"

@@ -15,6 +15,7 @@ from repro.machine.bus import Bus
 from repro.machine.memories import Dram, Prom, Ram
 from repro.machine.cpu import Cpu, CpuFlags
 from repro.machine.irq import Interrupt, InterruptController
+from repro.machine.snapcodec import decode_snapshot, encode_snapshot
 from repro.machine.snapshot import Snapshot
 from repro.machine.soc import SoC
 
@@ -30,4 +31,6 @@ __all__ = [
     "Ram",
     "Snapshot",
     "SoC",
+    "decode_snapshot",
+    "encode_snapshot",
 ]

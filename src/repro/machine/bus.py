@@ -61,6 +61,11 @@ class Bus:
         self._ram_data: list[bytearray | None] = []
         self._ram_writable: list[bool] = []
         self._last = -1  # index of the most recently hit window
+        # Routing observability (streak locality of the memo); exported
+        # through :attr:`routing_stats` and surfaced per-device in the
+        # fleet metrics registry.
+        self.memo_hits = 0
+        self.memo_misses = 0
         self._write_listeners: list = []
         self._topology_listeners: list = []
 
@@ -127,12 +132,22 @@ class Bus:
         """Index of the window covering ``address``; raises BusError."""
         i = self._last
         if i >= 0 and self._bases[i] <= address < self._ends[i]:
+            self.memo_hits += 1
             return i
         i = bisect_right(self._bases, address) - 1
         if i >= 0 and address < self._ends[i]:
             self._last = i
+            self.memo_misses += 1
             return i
         raise BusError(f"unmapped address {address:#010x}", address=address)
+
+    @property
+    def routing_stats(self) -> dict:
+        """Last-mapping memo effectiveness (hits vs bisect fallbacks)."""
+        return {
+            "memo_hits": self.memo_hits,
+            "memo_misses": self.memo_misses,
+        }
 
     def find(self, address: int) -> Mapping:
         """The mapping covering ``address``; raises :class:`BusError`."""

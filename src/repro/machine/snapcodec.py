@@ -1,0 +1,375 @@
+"""Compact, versioned byte codec for platform snapshots.
+
+:class:`~repro.machine.snapshot.Snapshot` is an in-process object
+graph: dataclasses holding tuples, ints and the raw byte images of
+every memory.  The fleet executor (:mod:`repro.fleet.parallel`) needs
+to move that state across *process* boundaries, and pickling live
+simulator objects across processes is both fragile (it would silently
+drag along whatever the classes grow next) and a trust problem (the
+receiving side executes whatever the stream says).  This module defines
+the one format that is allowed to cross: a closed, self-describing
+tagged-value encoding with an explicit magic and version.
+
+Design points:
+
+* **Closed type set.**  Only ``None``, ``bool``, ``int``, ``bytes``,
+  ``str`` and ``tuple`` encode.  Anything else raises
+  :class:`~repro.errors.SnapcodecError` at *encode* time — a live
+  ``Device``/``Cpu`` reference can never leak into the stream.
+* **Deterministic.**  Equal snapshots encode to equal bytes, and
+  ``encode(decode(encode(s))) == encode(s)`` bit for bit; varints have
+  a single canonical form and page runs are emitted in ascending
+  order.  The fleet's determinism guarantees build on this.
+* **Zero-page skip.**  Large byte images (the memories) are cut into
+  :data:`PAGE_SIZE` pages and all-zero pages are simply omitted — the
+  1 MiB DRAM of a freshly booted platform costs three varints.
+* **Host handles don't travel.**  ``Snapshot.image`` and
+  ``Snapshot.boot_report`` are host-side conveniences (the built image
+  object, the loader's report); they are deliberately *not* encoded.
+  A decoded snapshot carries ``image=None`` / ``boot_report=None`` and
+  the receiving side re-derives them (fleet workers rebuild the image
+  from its registered builder name).
+"""
+
+from __future__ import annotations
+
+from repro.errors import SnapcodecError
+from repro.machine.irq import Interrupt
+from repro.machine.snapshot import (
+    CpuState,
+    MpuState,
+    PlatformConfig,
+    Snapshot,
+)
+
+MAGIC = b"TLSC"
+VERSION = 1
+
+# Zero-page-skip granule for large byte images.  1 KiB keeps the page
+# table small while still eliding the (dominant) untouched spans of
+# SRAM and DRAM.
+PAGE_SIZE = 1024
+
+# Value tags.  A byte string of PAGE_SIZE or more is written as a paged
+# run (_T_PAGED); shorter ones verbatim (_T_BYTES).  Both decode to
+# plain ``bytes``.
+_T_NONE = 0
+_T_FALSE = 1
+_T_TRUE = 2
+_T_INT = 3
+_T_BYTES = 4
+_T_STR = 5
+_T_TUPLE = 6
+_T_PAGED = 7
+
+
+# ---------------------------------------------------------------------------
+# Primitive layer: canonical varints.
+
+
+def _write_uvarint(out: bytearray, value: int) -> None:
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def _write_svarint(out: bytearray, value: int) -> None:
+    # ZigZag: small magnitudes of either sign stay short.
+    if value >= 0:
+        _write_uvarint(out, value << 1)
+    else:
+        _write_uvarint(out, ((-value) << 1) - 1)
+
+
+class _Reader:
+    """Bounds-checked cursor over an immutable byte buffer."""
+
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.pos = 0
+
+    def take(self, count: int) -> bytes:
+        end = self.pos + count
+        if count < 0 or end > len(self.data):
+            raise SnapcodecError(
+                f"truncated stream: need {count} byte(s) at offset "
+                f"{self.pos}, have {len(self.data) - self.pos}"
+            )
+        chunk = self.data[self.pos:end]
+        self.pos = end
+        return chunk
+
+    def uvarint(self) -> int:
+        shift = 0
+        value = 0
+        while True:
+            byte = self.take(1)[0]
+            value |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                if shift and byte == 0:
+                    raise SnapcodecError(
+                        f"non-canonical varint at offset {self.pos}"
+                    )
+                return value
+            shift += 7
+            if shift > 70:
+                raise SnapcodecError("varint exceeds 64 bits")
+
+    def svarint(self) -> int:
+        raw = self.uvarint()
+        return (raw >> 1) ^ -(raw & 1)
+
+    def exhausted(self) -> bool:
+        return self.pos == len(self.data)
+
+
+# ---------------------------------------------------------------------------
+# Value layer: the closed tagged union.
+
+
+def _encode_value(out: bytearray, value) -> None:
+    if value is None:
+        out.append(_T_NONE)
+    elif value is True:
+        out.append(_T_TRUE)
+    elif value is False:
+        out.append(_T_FALSE)
+    elif isinstance(value, int):
+        out.append(_T_INT)
+        _write_svarint(out, value)
+    elif isinstance(value, (bytes, bytearray)):
+        if len(value) >= PAGE_SIZE:
+            _encode_paged(out, bytes(value))
+        else:
+            out.append(_T_BYTES)
+            _write_uvarint(out, len(value))
+            out += value
+    elif isinstance(value, str):
+        encoded = value.encode("utf-8")
+        out.append(_T_STR)
+        _write_uvarint(out, len(encoded))
+        out += encoded
+    elif isinstance(value, tuple):
+        out.append(_T_TUPLE)
+        _write_uvarint(out, len(value))
+        for item in value:
+            _encode_value(out, item)
+    else:
+        raise SnapcodecError(
+            f"value of type {type(value).__name__!r} is outside the "
+            "codec's closed type set (live object in snapshot state?)"
+        )
+
+
+def _encode_paged(out: bytearray, blob: bytes) -> None:
+    """Page run with zero-page skip: (total, count, (index, raw)*)."""
+    runs: list[tuple[int, bytes]] = []
+    for index in range(0, len(blob), PAGE_SIZE):
+        page = blob[index:index + PAGE_SIZE]
+        if page.count(0) != len(page):
+            runs.append((index // PAGE_SIZE, page))
+    out.append(_T_PAGED)
+    _write_uvarint(out, len(blob))
+    _write_uvarint(out, len(runs))
+    for page_index, page in runs:
+        _write_uvarint(out, page_index)
+        out += page
+
+
+def _decode_value(reader: _Reader, depth: int = 0):
+    if depth > 16:
+        raise SnapcodecError("value nesting exceeds codec limits")
+    tag = reader.take(1)[0]
+    if tag == _T_NONE:
+        return None
+    if tag == _T_TRUE:
+        return True
+    if tag == _T_FALSE:
+        return False
+    if tag == _T_INT:
+        return reader.svarint()
+    if tag == _T_BYTES:
+        return reader.take(reader.uvarint())
+    if tag == _T_STR:
+        return reader.take(reader.uvarint()).decode("utf-8")
+    if tag == _T_TUPLE:
+        count = reader.uvarint()
+        return tuple(
+            _decode_value(reader, depth + 1) for _ in range(count)
+        )
+    if tag == _T_PAGED:
+        total = reader.uvarint()
+        count = reader.uvarint()
+        blob = bytearray(total)
+        previous = -1
+        for _ in range(count):
+            page_index = reader.uvarint()
+            if page_index <= previous:
+                raise SnapcodecError("page runs out of order")
+            previous = page_index
+            offset = page_index * PAGE_SIZE
+            if offset >= total:
+                raise SnapcodecError(
+                    f"page {page_index} beyond image of {total} bytes"
+                )
+            length = min(PAGE_SIZE, total - offset)
+            blob[offset:offset + length] = reader.take(length)
+        return bytes(blob)
+    raise SnapcodecError(f"unknown value tag {tag:#x}")
+
+
+# ---------------------------------------------------------------------------
+# Snapshot layer.
+
+
+def _expect_tuple(value, arity: int, what: str) -> tuple:
+    if not isinstance(value, tuple) or len(value) != arity:
+        raise SnapcodecError(
+            f"malformed {what}: expected a {arity}-tuple, "
+            f"got {type(value).__name__}"
+        )
+    return value
+
+
+def encode_snapshot(snapshot: Snapshot) -> bytes:
+    """Serialize ``snapshot`` to the versioned byte format."""
+    config = snapshot.config
+    cpu = snapshot.cpu
+    mpu = snapshot.mpu
+    payload = (
+        (
+            config.num_mpu_regions,
+            config.secure_exceptions,
+            config.table_capacity,
+            tuple(
+                (base, end, int(perm))
+                for base, end, perm in config.os_extra_regions
+            ),
+            config.flash_prom,
+            config.with_dma,
+        ),
+        (
+            cpu.regs,
+            cpu.ip,
+            cpu.curr_ip,
+            cpu.flags_word,
+            cpu.halted,
+            cpu.cycles,
+            cpu.instructions_retired,
+        ),
+        (
+            mpu.regions,
+            mpu.enabled,
+            mpu.hardwired,
+            mpu.fault_address,
+            mpu.fault_ip,
+        ),
+        tuple((name, state) for name, state in snapshot.devices),
+        tuple(
+            (irq.line, irq.source, irq.handler, irq.nmi)
+            for irq in snapshot.irq_pending
+        ),
+        snapshot.irq_vectors,
+        snapshot.exception_vectors,
+        snapshot.zero_devices,
+    )
+    out = bytearray(MAGIC)
+    _write_uvarint(out, VERSION)
+    _encode_value(out, payload)
+    return bytes(out)
+
+
+def decode_snapshot(data: bytes) -> Snapshot:
+    """Reconstruct a :class:`Snapshot` from :func:`encode_snapshot` bytes.
+
+    The returned snapshot carries ``image=None`` and
+    ``boot_report=None`` — those are host handles that never travel.
+    """
+    from repro.mpu.regions import Perm
+
+    reader = _Reader(bytes(data))
+    if reader.take(len(MAGIC)) != MAGIC:
+        raise SnapcodecError("bad magic: not a snapshot stream")
+    version = reader.uvarint()
+    if version != VERSION:
+        raise SnapcodecError(
+            f"unsupported snapshot format version {version} "
+            f"(this codec speaks {VERSION})"
+        )
+    payload = _decode_value(reader)
+    if not reader.exhausted():
+        raise SnapcodecError(
+            f"{len(reader.data) - reader.pos} trailing byte(s) after "
+            "snapshot payload"
+        )
+    (raw_config, raw_cpu, raw_mpu, raw_devices, raw_irqs,
+     irq_vectors, exception_vectors, zero_devices) = _expect_tuple(
+        payload, 8, "snapshot payload"
+    )
+
+    (num_regions, secure_exceptions, table_capacity, raw_extra,
+     flash_prom, with_dma) = _expect_tuple(raw_config, 6, "config")
+    config = PlatformConfig(
+        num_mpu_regions=num_regions,
+        secure_exceptions=secure_exceptions,
+        table_capacity=table_capacity,
+        os_extra_regions=tuple(
+            (base, end, Perm(perm))
+            for base, end, perm in (
+                _expect_tuple(r, 3, "os extra region") for r in raw_extra
+            )
+        ),
+        flash_prom=flash_prom,
+        with_dma=with_dma,
+    )
+
+    (regs, ip, curr_ip, flags_word, halted, cycles,
+     retired) = _expect_tuple(raw_cpu, 7, "cpu state")
+    cpu = CpuState(
+        regs=regs, ip=ip, curr_ip=curr_ip, flags_word=flags_word,
+        halted=halted, cycles=cycles, instructions_retired=retired,
+    )
+
+    (regions, enabled, hardwired, fault_address,
+     fault_ip) = _expect_tuple(raw_mpu, 5, "mpu state")
+    mpu = MpuState(
+        regions=tuple(
+            _expect_tuple(r, 3, "mpu region") for r in regions
+        ),
+        enabled=enabled,
+        hardwired=hardwired,
+        fault_address=fault_address,
+        fault_ip=fault_ip,
+    )
+
+    return Snapshot(
+        config=config,
+        cpu=cpu,
+        mpu=mpu,
+        devices=tuple(
+            _expect_tuple(entry, 2, "device state")
+            for entry in raw_devices
+        ),
+        irq_pending=tuple(
+            Interrupt(line=line, source=source, handler=handler, nmi=nmi)
+            for line, source, handler, nmi in (
+                _expect_tuple(entry, 4, "pending interrupt")
+                for entry in raw_irqs
+            )
+        ),
+        irq_vectors=tuple(
+            _expect_tuple(entry, 2, "irq vector") for entry in irq_vectors
+        ),
+        exception_vectors=tuple(
+            _expect_tuple(entry, 2, "exception vector")
+            for entry in exception_vectors
+        ),
+        image=None,
+        boot_report=None,
+        zero_devices=zero_devices,
+    )

@@ -220,8 +220,13 @@ class Snapshot:
         platform.image = self.image
         platform.boot_report = self.boot_report
 
-    def clone(self):
-        """A brand-new platform carrying this state (O(memcpy))."""
+    def clone(self, *, fastpath: bool = True):
+        """A brand-new platform carrying this state (O(memcpy)).
+
+        ``fastpath`` selects the execution engine of the clone (the
+        cached fast path or the uncached reference); it is not part of
+        the snapshot because the engines are architecturally identical.
+        """
         from repro.core.platform import TrustLitePlatform
 
         platform = TrustLitePlatform(
@@ -231,6 +236,7 @@ class Snapshot:
             os_extra_regions=self.config.os_extra_regions,
             flash_prom=self.config.flash_prom,
             with_dma=self.config.with_dma,
+            fastpath=fastpath,
         )
         self.restore(platform, fresh=True)
         return platform

@@ -79,3 +79,51 @@ class TestRegistry:
         assert exported["counters"]["a"] == 2
         assert exported["histograms"]["lat"]["count"] == 1
         json.dumps(exported)  # must serialize cleanly
+
+
+class TestShardMerging:
+    def _shard_registry(self, base):
+        registry = MetricsRegistry()
+        registry.counter("sent").inc(base)
+        for value in (base, base * 2):
+            registry.histogram("lat").observe(value)
+        return registry
+
+    def test_raw_dict_carries_every_observation(self):
+        registry = self._shard_registry(5)
+        raw = registry.raw_dict()
+        assert raw["counters"] == {"sent": 5}
+        assert raw["histograms"] == {"lat": [5, 10]}
+
+    def test_merge_raw_reconstructs_the_union(self):
+        merged = MetricsRegistry()
+        merged.merge_raw(self._shard_registry(5).raw_dict())
+        merged.merge_raw(self._shard_registry(7).raw_dict())
+        assert merged.counter("sent").value == 12
+        summary = merged.histogram("lat").summary()
+        assert summary["count"] == 4
+        assert summary["min"] == 5
+        assert summary["max"] == 14
+
+    def test_merge_raw_skip_counters(self):
+        merged = MetricsRegistry()
+        raw = self._shard_registry(5).raw_dict()
+        merged.merge_raw(raw, skip_counters=("sent",))
+        assert merged.counter("sent").value == 0
+        assert merged.histogram("lat").count == 2
+
+    def test_merge_order_does_not_change_summaries(self):
+        one = MetricsRegistry()
+        one.merge_raw(self._shard_registry(5).raw_dict())
+        one.merge_raw(self._shard_registry(7).raw_dict())
+        other = MetricsRegistry()
+        other.merge_raw(self._shard_registry(7).raw_dict())
+        other.merge_raw(self._shard_registry(5).raw_dict())
+        assert one.to_dict() == other.to_dict()
+
+    def test_raw_round_trip_is_stable(self):
+        registry = self._shard_registry(3)
+        clone = MetricsRegistry()
+        clone.merge_raw(registry.raw_dict())
+        assert clone.raw_dict() == registry.raw_dict()
+        assert clone.to_dict() == registry.to_dict()

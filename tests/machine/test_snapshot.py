@@ -65,6 +65,19 @@ class TestClone:
         assert clone.soc.uart.output == names["uart"]
         assert clone.soc.timer.snapshot_state() == names["timer"]
 
+    def test_clone_engine_selection(self, booted):
+        _platform, snapshot = booted
+        assert snapshot.clone().cpu.fastpath is not None
+        assert snapshot.clone(fastpath=True).cpu.fastpath is not None
+        assert snapshot.clone(fastpath=False).cpu.fastpath is None
+
+    def test_reference_clone_equals_golden(self, booted):
+        # The engine is host-side machinery, not architectural state:
+        # a reference-engine clone re-captures to the same snapshot.
+        _platform, snapshot = booted
+        clone = snapshot.clone(fastpath=False)
+        assert Snapshot.save(clone) == snapshot
+
 
 class TestCompatibility:
     def test_restore_into_incompatible_platform_rejected(self, booted):

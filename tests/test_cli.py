@@ -57,14 +57,44 @@ class TestCommands:
             "fleet", "--devices", "3", "--compromise", "0", "--json",
         ]) == EXIT_OK
         report = json.loads(capsys.readouterr().out)
-        assert report["schema"] == "repro.fleet/1"
+        assert report["schema"] == "repro.fleet/2"
         assert report["ok"] is True
         assert report["rounds"][0]["healthy"] == 3
+        assert report["execution"]["workers"] == 1
+        assert report["execution"]["engine"] == "fast"
 
     def test_fleet_bad_compromise_is_usage_error(self, capsys):
         assert main([
             "fleet", "--devices", "2", "--compromise", "5",
         ]) == EXIT_USAGE
+
+    def test_fleet_bad_workers_is_usage_error(self, capsys):
+        assert main([
+            "fleet", "--devices", "2", "--workers", "0",
+        ]) == EXIT_USAGE
+
+    def test_fleet_engine_and_workers_flags(self, capsys):
+        assert main([
+            "fleet", "--devices", "4", "--compromise", "0",
+            "--workers", "2", "--shard-size", "2",
+            "--engine", "reference", "--json",
+        ]) == EXIT_OK
+        report = json.loads(capsys.readouterr().out)
+        assert report["execution"] == {
+            "workers": 2, "shard_size": 2, "shards": 2,
+            "engine": "reference",
+        }
+
+    def test_fleet_report_independent_of_workers(self, capsys):
+        args = ["fleet", "--devices", "4", "--seed", "9", "--json"]
+        assert main(args + ["--workers", "1"]) == EXIT_OK
+        first = json.loads(capsys.readouterr().out)
+        assert main(args + ["--workers", "2", "--shard-size", "2"]) \
+            == EXIT_OK
+        second = json.loads(capsys.readouterr().out)
+        first.pop("execution")
+        second.pop("execution")
+        assert first == second
 
     def test_missing_command_errors(self):
         with pytest.raises(SystemExit):
