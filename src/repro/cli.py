@@ -11,6 +11,7 @@ the simulated platform:
 * ``disasm``    — disassemble a module of the demo image
 * ``lint``      — statically verify an image (trustlint)
 * ``fleet``     — clone a device fleet and run remote attestation
+* ``faults``    — seeded fault-injection campaign over the fleet
 
 Exit codes are uniform across commands: **0** success / clean,
 **1** findings or a failed check, **2** usage error (unknown command,
@@ -174,6 +175,7 @@ def _cmd_fleet(args) -> int:
             delay_max=args.delay_max,
             timeout_cycles=args.timeout_cycles,
             max_retries=args.retries,
+            backoff=args.backoff,
             step_cycles=args.step_cycles,
         )
     except FleetError as exc:
@@ -184,6 +186,32 @@ def _cmd_fleet(args) -> int:
         print(json.dumps(report, indent=2))
     else:
         print(format_report(report))
+    return EXIT_OK if report["ok"] else EXIT_FINDINGS
+
+
+def _cmd_faults(args) -> int:
+    from repro.errors import FaultError, FleetError
+    from repro.faults import CampaignConfig, format_campaign, run_campaign
+
+    try:
+        if args.workers < 1:
+            raise FaultError(f"workers must be >= 1: {args.workers}")
+        config = CampaignConfig(
+            seed=args.seed,
+            rounds=args.rounds,
+            timeout_cycles=args.timeout_cycles,
+            max_retries=args.retries,
+            backoff=args.backoff,
+            step_cycles=args.step_cycles,
+        )
+    except (FaultError, FleetError) as exc:
+        print(f"faults: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    report = run_campaign(config, workers=args.workers)
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(format_campaign(report))
     return EXIT_OK if report["ok"] else EXIT_FINDINGS
 
 
@@ -246,6 +274,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-attempt response timeout in cycles")
     fleet.add_argument("--retries", type=int, default=2,
                        help="re-challenges before marking unresponsive")
+    fleet.add_argument("--backoff", type=float, default=1.0,
+                       help="timeout multiplier per retry attempt "
+                            "(simulated cycles; default: 1.0)")
     fleet.add_argument("--step-cycles", type=int, default=0,
                        help="guest cycles each device runs between rounds")
     fleet.add_argument("--workers", type=int, default=1,
@@ -260,6 +291,32 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--json", action="store_true",
                        help="emit the machine-readable report")
     fleet.set_defaults(func=_cmd_fleet)
+    faults = sub.add_parser(
+        "faults",
+        help="run the seeded fault-injection campaign (exit 0 all "
+             "invariants hold, 1 violations)",
+    )
+    faults.add_argument("--seed", type=int, default=0,
+                        help="campaign seed (every fault stream derives "
+                             "from it; same seed, same report bytes)")
+    faults.add_argument("--rounds", type=int, default=2,
+                        help="attestation rounds per scenario (default: 2)")
+    faults.add_argument("--timeout-cycles", type=int, default=8192,
+                        help="per-attempt response timeout in cycles")
+    faults.add_argument("--retries", type=int, default=2,
+                        help="re-challenges before marking unresponsive "
+                             "(must be >= 1)")
+    faults.add_argument("--backoff", type=float, default=1.0,
+                        help="timeout multiplier per retry attempt")
+    faults.add_argument("--step-cycles", type=int, default=2000,
+                        help="guest cycles run between rounds in the "
+                             "IRQ/MPU scenarios")
+    faults.add_argument("--workers", type=int, default=1,
+                        help="worker processes (the report is identical "
+                             "for any worker count)")
+    faults.add_argument("--json", action="store_true",
+                        help="emit the machine-readable report")
+    faults.set_defaults(func=_cmd_faults)
     return parser
 
 

@@ -130,3 +130,32 @@ class IpcError(ReproError):
 
 class FleetError(ReproError):
     """Fleet orchestration failure (bad config, transport misuse)."""
+
+
+class ShardExecutionError(FleetError):
+    """A shard could not be executed after every recovery avenue.
+
+    The self-healing executor retries crashed/hung shards on rebuilt
+    worker pools and finally degrades to in-process execution; this is
+    raised only when the shard's work itself keeps failing.  Callers
+    never see a raw ``BrokenProcessPool`` — the executor translates
+    every pool-level failure into either a recovered result or this.
+    """
+
+    def __init__(self, shard_id, attempts: int, cause: BaseException):
+        super().__init__(
+            f"shard {shard_id!r} failed after {attempts} attempt(s): "
+            f"{type(cause).__name__}: {cause}"
+        )
+        self.shard_id = shard_id
+        self.attempts = attempts
+        self.cause = cause
+
+
+class FaultError(ReproError):
+    """Invalid fault-injection request (bad plan, target, or schedule).
+
+    Raised by :mod:`repro.faults` when an injector or campaign is
+    misconfigured — distinct from the simulator errors the injected
+    faults themselves provoke (those surface as :class:`MachineError`
+    subclasses, exactly as real misbehaving hardware would)."""

@@ -1,0 +1,53 @@
+"""Deterministic fault injection for the TrustLite reproduction.
+
+The paper argues TrustLite keeps its security properties *under
+failure* — a tampered device must never attest clean, and a device
+that is merely unlucky (dropped interrupts, a partitioned link) must
+never be blamed as compromised.  This package turns that argument
+into an executable, seeded test harness:
+
+* :mod:`repro.faults.plan` — :class:`FaultPlan`, the one seed every
+  fault stream derives from (``random.Random(f"fault:{seed}:{scope}")``
+  per scope, so campaigns are byte-reproducible);
+* :mod:`repro.faults.injectors` — the fault injectors themselves:
+  memory bit flips, EA-MPU permission glitches, IRQ storms and
+  dropped interrupts, snapshot-blob corruption;
+* :mod:`repro.faults.campaign` — the scenario catalogue and campaign
+  runner behind ``python -m repro faults``: clone the golden
+  snapshot per scenario, inject, attest, check the security
+  invariants.
+"""
+
+from repro.faults.campaign import (
+    CampaignConfig,
+    SCENARIO_NAMES,
+    ScenarioTask,
+    build_tasks,
+    format_campaign,
+    run_campaign,
+    run_scenario,
+)
+from repro.faults.injectors import (
+    corrupt_blob,
+    flip_memory_bits,
+    glitch_mpu_permissions,
+    inject_irq_drops,
+    inject_irq_storm,
+)
+from repro.faults.plan import FaultPlan
+
+__all__ = [
+    "CampaignConfig",
+    "FaultPlan",
+    "SCENARIO_NAMES",
+    "ScenarioTask",
+    "build_tasks",
+    "corrupt_blob",
+    "flip_memory_bits",
+    "format_campaign",
+    "glitch_mpu_permissions",
+    "inject_irq_drops",
+    "inject_irq_storm",
+    "run_campaign",
+    "run_scenario",
+]

@@ -1,0 +1,34 @@
+"""The one seed a whole fault campaign derives from.
+
+Every injector draws from a ``random.Random`` handed to it by the
+caller; :class:`FaultPlan` is where those streams come from.  Each
+*scope* (a scenario name, an injector site) gets its own generator
+seeded from the string ``fault:{seed}:{scope}`` — string seeding goes
+through SHA-512 inside CPython, so the streams are stable across
+processes and independent of ``PYTHONHASHSEED``, and adding a new
+scope never perturbs an existing one.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import FaultError
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Root of every fault stream in one campaign."""
+
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool):
+            raise FaultError(f"seed must be an int: {self.seed!r}")
+
+    def rng(self, scope: str) -> random.Random:
+        """A fresh, deterministic generator for ``scope``."""
+        if not scope or not isinstance(scope, str):
+            raise FaultError(f"scope must be a non-empty string: {scope!r}")
+        return random.Random(f"fault:{self.seed}:{scope}")

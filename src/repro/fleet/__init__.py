@@ -20,6 +20,11 @@ the single-platform simulator out to a fleet:
 """
 
 from repro.fleet.device import FleetDevice
+from repro.fleet.executor import (
+    RecoveryLog,
+    RetryPolicy,
+    run_resilient,
+)
 from repro.fleet.metrics import Counter, Histogram, MetricsRegistry
 from repro.fleet.parallel import (
     ENGINES,
@@ -44,6 +49,7 @@ from repro.fleet.transport import (
     InProcessTransport,
     Message,
     TransportStats,
+    flap_windows,
 )
 from repro.fleet.verifier import (
     COMPROMISED,
@@ -69,15 +75,19 @@ __all__ = [
     "Message",
     "MetricsRegistry",
     "PreparedRun",
+    "RecoveryLog",
+    "RetryPolicy",
     "ShardTask",
     "TransportStats",
     "UNRESPONSIVE",
     "build_fleet",
     "device_key",
     "execute_run",
+    "flap_windows",
     "format_report",
     "prepare_run",
     "run_fleet",
+    "run_resilient",
     "run_shard",
     "run_shards",
     "shard_ids",

@@ -1,0 +1,270 @@
+"""Self-healing execution of plain-data tasks on a worker pool.
+
+The sharded fleet executor and the fault campaign both fan pure
+functions of picklable tasks out to worker processes.  A single
+crashed or hung worker used to kill the whole run — this module wraps
+the pool with the recovery ladder the ROADMAP's "degrades gracefully"
+goal demands:
+
+1. **Detect.**  Each task result is awaited with an optional per-task
+   wall-clock timeout; a worker that dies surfaces as
+   ``BrokenProcessPool``, a worker that hangs as a timeout.
+2. **Requeue.**  The broken pool is torn down (hung workers are
+   terminated), a fresh pool is built, and every unfinished task is
+   resubmitted — results already collected are kept.  Because tasks
+   are pure functions of their inputs, a retried task returns exactly
+   the bytes the first attempt would have.
+3. **Degrade.**  When the pool keeps breaking
+   (:attr:`RetryPolicy.max_pool_rebuilds` exceeded) or a single task
+   keeps failing, the survivors run *in-process* — slower, but the
+   report still completes.
+4. **Account.**  Every recovery event lands in a
+   :class:`RecoveryLog` (backed by the fleet
+   :class:`~repro.fleet.metrics.MetricsRegistry`), including a
+   deterministic simulated-cycle backoff charge per rebuild, so the
+   report's ``execution`` section says what it took to produce it.
+
+A task that raises the same exception :attr:`RetryPolicy.max_attempts`
+times is reported as a typed
+:class:`~repro.errors.ShardExecutionError` carrying the shard id, the
+attempt count and the underlying cause — callers never see a raw
+``BrokenProcessPool``.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as _FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+
+from repro.errors import FleetError, ShardExecutionError
+from repro.fleet.metrics import MetricsRegistry
+
+# Recovery event kinds; each increments an ``executor_<kind>`` counter
+# and the aggregate ``executor_recoveries``.
+WORKER_CRASH = "worker_crash"
+TASK_TIMEOUT = "task_timeout"
+TASK_RETRY = "task_retry"
+POOL_REBUILD = "pool_rebuild"
+DEGRADED = "degraded"
+
+_KINDS = (WORKER_CRASH, TASK_TIMEOUT, TASK_RETRY, POOL_REBUILD, DEGRADED)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How hard the executor fights before giving up.
+
+    ``max_attempts`` bounds executions of one task (first try
+    included); ``max_pool_rebuilds`` bounds fresh pools after
+    crashes/hangs before degrading to in-process execution;
+    ``timeout_s`` is the per-task wall-clock budget (``None`` =
+    unbounded); ``backoff_cycles`` is the *simulated*-cycle charge
+    recorded for rebuild ``k`` as ``backoff_cycles * 2**(k-1)`` —
+    deterministic, never a wall-clock sleep.
+    """
+
+    max_attempts: int = 3
+    max_pool_rebuilds: int = 2
+    timeout_s: float | None = None
+    backoff_cycles: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise FleetError(
+                f"max_attempts must be >= 1: {self.max_attempts}"
+            )
+        if self.max_pool_rebuilds < 0:
+            raise FleetError(
+                f"max_pool_rebuilds must be >= 0: {self.max_pool_rebuilds}"
+            )
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise FleetError(f"timeout_s must be positive: {self.timeout_s}")
+        if self.backoff_cycles < 0:
+            raise FleetError(
+                f"backoff_cycles must be >= 0: {self.backoff_cycles}"
+            )
+
+
+class RecoveryLog:
+    """Counted recovery events (a :class:`MetricsRegistry` underneath).
+
+    The log is deliberately *separate* from the experiment's metrics
+    registry: recovery is a property of one run's execution, not of
+    the experiment, so its counters surface only in the report's
+    ``execution`` section — the report payload stays byte-identical
+    whether or not workers died along the way.
+    """
+
+    def __init__(self) -> None:
+        self.metrics = MetricsRegistry()
+        self.events: list[dict] = []
+
+    def record(
+        self, kind: str, task_id, attempt: int, *, backoff_cycles: int = 0
+    ) -> None:
+        if kind not in _KINDS:
+            raise FleetError(f"unknown recovery event kind {kind!r}")
+        self.metrics.counter(f"executor_{kind}").inc()
+        self.metrics.counter("executor_recoveries").inc()
+        if backoff_cycles:
+            self.metrics.counter("executor_backoff_cycles").inc(
+                backoff_cycles
+            )
+        self.events.append(
+            {
+                "kind": kind,
+                "task": task_id,
+                "attempt": attempt,
+                "backoff_cycles": backoff_cycles,
+            }
+        )
+
+    @property
+    def recoveries(self) -> int:
+        return self.metrics.counter("executor_recoveries").value
+
+    def to_dict(self) -> dict:
+        """JSON-ready counts for a report's ``execution`` section."""
+        counters = {
+            kind: self.metrics.counter(f"executor_{kind}").value
+            for kind in _KINDS
+        }
+        counters["recoveries"] = self.recoveries
+        counters["backoff_cycles"] = self.metrics.counter(
+            "executor_backoff_cycles"
+        ).value
+        return counters
+
+
+def _run_inline(fn, task, task_id, attempts, policy, log):
+    """Execute ``fn(task)`` in-process with bounded retries."""
+    while True:
+        attempts += 1
+        try:
+            return fn(task)
+        except Exception as exc:
+            if attempts >= policy.max_attempts:
+                raise ShardExecutionError(task_id, attempts, exc) from exc
+            log.record(TASK_RETRY, task_id, attempts)
+
+
+def _abandon_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear down a broken/hung pool without waiting on its workers."""
+    # Snapshot the worker handles first: shutdown() clears _processes.
+    processes = list((getattr(pool, "_processes", None) or {}).values())
+    pool.shutdown(wait=False, cancel_futures=True)
+    # A *hung* worker never exits on its own; terminate so neither the
+    # executor's management thread nor interpreter exit blocks on it.
+    for process in processes:
+        try:
+            process.terminate()
+        except Exception:
+            pass
+
+
+def run_resilient(
+    fn,
+    tasks: list,
+    workers: int,
+    *,
+    task_ids: list | None = None,
+    policy: RetryPolicy | None = None,
+    log: RecoveryLog | None = None,
+) -> list:
+    """Run ``fn`` over every task; results in task order, or raise
+    :class:`ShardExecutionError`.
+
+    ``fn`` must be an importable top-level callable and every task a
+    pure, picklable value — retries rely on re-execution being
+    byte-identical.  ``workers == 1`` (or a single task) runs inline
+    with the same retry bounds and no pool at all.
+    """
+    if workers < 1:
+        raise FleetError(f"workers must be >= 1: {workers}")
+    policy = policy or RetryPolicy()
+    log = log if log is not None else RecoveryLog()
+    ids = list(task_ids) if task_ids is not None else list(range(len(tasks)))
+    if len(ids) != len(tasks):
+        raise FleetError(
+            f"{len(tasks)} task(s) but {len(ids)} task id(s)"
+        )
+
+    results: dict[int, object] = {}
+    if workers == 1 or len(tasks) <= 1:
+        for index, task in enumerate(tasks):
+            results[index] = _run_inline(
+                fn, task, ids[index], 0, policy, log
+            )
+        return [results[index] for index in range(len(tasks))]
+
+    pending: dict[int, int] = {index: 0 for index in range(len(tasks))}
+    rebuilds = 0
+    while pending:
+        pool = ProcessPoolExecutor(max_workers=min(workers, len(pending)))
+        abandoned = False
+        try:
+            futures = {
+                index: pool.submit(fn, tasks[index])
+                for index in sorted(pending)
+            }
+            for index in sorted(futures):
+                if abandoned:
+                    break
+                try:
+                    results[index] = futures[index].result(
+                        timeout=policy.timeout_s
+                    )
+                    del pending[index]
+                except _FuturesTimeout:
+                    pending[index] += 1
+                    log.record(TASK_TIMEOUT, ids[index], pending[index])
+                    abandoned = True
+                except BrokenProcessPool as exc:
+                    pending[index] += 1
+                    log.record(WORKER_CRASH, ids[index], pending[index])
+                    abandoned = True
+                    del exc
+                except Exception as exc:
+                    # The task itself failed; the pool is still good.
+                    pending[index] += 1
+                    if pending[index] >= policy.max_attempts:
+                        raise ShardExecutionError(
+                            ids[index], pending[index], exc
+                        ) from exc
+                    log.record(TASK_RETRY, ids[index], pending[index])
+        finally:
+            if abandoned:
+                _abandon_pool(pool)
+            else:
+                pool.shutdown(wait=True)
+        if not pending:
+            break
+        if abandoned:
+            rebuilds += 1
+            if rebuilds > policy.max_pool_rebuilds:
+                # Pool is unrecoverable; finish the survivors inline.
+                log.record(DEGRADED, None, rebuilds)
+                for index in sorted(pending):
+                    results[index] = _run_inline(
+                        fn, tasks[index], ids[index],
+                        pending[index], policy, log,
+                    )
+                pending.clear()
+                break
+            log.record(
+                POOL_REBUILD, None, rebuilds,
+                backoff_cycles=policy.backoff_cycles * 2 ** (rebuilds - 1),
+            )
+            # A task that keeps killing workers must not rebuild pools
+            # forever: once it exhausts its attempts, run it inline
+            # now and keep the pool for the healthy remainder.
+            for index in sorted(pending):
+                if pending[index] >= policy.max_attempts:
+                    results[index] = _run_inline(
+                        fn, tasks[index], ids[index],
+                        pending[index], policy, log,
+                    )
+                    del pending[index]
+    return [results[index] for index in range(len(tasks))]

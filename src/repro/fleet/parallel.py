@@ -31,11 +31,12 @@ Hard rules that make this safe and reproducible:
 from __future__ import annotations
 
 import hashlib
-from concurrent.futures import ProcessPoolExecutor
+import os
 from dataclasses import dataclass
 
 from repro.errors import FleetError
 from repro.fleet.device import FleetDevice
+from repro.fleet.executor import RecoveryLog, RetryPolicy, run_resilient
 from repro.fleet.metrics import MetricsRegistry
 from repro.fleet.transport import FaultModel, InProcessTransport
 from repro.fleet.verifier import FleetVerifier
@@ -94,6 +95,7 @@ class ShardTask:
     delay_max: int
     timeout_cycles: int
     max_retries: int
+    backoff: float
     step_cycles: int
     trace_capacity: int
     engine: str
@@ -187,12 +189,35 @@ def collect_device_perf(device: FleetDevice, metrics: MetricsRegistry) -> None:
     )
 
 
+# Test hook: ``REPRO_FLEET_TEST_CRASH=<flag-file>:<shard-index>`` makes
+# the worker that picks up that shard die hard (``os._exit``) exactly
+# once — the flag file is consumed first, so the retry succeeds.  This
+# is how the executor-recovery tests and the CI fleet-scale job kill a
+# real pool worker mid-run without patching library code.
+_CRASH_ENV = "REPRO_FLEET_TEST_CRASH"
+
+
+def _maybe_crash_for_test(shard_index: int) -> None:
+    spec = os.environ.get(_CRASH_ENV)
+    if not spec:
+        return
+    path, _, shard = spec.rpartition(":")
+    if not path or not shard.isdigit() or int(shard) != shard_index:
+        return
+    try:
+        os.remove(path)
+    except FileNotFoundError:
+        return
+    os._exit(23)
+
+
 def run_shard(task: ShardTask) -> dict:
     """Hydrate and attest one shard; returns a plain-data result.
 
     Pure function of ``task`` — the workers=1 inline path and the
     process-pool path run exactly this code.
     """
+    _maybe_crash_for_test(task.shard_index)
     snapshot = _cached_snapshot(task.snapshot_blob)
     image = _cached_image(task.image_name)
     keys = dict(task.keys)
@@ -233,6 +258,7 @@ def run_shard(task: ShardTask) -> dict:
         seed=task.seed,
         timeout_cycles=task.timeout_cycles,
         max_retries=task.max_retries,
+        backoff=task.backoff,
         metrics=metrics,
     )
 
@@ -266,22 +292,37 @@ def run_shard(task: ShardTask) -> dict:
 # Parent side.
 
 
-def run_shards(tasks: list[ShardTask], workers: int) -> list[dict]:
+def run_shards(
+    tasks: list[ShardTask],
+    workers: int,
+    *,
+    policy: RetryPolicy | None = None,
+    recovery: RecoveryLog | None = None,
+) -> list[dict]:
     """Execute every shard on ``workers`` processes; ordered results.
+
+    Execution is self-healing (see :mod:`repro.fleet.executor`):
+    crashed or hung workers are detected, their shards requeued on a
+    rebuilt pool, and an unrecoverable pool degrades to in-process
+    execution.  Because :func:`run_shard` is a pure function of its
+    task, the results — and therefore the merged report — are
+    byte-identical whether or not any recovery happened; pass a
+    ``recovery`` log to see what it took.  A shard whose *work* keeps
+    failing raises :class:`~repro.errors.ShardExecutionError` — never
+    a raw ``BrokenProcessPool``.
 
     ``workers=1`` runs inline (same pure function, no pool); results
     are always returned sorted by shard index, so downstream merging
     is independent of completion order.
     """
-    if workers < 1:
-        raise FleetError(f"workers must be >= 1: {workers}")
-    if workers == 1 or len(tasks) == 1:
-        results = [run_shard(task) for task in tasks]
-    else:
-        with ProcessPoolExecutor(
-            max_workers=min(workers, len(tasks))
-        ) as pool:
-            results = list(pool.map(run_shard, tasks))
+    results = run_resilient(
+        run_shard,
+        list(tasks),
+        workers,
+        task_ids=[task.shard_index for task in tasks],
+        policy=policy,
+        log=recovery,
+    )
     return sorted(results, key=lambda result: result["shard"])
 
 
@@ -298,7 +339,8 @@ def merge_shard_results(
     merged_rounds: list[dict[int, dict]] = [{} for _ in range(rounds)]
     metrics = MetricsRegistry()
     transport_totals = {
-        "sent": 0, "delivered": 0, "dropped": 0, "in_flight": 0,
+        "sent": 0, "delivered": 0, "dropped": 0,
+        "partition_dropped": 0, "in_flight": 0,
     }
     for result in sorted(results, key=lambda r: r["shard"]):
         for round_index, verdicts in enumerate(result["rounds"]):
@@ -307,6 +349,6 @@ def merge_shard_results(
             result["metrics"], skip_counters=("fleet_rounds",)
         )
         for key in transport_totals:
-            transport_totals[key] += result["transport"][key]
+            transport_totals[key] += result["transport"].get(key, 0)
     metrics.counter("fleet_rounds").inc(rounds)
     return merged_rounds, metrics, transport_totals

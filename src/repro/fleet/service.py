@@ -33,6 +33,7 @@ from repro.core.trustlet_table import name_tag
 from repro.crypto import mac, sponge_hash
 from repro.errors import FleetError
 from repro.fleet.device import FleetDevice
+from repro.fleet.executor import RecoveryLog, RetryPolicy
 from repro.fleet.parallel import (
     ExecutionPlan,
     ShardTask,
@@ -67,6 +68,7 @@ class FleetConfig:
     delay_max: int = 512
     timeout_cycles: int = 8192
     max_retries: int = 2
+    backoff: float = 1.0
     step_cycles: int = 0
     trace_capacity: int = 0
 
@@ -75,6 +77,16 @@ class FleetConfig:
             raise FleetError("fleet needs at least one device")
         if self.rounds < 1:
             raise FleetError("fleet needs at least one round")
+        if self.timeout_cycles <= 0:
+            raise FleetError(
+                f"timeout_cycles must be positive: {self.timeout_cycles}"
+            )
+        if self.max_retries < 0:
+            raise FleetError(
+                f"max_retries must be >= 0: {self.max_retries}"
+            )
+        if self.backoff <= 0:
+            raise FleetError(f"backoff must be positive: {self.backoff}")
         if not 0 <= self.compromise <= self.devices:
             raise FleetError(
                 f"cannot compromise {self.compromise} of "
@@ -209,6 +221,7 @@ def _shard_tasks(
                 delay_max=config.delay_max,
                 timeout_cycles=config.timeout_cycles,
                 max_retries=config.max_retries,
+                backoff=config.backoff,
                 step_cycles=config.step_cycles,
                 trace_capacity=config.trace_capacity,
                 engine=plan.engine,
@@ -218,18 +231,26 @@ def _shard_tasks(
 
 
 def execute_run(
-    prepared: PreparedRun, plan: ExecutionPlan | None = None
+    prepared: PreparedRun,
+    plan: ExecutionPlan | None = None,
+    *,
+    policy: RetryPolicy | None = None,
 ) -> dict:
     """Execute a prepared run under ``plan``; returns the report.
 
     The report carries no wall-clock fields, and the ``execution``
-    section is the only part that mentions the plan — pop it and two
-    reports from different worker counts compare byte for byte.
+    section is the only part that mentions the plan or what recovery
+    the self-healing executor performed — pop it and two reports from
+    different worker counts (or with and without worker crashes)
+    compare byte for byte.
     """
     plan = plan or ExecutionPlan()
     config = prepared.config
     tasks = _shard_tasks(prepared, plan)
-    results = run_shards(tasks, plan.workers)
+    recovery = RecoveryLog()
+    results = run_shards(
+        tasks, plan.workers, policy=policy, recovery=recovery
+    )
     merged_rounds, metrics, transport = merge_shard_results(
         results, rounds=config.rounds
     )
@@ -287,6 +308,7 @@ def execute_run(
             "shard_size": plan.shard_size,
             "shards": len(tasks),
             "engine": plan.engine,
+            "recovery": recovery.to_dict(),
         },
     }
 
@@ -313,6 +335,16 @@ def format_report(report: dict) -> str:
             f"{execution['shards']} shard(s) of <= "
             f"{execution['shard_size']}, {execution['engine']} engine"
         )
+        recovery = execution.get("recovery", {})
+        if recovery.get("recoveries"):
+            lines.append(
+                f"recovery: {recovery['recoveries']} event(s) — "
+                f"{recovery['worker_crash']} worker crash(es), "
+                f"{recovery['task_timeout']} timeout(s), "
+                f"{recovery['task_retry']} retry(ies), "
+                f"{recovery['pool_rebuild']} pool rebuild(s), "
+                f"degraded={bool(recovery['degraded'])}"
+            )
     lines.append(
         f"image: {', '.join(report['image']['modules'])} "
         f"({report['image']['prom_bytes']} PROM bytes)"

@@ -51,16 +51,22 @@ class Message:
 
 @dataclass(frozen=True)
 class FaultModel:
-    """Per-link loss and latency injection.
+    """Per-link loss, latency and outage injection.
 
     ``drop_rate`` is the probability a message vanishes; surviving
     messages are delayed by a uniform draw from
-    ``[delay_min, delay_max]`` cycles.
+    ``[delay_min, delay_max]`` cycles.  ``partitions`` is a tuple of
+    half-open ``(start, end)`` windows in simulated cycles during
+    which the link is *down*: every message whose send time falls in a
+    window is eaten deterministically, modelling network partitions
+    (one long window) and flapping links (many short windows — see
+    :func:`flap_windows`).
     """
 
     drop_rate: float = 0.0
     delay_min: int = 0
     delay_max: int = 0
+    partitions: tuple[tuple[int, int], ...] = ()
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.drop_rate < 1.0:
@@ -71,6 +77,13 @@ class FaultModel:
             raise FleetError(
                 f"bad delay window [{self.delay_min}, {self.delay_max}]"
             )
+        for window in self.partitions:
+            if len(window) != 2 or window[0] < 0 or window[1] <= window[0]:
+                raise FleetError(f"bad partition window {window!r}")
+
+    def partitioned(self, now: int) -> bool:
+        """Is the link down at simulated time ``now``?"""
+        return any(start <= now < end for start, end in self.partitions)
 
     def roll(self, rng: random.Random) -> tuple[bool, int]:
         """One link traversal: (dropped?, delay in cycles)."""
@@ -80,13 +93,45 @@ class FaultModel:
         return dropped, delay
 
 
+def flap_windows(
+    rng: random.Random,
+    *,
+    horizon: int,
+    up_mean: int,
+    down_mean: int,
+) -> tuple[tuple[int, int], ...]:
+    """Deterministic flapping-link schedule over ``[0, horizon)``.
+
+    Alternates up/down periods whose lengths are uniform draws around
+    the given means (±50%), all from the caller's seeded ``rng`` — the
+    schedule is a pure function of the rng state, so campaigns can
+    reproduce a flap pattern byte for byte.
+    """
+    if horizon <= 0 or up_mean <= 0 or down_mean <= 0:
+        raise FleetError("flap schedule needs positive horizon and means")
+    windows = []
+    now = rng.randint(up_mean // 2, up_mean + up_mean // 2)
+    while now < horizon:
+        down = max(1, rng.randint(down_mean // 2, down_mean + down_mean // 2))
+        windows.append((now, min(now + down, horizon)))
+        up = max(1, rng.randint(up_mean // 2, up_mean + up_mean // 2))
+        now += down + up
+    return tuple(windows)
+
+
 @dataclass
 class TransportStats:
-    """Aggregate link statistics (drops are per-link, not per-retry)."""
+    """Aggregate link statistics (drops are per-link, not per-retry).
+
+    ``partition_dropped`` counts messages eaten by an outage window —
+    a subset of ``dropped``, kept separate so campaigns can tell
+    random loss from scheduled partitions.
+    """
 
     sent: int = 0
     delivered: int = 0
     dropped: int = 0
+    partition_dropped: int = 0
     in_flight: int = 0
 
     def to_dict(self) -> dict:
@@ -94,6 +139,7 @@ class TransportStats:
             "sent": self.sent,
             "delivered": self.delivered,
             "dropped": self.dropped,
+            "partition_dropped": self.partition_dropped,
             "in_flight": self.in_flight,
         }
 
@@ -153,11 +199,18 @@ class InProcessTransport:
         key = (endpoint, message.device_id)
         if key not in self._queues:
             raise FleetError(f"device {message.device_id} not registered")
+        # The fault stream is always advanced, even during an outage:
+        # the loss/delay pattern after a partition must not depend on
+        # how many messages the partition ate.
         dropped, delay = self.fault_model.roll(self._rng(message.device_id))
+        partitioned = self.fault_model.partitioned(message.sent_at)
+        dropped = dropped or partitioned
         with self._stats_lock:
             self.stats.sent += 1
             if dropped:
                 self.stats.dropped += 1
+                if partitioned:
+                    self.stats.partition_dropped += 1
             else:
                 self.stats.in_flight += 1
         if dropped:

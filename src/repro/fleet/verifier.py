@@ -76,6 +76,7 @@ class FleetVerifier:
         seed: int = 0,
         timeout_cycles: int = 8192,
         max_retries: int = 2,
+        backoff: float = 1.0,
         workers: int = 8,
         metrics: MetricsRegistry | None = None,
     ) -> None:
@@ -83,12 +84,17 @@ class FleetVerifier:
             raise FleetError("devices and device_keys disagree on ids")
         if timeout_cycles <= 0:
             raise FleetError("timeout_cycles must be positive")
+        if max_retries < 0:
+            raise FleetError(f"max_retries must be >= 0: {max_retries}")
+        if backoff <= 0:
+            raise FleetError(f"backoff must be positive: {backoff}")
         self.devices = devices
         self.transport = transport
         self._keys = {i: bytes(k) for i, k in device_keys.items()}
         self.expected_rows = list(expected_rows)
         self.timeout_cycles = timeout_cycles
         self.max_retries = max_retries
+        self.backoff = backoff
         self.workers = max(1, workers)
         self.metrics = metrics or MetricsRegistry()
         self.now = 0
@@ -126,11 +132,23 @@ class FleetVerifier:
         return _Outstanding(nonce=nonce, seq=seq, sent_at=self.now)
 
     def _device_turn(self, device: FleetDevice, horizon: int) -> None:
-        """One device's endpoint loop up to ``horizon`` (worker thread)."""
+        """One device's endpoint loop up to ``horizon`` (worker thread).
+
+        A device whose endpoint *errors* while answering (corrupted
+        trustlet table, crashed measurement) simply stays silent — the
+        verifier's retry/timeout machinery classifies it, instead of
+        the whole round crashing on one broken device.
+        """
+        from repro.errors import ReproError
+
         for message in self.transport.poll(
             "device", device.device_id, horizon
         ):
-            response = device.handle_challenge(message)
+            try:
+                response = device.handle_challenge(message)
+            except ReproError:
+                self.metrics.counter("fleet_device_errors").inc()
+                continue
             if response is not None:
                 self.transport.send(response)
 
@@ -178,7 +196,13 @@ class FleetVerifier:
                 device_id: self._challenge(device_id)
                 for device_id in pending
             }
-            horizon = self.now + self.timeout_cycles
+            # Deterministic exponential backoff in *simulated* cycles:
+            # attempt k waits timeout_cycles * backoff^(k-1).  With the
+            # default backoff=1.0 every attempt waits one timeout.
+            window = max(
+                1, int(self.timeout_cycles * self.backoff ** (attempts - 1))
+            )
+            horizon = self.now + window
             with ThreadPoolExecutor(max_workers=self.workers) as pool:
                 futures = [
                     pool.submit(

@@ -50,6 +50,13 @@ VERSION = 1
 # SRAM and DRAM.
 PAGE_SIZE = 1024
 
+# Hard ceiling on a single paged image.  The decoder allocates the
+# whole image up front (zero-skip means the stream can be far smaller
+# than the image), so an attacker-controlled total must not be able to
+# request an absurd allocation.  1 GiB is ~three orders of magnitude
+# above any simulated memory.
+MAX_PAGED_BYTES = 1 << 30
+
 # Value tags.  A byte string of PAGE_SIZE or more is written as a paged
 # run (_T_PAGED); shorter ones verbatim (_T_BYTES).  Both decode to
 # plain ``bytes``.
@@ -196,7 +203,12 @@ def _decode_value(reader: _Reader, depth: int = 0):
     if tag == _T_BYTES:
         return reader.take(reader.uvarint())
     if tag == _T_STR:
-        return reader.take(reader.uvarint()).decode("utf-8")
+        raw = reader.take(reader.uvarint())
+        try:
+            return raw.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise SnapcodecError(f"malformed string payload: {exc}") \
+                from exc
     if tag == _T_TUPLE:
         count = reader.uvarint()
         return tuple(
@@ -204,7 +216,17 @@ def _decode_value(reader: _Reader, depth: int = 0):
         )
     if tag == _T_PAGED:
         total = reader.uvarint()
+        if total > MAX_PAGED_BYTES:
+            raise SnapcodecError(
+                f"paged image of {total} bytes exceeds the "
+                f"{MAX_PAGED_BYTES}-byte limit"
+            )
         count = reader.uvarint()
+        if count > (total + PAGE_SIZE - 1) // PAGE_SIZE:
+            raise SnapcodecError(
+                f"paged image of {total} bytes cannot hold "
+                f"{count} page run(s)"
+            )
         blob = bytearray(total)
         previous = -1
         for _ in range(count):
@@ -234,6 +256,14 @@ def _expect_tuple(value, arity: int, what: str) -> tuple:
             f"got {type(value).__name__}"
         )
     return value
+
+
+def _expect_ints(values, what: str) -> tuple:
+    if not isinstance(values, tuple) or not all(
+        isinstance(v, int) and not isinstance(v, bool) for v in values
+    ):
+        raise SnapcodecError(f"malformed {what}: expected a tuple of ints")
+    return values
 
 
 def encode_snapshot(snapshot: Snapshot) -> bytes:
@@ -289,9 +319,17 @@ def decode_snapshot(data: bytes) -> Snapshot:
 
     The returned snapshot carries ``image=None`` and
     ``boot_report=None`` — those are host handles that never travel.
-    """
-    from repro.mpu.regions import Perm
 
+    Every way a malformed stream can fail raises
+    :class:`~repro.errors.SnapcodecError` — never ``IndexError``,
+    ``UnicodeDecodeError`` or a runaway allocation — so callers fed
+    corrupted bytes (fleet workers, the fault campaign) need exactly
+    one except clause.
+    """
+    if not isinstance(data, (bytes, bytearray, memoryview)):
+        raise SnapcodecError(
+            f"snapshot stream must be bytes, not {type(data).__name__}"
+        )
     reader = _Reader(bytes(data))
     if reader.take(len(MAGIC)) != MAGIC:
         raise SnapcodecError("bad magic: not a snapshot stream")
@@ -307,6 +345,36 @@ def decode_snapshot(data: bytes) -> Snapshot:
             f"{len(reader.data) - reader.pos} trailing byte(s) after "
             "snapshot payload"
         )
+    try:
+        return _build_snapshot(payload)
+    except SnapcodecError:
+        raise
+    except (TypeError, ValueError, OverflowError) as exc:
+        # A well-typed stream can still carry field values the model
+        # classes reject (a Perm word with undefined bits, a string
+        # where an int belongs).  Structural damage is codec damage.
+        raise SnapcodecError(f"malformed snapshot payload: {exc}") \
+            from exc
+
+
+def _build_interrupt(entry) -> Interrupt:
+    line, source, handler, nmi = _expect_tuple(
+        entry, 4, "pending interrupt"
+    )
+    if (
+        not isinstance(line, int) or isinstance(line, bool)
+        or not isinstance(source, str)
+        or not (handler is None or isinstance(handler, int))
+        or not isinstance(nmi, bool)
+    ):
+        raise SnapcodecError("malformed pending interrupt fields")
+    return Interrupt(line=line, source=source, handler=handler, nmi=nmi)
+
+
+def _build_snapshot(payload) -> Snapshot:
+    """Assemble the model dataclasses from a decoded payload tuple."""
+    from repro.mpu.regions import Perm
+
     (raw_config, raw_cpu, raw_mpu, raw_devices, raw_irqs,
      irq_vectors, exception_vectors, zero_devices) = _expect_tuple(
         payload, 8, "snapshot payload"
@@ -314,6 +382,20 @@ def decode_snapshot(data: bytes) -> Snapshot:
 
     (num_regions, secure_exceptions, table_capacity, raw_extra,
      flash_prom, with_dma) = _expect_tuple(raw_config, 6, "config")
+    # Plausibility bounds: a bit-flipped blob that still parses must
+    # not make ``clone()`` allocate an absurd platform (a 2**28-entry
+    # MPU region file, say).  Real configs sit far inside these caps.
+    if not isinstance(num_regions, int) or isinstance(num_regions, bool) \
+            or not 1 <= num_regions <= 1024:
+        raise SnapcodecError(
+            f"implausible MPU region count: {num_regions!r}"
+        )
+    if not isinstance(table_capacity, int) \
+            or isinstance(table_capacity, bool) \
+            or not 1 <= table_capacity <= 65536:
+        raise SnapcodecError(
+            f"implausible trustlet table capacity: {table_capacity!r}"
+        )
     config = PlatformConfig(
         num_mpu_regions=num_regions,
         secure_exceptions=secure_exceptions,
@@ -331,18 +413,24 @@ def decode_snapshot(data: bytes) -> Snapshot:
     (regs, ip, curr_ip, flags_word, halted, cycles,
      retired) = _expect_tuple(raw_cpu, 7, "cpu state")
     cpu = CpuState(
-        regs=regs, ip=ip, curr_ip=curr_ip, flags_word=flags_word,
+        regs=_expect_ints(regs, "cpu register file"),
+        ip=ip, curr_ip=curr_ip, flags_word=flags_word,
         halted=halted, cycles=cycles, instructions_retired=retired,
     )
 
     (regions, enabled, hardwired, fault_address,
      fault_ip) = _expect_tuple(raw_mpu, 5, "mpu state")
+    if not isinstance(regions, tuple):
+        raise SnapcodecError("malformed mpu state: regions not a tuple")
     mpu = MpuState(
         regions=tuple(
-            _expect_tuple(r, 3, "mpu region") for r in regions
+            _expect_ints(
+                _expect_tuple(r, 3, "mpu region"), "mpu region"
+            )
+            for r in regions
         ),
         enabled=enabled,
-        hardwired=hardwired,
+        hardwired=_expect_ints(hardwired, "hardwired region set"),
         fault_address=fault_address,
         fault_ip=fault_ip,
     )
@@ -356,17 +444,19 @@ def decode_snapshot(data: bytes) -> Snapshot:
             for entry in raw_devices
         ),
         irq_pending=tuple(
-            Interrupt(line=line, source=source, handler=handler, nmi=nmi)
-            for line, source, handler, nmi in (
-                _expect_tuple(entry, 4, "pending interrupt")
-                for entry in raw_irqs
-            )
+            _build_interrupt(entry) for entry in raw_irqs
         ),
         irq_vectors=tuple(
-            _expect_tuple(entry, 2, "irq vector") for entry in irq_vectors
+            _expect_ints(
+                _expect_tuple(entry, 2, "irq vector"), "irq vector"
+            )
+            for entry in irq_vectors
         ),
         exception_vectors=tuple(
-            _expect_tuple(entry, 2, "exception vector")
+            _expect_ints(
+                _expect_tuple(entry, 2, "exception vector"),
+                "exception vector",
+            )
             for entry in exception_vectors
         ),
         image=None,

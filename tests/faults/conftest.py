@@ -1,0 +1,15 @@
+"""Shared fault-injection fixtures: boot the golden image once."""
+
+import pytest
+
+from repro.core.platform import TrustLitePlatform
+from repro.machine import Snapshot
+from repro.sw.images import build_attestation_image
+
+
+@pytest.fixture(scope="session")
+def golden_snapshot():
+    """Snapshot of one booted attestation platform."""
+    platform = TrustLitePlatform()
+    platform.boot(build_attestation_image())
+    return Snapshot.save(platform)

@@ -163,9 +163,14 @@ class TestShardedRuns:
         config = FleetConfig(devices=4, seed=1)
         report = run_fleet(config, ExecutionPlan(workers=1))
         assert report["schema"] == "repro.fleet/2"
-        assert report["execution"] == {
-            "workers": 1, "shard_size": 16, "shards": 1, "engine": "fast",
-        }
+        execution = report["execution"]
+        assert execution["workers"] == 1
+        assert execution["shard_size"] == 16
+        assert execution["shards"] == 1
+        assert execution["engine"] == "fast"
+        # An undisturbed run performs no recovery at all.
+        assert execution["recovery"]["recoveries"] == 0
+        assert execution["recovery"]["degraded"] == 0
         assert report["fleet"]["snapshot_blob_bytes"] > 0
         assert report["ok"] is True
         json.dumps(report)  # must serialize cleanly

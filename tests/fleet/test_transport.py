@@ -9,6 +9,7 @@ from repro.fleet.transport import (
     FaultModel,
     InProcessTransport,
     Message,
+    flap_windows,
 )
 
 
@@ -139,3 +140,108 @@ class TestInProcessTransport:
         stats = transport.stats
         assert stats.sent == stats.delivered + stats.dropped
         assert stats.in_flight == 0
+
+
+class TestPartitions:
+    def test_partition_validation(self):
+        with pytest.raises(FleetError):
+            FaultModel(partitions=((10, 10),))
+        with pytest.raises(FleetError):
+            FaultModel(partitions=((-1, 10),))
+        with pytest.raises(FleetError):
+            FaultModel(partitions=((0, 10, 20),))
+
+    def test_partitioned_windows_are_half_open(self):
+        model = FaultModel(partitions=((100, 200), (300, 400)))
+        assert not model.partitioned(99)
+        assert model.partitioned(100)
+        assert model.partitioned(199)
+        assert not model.partitioned(200)
+        assert model.partitioned(350)
+        assert not model.partitioned(250)
+
+    def test_partition_eats_messages_and_counts_them(self):
+        transport = InProcessTransport(
+            fault_model=FaultModel(partitions=((0, 100),))
+        )
+        transport.register(0)
+        assert not transport.send(challenge(seq=1, sent_at=50))
+        assert transport.send(challenge(seq=2, sent_at=150))
+        stats = transport.stats
+        assert stats.partition_dropped == 1
+        assert stats.dropped == 1  # partition drops are a subset
+        assert stats.in_flight == 1
+
+    def test_fault_stream_advances_during_partition(self):
+        """Post-outage loss pattern must not depend on the outage.
+
+        Both transports send the same 40 post-window messages; one
+        also lost 20 messages to a partition first.  The random-loss
+        outcomes after the window must match draw for draw.
+        """
+
+        def outcomes(with_partition):
+            windows = ((0, 1000),) if with_partition else ()
+            transport = InProcessTransport(
+                seed=9,
+                fault_model=FaultModel(
+                    drop_rate=0.4, partitions=windows
+                ),
+            )
+            transport.register(0)
+            for seq in range(1, 21):  # eaten (or not) pre-window
+                transport.send(challenge(seq=seq, sent_at=500))
+            return [
+                transport.send(challenge(seq=seq, sent_at=2000))
+                for seq in range(21, 61)
+            ]
+
+        assert outcomes(True) == outcomes(False)
+
+
+class TestFlapWindows:
+    def _rng(self):
+        import random
+
+        return random.Random("flap-test")
+
+    def test_deterministic(self):
+        first = flap_windows(
+            self._rng(), horizon=100_000, up_mean=5000, down_mean=2000
+        )
+        second = flap_windows(
+            self._rng(), horizon=100_000, up_mean=5000, down_mean=2000
+        )
+        assert first == second
+        assert len(first) > 1
+
+    def test_windows_ordered_and_bounded(self):
+        windows = flap_windows(
+            self._rng(), horizon=50_000, up_mean=3000, down_mean=1000
+        )
+        previous_end = -1
+        for start, end in windows:
+            assert 0 <= start < end <= 50_000
+            assert start > previous_end  # disjoint, ordered, gaps up
+            previous_end = end
+
+    def test_windows_make_a_valid_fault_model(self):
+        windows = flap_windows(
+            self._rng(), horizon=10_000, up_mean=500, down_mean=200
+        )
+        model = FaultModel(partitions=windows)
+        downtime = sum(end - start for start, end in windows)
+        assert 0 < downtime < 10_000
+        assert any(model.partitioned(t) for t in range(0, 10_000, 50))
+
+    def test_validation(self):
+        with pytest.raises(FleetError):
+            flap_windows(self._rng(), horizon=0, up_mean=10, down_mean=10)
+        with pytest.raises(FleetError):
+            flap_windows(
+                self._rng(), horizon=100, up_mean=0, down_mean=10
+            )
+        with pytest.raises(FleetError):
+            flap_windows(
+                self._rng(), horizon=100, up_mean=10, down_mean=0
+            )

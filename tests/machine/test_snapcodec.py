@@ -211,3 +211,68 @@ class TestValueProperties:
         out = bytearray()
         _encode_value(out, blob)
         assert _decode_value(_Reader(bytes(out))) == blob
+
+
+class TestMalformedInputFuzz:
+    """Satellite invariant: a corrupted blob NEVER crashes the decoder.
+
+    Every decode of mangled bytes must either raise
+    ``SnapcodecError`` or return a ``Snapshot`` — no ``IndexError``,
+    ``struct.error``, ``MemoryError`` or hang, whatever the
+    corruption.  Seeded (not hypothesis) so the corpus is stable.
+    """
+
+    @staticmethod
+    def _decode_must_be_typed(bad):
+        try:
+            snapshot = decode_snapshot(bad)
+        except SnapcodecError:
+            return "rejected"
+        assert isinstance(snapshot, Snapshot)
+        return "decoded"
+
+    def test_truncations(self, golden):
+        import random
+
+        blob = encode_snapshot(golden)
+        rng = random.Random("snapcodec:fuzz:truncate")
+        cuts = {0, 1, len(MAGIC), len(MAGIC) + 1, len(blob) - 1}
+        cuts.update(rng.randrange(len(blob)) for _ in range(60))
+        for cut in sorted(cuts):
+            self._decode_must_be_typed(blob[:cut])
+
+    def test_bit_flips(self, golden):
+        import random
+
+        blob = encode_snapshot(golden)
+        rng = random.Random("snapcodec:fuzz:flip")
+        for _ in range(60):
+            out = bytearray(blob)
+            for _ in range(rng.randrange(1, 9)):
+                out[rng.randrange(len(out))] ^= 1 << rng.randrange(8)
+            self._decode_must_be_typed(bytes(out))
+
+    def test_garbage_and_extremes(self, golden):
+        import random
+
+        rng = random.Random("snapcodec:fuzz:garbage")
+        self._decode_must_be_typed(b"")
+        self._decode_must_be_typed(MAGIC)
+        self._decode_must_be_typed(MAGIC + bytes([VERSION + 1]))
+        self._decode_must_be_typed(MAGIC + b"\xff" * 64)
+        for size in (1, 16, 256, 4096):
+            self._decode_must_be_typed(rng.randbytes(size))
+        # Huge declared lengths must be rejected, not allocated.
+        blob = encode_snapshot(golden)
+        self._decode_must_be_typed(blob[: len(MAGIC) + 1] + b"\xff" * 10)
+
+    def test_spliced_payloads(self, golden):
+        import random
+
+        blob = encode_snapshot(golden)
+        rng = random.Random("snapcodec:fuzz:splice")
+        for _ in range(30):
+            a = rng.randrange(len(blob))
+            b = rng.randrange(len(blob))
+            lo, hi = min(a, b), max(a, b)
+            self._decode_must_be_typed(blob[:lo] + blob[hi:])

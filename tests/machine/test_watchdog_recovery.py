@@ -1,0 +1,136 @@
+"""Watchdog recovery under faults: storms, snapshots and clones.
+
+The watchdog is the platform's last line of fault tolerance (Sec. 6),
+so it must itself survive the faults the campaign throws at
+everything else: its NMI must remain visible through an IRQ storm of
+maskable lines, and its countdown must travel exactly through
+``snapshot_state``/``restore_state`` and ``Snapshot.clone`` so a
+restored fleet device keeps its DoS protection mid-countdown.
+"""
+
+import pytest
+
+from repro.core.platform import TrustLitePlatform
+from repro.faults import FaultPlan, inject_irq_storm
+from repro.machine import Snapshot
+from repro.machine.devices.watchdog import (
+    CTRL,
+    CTRL_ENABLE,
+    PERIOD,
+    Watchdog,
+)
+from repro.machine.irq import Interrupt, InterruptController
+from repro.machine.soc import WATCHDOG_BASE, WATCHDOG_IRQ_LINE
+from repro.sw.images import build_attestation_image
+
+
+class TestExpiryUnderStorm:
+    def test_nmi_visible_through_latched_maskable_lines(self):
+        irq = InterruptController()
+        dog = Watchdog(irq, line=WATCHDOG_IRQ_LINE)
+        dog.write(PERIOD, 4, 50)
+        dog.write(CTRL, 4, CTRL_ENABLE)
+        # A storm of lower- and higher-numbered maskable lines latches
+        # before the dog expires.
+        for line in (0, 2, 3, 4, 5):
+            irq.raise_line(Interrupt(line=line, source="storm"))
+        dog.tick(50)
+        pending = irq.pending(ie=False)
+        assert pending is not None
+        assert pending.line == WATCHDOG_IRQ_LINE
+        assert pending.nmi
+
+    def test_expiry_fires_amid_injected_storm(self, monkeypatch):
+        """The storm injector itself cannot mask the watchdog NMI."""
+        platform = TrustLitePlatform()
+        platform.boot(build_attestation_image())
+        inject_irq_storm(
+            platform, FaultPlan(11).rng("wdog-storm"), rate=0.5
+        )
+        dog = platform.soc.watchdog
+        dog.write(PERIOD, 4, 64)
+        dog.write(CTRL, 4, CTRL_ENABLE)
+        dog.tick(64)
+        for _ in range(20):  # storm keeps latching lines as CPU polls
+            platform.soc.irq.pending()
+        masked = platform.soc.irq.pending(ie=False)
+        assert masked is not None
+        assert masked.nmi and masked.line == WATCHDOG_IRQ_LINE
+
+
+class TestStateRoundTrip:
+    def _programmed(self, period=100):
+        irq = InterruptController()
+        dog = Watchdog(irq, line=WATCHDOG_IRQ_LINE)
+        dog.write(PERIOD, 4, period)
+        dog.write(CTRL, 4, CTRL_ENABLE)
+        return irq, dog
+
+    def test_round_trip_mid_countdown(self):
+        _, dog = self._programmed()
+        dog.tick(130)  # fired once, 70 into the second countdown
+        state = dog.snapshot_state()
+
+        irq2 = InterruptController()
+        twin = Watchdog(irq2, line=WATCHDOG_IRQ_LINE)
+        twin.restore_state(state)
+        assert twin.snapshot_state() == state
+
+        # Deterministic continuation: both expire on the same cycle.
+        dog.tick(69)
+        twin.tick(69)
+        assert len(irq2) == 0  # one cycle short of expiry
+        dog.tick(1)
+        twin.tick(1)
+        assert dog.fired == twin.fired == 2
+        assert irq2.pending(ie=False).nmi
+
+    def test_restore_clears_divergent_state(self):
+        _, dog = self._programmed()
+        state = dog.snapshot_state()
+        dog.tick(1000)
+        assert dog.fired == 10
+        dog.restore_state(state)
+        assert dog.snapshot_state() == state
+        assert dog.fired == 0
+
+
+class TestSnapshotClone:
+    @pytest.fixture(scope="class")
+    def armed_snapshot(self):
+        platform = TrustLitePlatform()
+        platform.boot(build_attestation_image())
+        # Program the watchdog over the bus and advance mid-countdown,
+        # as guest code would.
+        platform.bus.write(WATCHDOG_BASE + PERIOD, 500)
+        platform.bus.write(WATCHDOG_BASE + CTRL, CTRL_ENABLE)
+        platform.soc.watchdog.tick(200)
+        return Snapshot.save(platform)
+
+    def test_clone_carries_mid_countdown_state(self, armed_snapshot):
+        clone = armed_snapshot.clone()
+        dog = clone.soc.watchdog
+        assert dog.enabled
+        assert dog.period == 500
+        assert dog.read(0x08, 4) == 300  # COUNT resumes where it was
+        assert dog.fired == 0
+
+    def test_clones_tick_independently(self, armed_snapshot):
+        a = armed_snapshot.clone()
+        b = armed_snapshot.clone()
+        a.soc.watchdog.tick(300)
+        assert a.soc.watchdog.fired == 1
+        assert a.soc.irq.pending(ie=False) is not None
+        # The sibling clone and the snapshot itself are untouched.
+        assert b.soc.watchdog.fired == 0
+        assert b.soc.irq.pending(ie=False) is None
+        assert armed_snapshot.clone().soc.watchdog.read(0x08, 4) == 300
+
+    def test_codec_round_trip_preserves_countdown(self, armed_snapshot):
+        from repro.machine import decode_snapshot, encode_snapshot
+
+        decoded = decode_snapshot(encode_snapshot(armed_snapshot))
+        dog = decoded.clone().soc.watchdog
+        assert (dog.period, dog.enabled, dog.read(0x08, 4)) == (
+            500, True, 300,
+        )

@@ -80,10 +80,12 @@ class TestCommands:
             "--engine", "reference", "--json",
         ]) == EXIT_OK
         report = json.loads(capsys.readouterr().out)
-        assert report["execution"] == {
-            "workers": 2, "shard_size": 2, "shards": 2,
-            "engine": "reference",
-        }
+        execution = report["execution"]
+        assert execution["workers"] == 2
+        assert execution["shard_size"] == 2
+        assert execution["shards"] == 2
+        assert execution["engine"] == "reference"
+        assert execution["recovery"]["recoveries"] == 0
 
     def test_fleet_report_independent_of_workers(self, capsys):
         args = ["fleet", "--devices", "4", "--seed", "9", "--json"]
@@ -135,3 +137,70 @@ class TestLint:
         with pytest.raises(SystemExit) as exc:
             main(["lint", "--image", "ghost"])
         assert exc.value.code == EXIT_USAGE
+
+
+class TestFleetResilienceFlags:
+    def test_backoff_flag_plumbed_into_config(self, capsys):
+        assert main([
+            "fleet", "--devices", "2", "--compromise", "0",
+            "--backoff", "1.5", "--json",
+        ]) == EXIT_OK
+        report = json.loads(capsys.readouterr().out)
+        assert report["config"]["backoff"] == 1.5
+
+    def test_retry_and_timeout_flags_plumbed(self, capsys):
+        assert main([
+            "fleet", "--devices", "2", "--compromise", "0",
+            "--retries", "3", "--timeout-cycles", "4096", "--json",
+        ]) == EXIT_OK
+        report = json.loads(capsys.readouterr().out)
+        assert report["config"]["max_retries"] == 3
+        assert report["config"]["timeout_cycles"] == 4096
+
+    @pytest.mark.parametrize(
+        "extra",
+        [
+            ["--backoff", "0"],
+            ["--backoff", "-1"],
+            ["--timeout-cycles", "0"],
+            ["--retries", "-1"],
+        ],
+    )
+    def test_bad_resilience_values_are_usage_errors(self, extra, capsys):
+        assert main(
+            ["fleet", "--devices", "2"] + extra
+        ) == EXIT_USAGE
+
+
+class TestFaults:
+    def test_campaign_passes_and_emits_json(self, capsys):
+        assert main([
+            "faults", "--seed", "3", "--rounds", "1",
+            "--step-cycles", "500", "--json",
+        ]) == EXIT_OK
+        report = json.loads(capsys.readouterr().out)
+        assert report["schema"] == "repro.faults/1"
+        assert report["ok"] is True
+        assert report["violations"] == 0
+        assert len(report["scenarios"]) == 8
+
+    def test_text_report(self, capsys):
+        assert main([
+            "faults", "--rounds", "1", "--step-cycles", "500",
+        ]) == EXIT_OK
+        out = capsys.readouterr().out
+        assert "fault campaign" in out
+        assert "invariants: OK" in out
+
+    @pytest.mark.parametrize(
+        "extra",
+        [
+            ["--retries", "0"],
+            ["--backoff", "0"],
+            ["--workers", "0"],
+            ["--rounds", "0"],
+            ["--timeout-cycles", "0"],
+        ],
+    )
+    def test_bad_values_are_usage_errors(self, extra, capsys):
+        assert main(["faults"] + extra) == EXIT_USAGE
