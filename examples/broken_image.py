@@ -7,6 +7,21 @@ whose code jumps past a peer's entry vector) and shows the static
 verifier flagging every defect — then proves the pre-boot gate refuses
 to boot it while the good image sails through.
 
+Since trustlint v2 the rogue code also demonstrates what only the
+interprocedural dataflow pass can see:
+
+* untrusted input (an IPC payload register, a shared-region word)
+  steering a computed jump, the MPU window and the crypto engine's
+  command register (TL-TAINT-001/002/003);
+* computed-jump targets hidden behind a join point, resolved across
+  the join and flagged as a wild jump and an entry-vector bypass
+  (TL-IJMP-001/002);
+* a call chain that provably overflows its 0x100-byte stack and a
+  resume path that pushes in an unbounded loop (TL-STACK-001/002).
+
+The report also carries every module's canonical CFG fingerprint —
+the digest attestation binds quotes to.
+
 Run:  python examples/broken_image.py
 """
 
@@ -31,6 +46,26 @@ def main() -> None:
     assert {"TL-ENTRY-001", "TL-WX-001", "TL-PRIV-001"} <= set(
         report.violated_rules
     ), "the broken image must trip the headline rules"
+    assert {"TL-TAINT-001", "TL-TAINT-002", "TL-TAINT-003",
+            "TL-IJMP-001", "TL-IJMP-002",
+            "TL-STACK-001", "TL-STACK-002"} <= set(
+        report.violated_rules
+    ), "the broken image must trip every dataflow rule family"
+
+    print("\nWhat only the dataflow pass can prove:")
+    for rule, story in (
+        ("TL-IJMP-001", "a jump target hidden behind a join, resolved"),
+        ("TL-TAINT-002", "untrusted input reaching the MPU window"),
+        ("TL-STACK-001", "a provable 320-byte push on a 256-byte stack"),
+    ):
+        finding = report.by_rule(rule)[0]
+        print(f"  {rule} at {finding.address:#010x}: {story}")
+
+    print("\nEvery trustlet gets a canonical CFG fingerprint "
+          "(attestation binds quotes to these):")
+    for name, digest in report.fingerprints:
+        print(f"  {name:8s} {digest}")
+    print(f"  image    {report.image_fingerprint}")
 
     print("\nPre-boot gate: TrustLitePlatform.boot(image, verify=True)")
     platform = TrustLitePlatform()

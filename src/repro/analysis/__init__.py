@@ -10,11 +10,21 @@ over an assembled :class:`~repro.core.image.BuiltImage` without
 booting it — in the spirit of offline compartment verification (UCCA)
 rather than hot-path enforcement.
 
+Since trustlint v2 the package is a real static-analysis pass, not a
+syntactic linter: an interprocedural worklist abstract interpretation
+(:mod:`~repro.analysis.dataflow`) proves value sets, taint flows and
+stack bounds across joins and calls, and every trustlet gets a
+canonical CFG fingerprint (:mod:`~repro.analysis.fingerprint`) that
+attestation and fleet layers bind quotes to.
+
 Entry points:
 
 * :func:`lint_image` — run every rule, get an
   :class:`~repro.analysis.report.AnalysisReport`;
-* ``python -m repro lint`` — the CLI frontend (text or ``--json``);
+* :func:`lint_image_cached` — same, memoized by image measurement
+  (what ``boot(verify=True)`` and the fleet prepare path use);
+* ``python -m repro lint`` — the CLI frontend (text or ``--json``,
+  schema ``repro.lint/2``);
 * ``TrustLitePlatform.boot(image, verify=True)`` — pre-boot gate that
   raises :class:`~repro.errors.AnalysisError` on error findings.
 """
@@ -27,13 +37,35 @@ from repro.analysis.cfg import (
     ModuleCfg,
     build_cfg,
 )
-from repro.analysis.engine import lint_image
+from repro.analysis.dataflow import (
+    AbsVal,
+    JumpFact,
+    MemFact,
+    ModuleDataflow,
+    RegState,
+    StackBound,
+    analyze_module,
+    module_roots,
+)
+from repro.analysis.engine import (
+    LintCacheStats,
+    lint_cache_stats,
+    lint_image,
+    lint_image_cached,
+    reset_lint_cache,
+)
+from repro.analysis.fingerprint import (
+    fingerprint_image,
+    fingerprint_module,
+    serialize_cfg,
+)
 from repro.analysis.policy import AnalysisConfig, PromReader, StaticPolicy
-from repro.analysis.report import AnalysisReport, Finding, Severity
+from repro.analysis.report import SCHEMA, AnalysisReport, Finding, Severity
 from repro.analysis.rules import ALL_RULES, AnalysisContext, Rule
 
 __all__ = [
     "ALL_RULES",
+    "AbsVal",
     "AnalysisConfig",
     "AnalysisContext",
     "AnalysisReport",
@@ -41,12 +73,27 @@ __all__ = [
     "Edge",
     "EdgeKind",
     "Finding",
+    "JumpFact",
+    "LintCacheStats",
+    "MemFact",
     "MemoryAccess",
     "ModuleCfg",
+    "ModuleDataflow",
     "PromReader",
+    "RegState",
     "Rule",
+    "SCHEMA",
     "Severity",
+    "StackBound",
     "StaticPolicy",
+    "analyze_module",
     "build_cfg",
+    "fingerprint_image",
+    "fingerprint_module",
+    "lint_cache_stats",
     "lint_image",
+    "lint_image_cached",
+    "module_roots",
+    "reset_lint_cache",
+    "serialize_cfg",
 ]

@@ -209,43 +209,55 @@ def build_cfg(name: str, code: bytes, base: int) -> ModuleCfg:
 
     # Pass 2: block-local constant propagation.  Resolves jmpr/callr
     # targets and load/store effective addresses; resets at leaders so
-    # nothing flows across a join point.
-    consts: dict[Reg, int] = {}
-    resolved: dict[int, int] = {}
-    accesses: list[MemoryAccess] = []
-    for line in lines:
-        if line.address in leaders:
-            consts.clear()
-        ins = line.instruction
-        op = ins.op
-        if op in _COMPUTED_JUMPS or op in _COMPUTED_CALLS:
-            if ins.rs1 in consts:
-                resolved[line.address] = consts[ins.rs1]
-        if op in (Op.LDW, Op.STW, Op.LDB, Op.STB) and ins.rs1 in consts:
-            accesses.append(
-                MemoryAccess(
-                    address=line.address,
-                    target=(consts[ins.rs1] + ins.imm) & WORD_MASK,
-                    size=4 if op in (Op.LDW, Op.STW) else 1,
-                    is_store=op in (Op.STW, Op.STB),
+    # nothing flows across a join point.  A resolved computed target
+    # is itself a new leader (a new join point), so the pass iterates
+    # until the leader set stops growing — otherwise a constant could
+    # flow across a join discovered later in the same sweep, recording
+    # a path-sensitive "fact" that is false on the jumped-to path.
+    # The loop terminates: leaders only grow and are bounded by the
+    # instruction count.
+    while True:
+        consts: dict[Reg, int] = {}
+        resolved: dict[int, int] = {}
+        accesses: list[MemoryAccess] = []
+        for line in lines:
+            if line.address in leaders:
+                consts.clear()
+            ins = line.instruction
+            op = ins.op
+            if op in _COMPUTED_JUMPS or op in _COMPUTED_CALLS:
+                if ins.rs1 in consts:
+                    resolved[line.address] = consts[ins.rs1]
+            if op in (Op.LDW, Op.STW, Op.LDB, Op.STB) \
+                    and ins.rs1 in consts:
+                accesses.append(
+                    MemoryAccess(
+                        address=line.address,
+                        target=(consts[ins.rs1] + ins.imm) & WORD_MASK,
+                        size=4 if op in (Op.LDW, Op.STW) else 1,
+                        is_store=op in (Op.STW, Op.STB),
+                    )
                 )
-            )
-        # Transfer function (computed before rd is clobbered).
-        if op is Op.MOVI:
-            consts[ins.rd] = ins.imm & WORD_MASK
-        elif op is Op.MOV and ins.rs1 in consts:
-            consts[ins.rd] = consts[ins.rs1]
-        elif op is Op.ADDI and ins.rs1 in consts:
-            consts[ins.rd] = (consts[ins.rs1] + ins.imm) & WORD_MASK
-        elif op is Op.SUBI and ins.rs1 in consts:
-            consts[ins.rd] = (consts[ins.rs1] - ins.imm) & WORD_MASK
-        elif _writes_rd(ins.fmt):
-            consts.pop(ins.rd, None)
+            # Transfer function (computed before rd is clobbered).
+            if op is Op.MOVI:
+                consts[ins.rd] = ins.imm & WORD_MASK
+            elif op is Op.MOV and ins.rs1 in consts:
+                consts[ins.rd] = consts[ins.rs1]
+            elif op is Op.ADDI and ins.rs1 in consts:
+                consts[ins.rd] = (consts[ins.rs1] + ins.imm) & WORD_MASK
+            elif op is Op.SUBI and ins.rs1 in consts:
+                consts[ins.rd] = (consts[ins.rs1] - ins.imm) & WORD_MASK
+            elif _writes_rd(ins.fmt):
+                consts.pop(ins.rd, None)
 
-    # Resolved computed targets inside the module are leaders too.
-    for target in resolved.values():
-        if base <= target < end:
-            leaders.add(target)
+        # Resolved computed targets inside the module are leaders too;
+        # a growing leader set invalidates this round's facts.
+        new_leaders = {
+            t for t in resolved.values() if base <= t < end
+        } - leaders
+        if not new_leaders:
+            break
+        leaders |= new_leaders
 
     # Pass 3: carve blocks at leaders / terminators.
     blocks: list[BasicBlock] = []

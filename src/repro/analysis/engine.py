@@ -1,4 +1,4 @@
-"""Orchestration: lift, derive, check — ``lint_image`` in one call.
+"""Orchestration: lift, derive, analyze, check — ``lint_image``.
 
 The verifier runs entirely on a :class:`~repro.core.image.BuiltImage`:
 
@@ -6,18 +6,37 @@ The verifier runs entirely on a :class:`~repro.core.image.BuiltImage`:
    reads at boot — what is checked is what will be enforced);
 2. lift every module's code region into a CFG
    (:mod:`repro.analysis.cfg`);
-3. derive the EA-MPU policy the loader would program
+3. run the interprocedural value-set/taint/stack dataflow from every
+   entry root (:mod:`repro.analysis.dataflow` seeded by
+   :mod:`repro.analysis.taint`'s source model);
+4. derive the EA-MPU policy the loader would program
    (:mod:`repro.analysis.policy` over
    :func:`repro.core.loader.compute_policy`);
-4. run every rule in :data:`repro.analysis.rules.ALL_RULES`.
+5. run every rule in :data:`repro.analysis.rules.ALL_RULES` and stamp
+   the report with each module's canonical CFG fingerprint
+   (:mod:`repro.analysis.fingerprint`).
 
 No platform is constructed and nothing executes, so linting is safe on
 images that would brick a device.
+
+``lint_image_cached`` memoizes verdicts by image measurement (sponge
+hash of the PROM bytes) + analysis config, so a fleet booting the same
+golden image a million times pays for static analysis exactly once;
+:func:`lint_cache_stats` exposes the hit/miss counters (kept out of
+the report itself, which must stay byte-deterministic).
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from repro.analysis.cfg import build_cfg
+from repro.analysis.dataflow import (
+    ModuleDataflow,
+    analyze_module,
+    module_roots,
+)
+from repro.analysis.fingerprint import fingerprint_image, fingerprint_module
 from repro.analysis.policy import (
     AnalysisConfig,
     StaticPolicy,
@@ -25,7 +44,9 @@ from repro.analysis.policy import (
 )
 from repro.analysis.report import AnalysisReport, Finding, Severity
 from repro.analysis.rules import ALL_RULES, AnalysisContext
+from repro.analysis.taint import IPC_TAINT_ROOTS, taint_windows_for
 from repro.core.image import BuiltImage
+from repro.crypto import sponge_hash
 from repro.errors import LoaderError
 
 
@@ -79,19 +100,106 @@ def lint_image(
             image_name=image_name,
         )
 
+    dataflow: dict[str, ModuleDataflow] = {
+        module.name: analyze_module(
+            cfgs[module.name],
+            roots=module_roots(module),
+            taint_windows=taint_windows_for(module, policy),
+            ipc_taint_roots=IPC_TAINT_ROOTS,
+        )
+        for module in modules
+    }
+
     ctx = AnalysisContext(
         modules=tuple(modules),
         cfgs=cfgs,
         policy=policy,
         config=cfgspec,
+        dataflow=dataflow,
     )
     findings: list[Finding] = []
     for rule in ALL_RULES:
         findings.extend(rule.run(ctx))
+
+    prints = tuple(
+        (module.name,
+         fingerprint_module(cfgs[module.name], dataflow[module.name]))
+        for module in modules
+    )
+    stack_bounds = tuple(
+        (flow.name, bound.root, bound.max_depth)
+        for flow in (dataflow[m.name] for m in modules)
+        for bound in flow.stack_bounds
+    )
+    indirect = tuple(
+        (flow.name, fact.address,
+         None if fact.targets is None else tuple(sorted(fact.targets)))
+        for flow in (dataflow[m.name] for m in modules)
+        for fact in flow.jump_facts
+    )
     return AnalysisReport(
         findings=tuple(findings),
         modules=tuple(m.name for m in modules),
         rules_run=rule_ids,
         image_name=image_name,
         notes=tuple(ctx.notes),
+        fingerprints=prints,
+        image_fingerprint=fingerprint_image(dict(prints)),
+        stack_bounds=stack_bounds,
+        indirect_targets=indirect,
     )
+
+
+# ---------------------------------------------------------------------
+# Measurement-keyed verdict cache.
+
+
+@dataclass
+class LintCacheStats:
+    """Hit/miss counters for :func:`lint_image_cached`.
+
+    Deliberately *not* part of :class:`AnalysisReport`: fleet reports
+    must be byte-identical across runs and worker counts, and a
+    counter would break that.
+    """
+
+    hits: int = 0
+    misses: int = 0
+
+
+_cache: dict[tuple[bytes, AnalysisConfig, str], AnalysisReport] = {}
+_stats = LintCacheStats()
+
+
+def lint_image_cached(
+    image: BuiltImage,
+    *,
+    config: AnalysisConfig | None = None,
+    image_name: str = "",
+) -> AnalysisReport:
+    """:func:`lint_image`, memoized by image measurement + config.
+
+    The key is the sponge hash of the whole PROM blob — the same
+    measurement discipline attestation uses — so any byte change
+    re-analyzes and identical golden images are analyzed once.
+    """
+    cfgspec = config if config is not None else AnalysisConfig()
+    key = (sponge_hash(image.prom), cfgspec, image_name)
+    cached = _cache.get(key)
+    if cached is not None:
+        _stats.hits += 1
+        return cached
+    _stats.misses += 1
+    report = lint_image(image, config=cfgspec, image_name=image_name)
+    _cache[key] = report
+    return report
+
+
+def lint_cache_stats() -> LintCacheStats:
+    return _stats
+
+
+def reset_lint_cache() -> None:
+    _cache.clear()
+    _stats.hits = 0
+    _stats.misses = 0

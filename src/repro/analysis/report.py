@@ -11,6 +11,11 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
+#: Version stamp of the JSON report shape (``to_dict``).  /2 added the
+#: schema field itself, CFG fingerprints, per-entry stack bounds and
+#: resolved indirect-target sets; /1 was the unstamped PR-1 shape.
+SCHEMA = "repro.lint/2"
+
 
 class Severity(enum.Enum):
     """How bad a finding is.
@@ -75,6 +80,19 @@ class AnalysisReport:
     rules_run: tuple[str, ...] = ()
     image_name: str = ""
     notes: tuple[str, ...] = field(default_factory=tuple)
+    #: (module, hex digest) canonical CFG fingerprints — see
+    #: :mod:`repro.analysis.fingerprint`.
+    fingerprints: tuple[tuple[str, str], ...] = ()
+    #: Digest binding every module fingerprint (sorted by name).
+    image_fingerprint: str = ""
+    #: (module, entry root, max depth in bytes or None) static stack
+    #: bounds per entry vector.
+    stack_bounds: tuple[tuple[str, str, int | None], ...] = ()
+    #: (module, instruction address, resolved target tuple or None)
+    #: for every reachable computed transfer.
+    indirect_targets: tuple[
+        tuple[str, int, tuple[int, ...] | None], ...
+    ] = ()
 
     @property
     def ok(self) -> bool:
@@ -114,6 +132,8 @@ class AnalysisReport:
             f"{label} ({', '.join(self.modules)}) "
             f"against {len(self.rules_run)} rule(s)"
         ]
+        if self.image_fingerprint:
+            lines.append(f"cfg fingerprint: {self.image_fingerprint}")
         for note in self.notes:
             lines.append(f"note    : {note}")
         ordered = sorted(
@@ -132,9 +152,25 @@ class AnalysisReport:
         return "\n".join(lines)
 
     def to_dict(self) -> dict:
+        stack: dict[str, dict[str, int | None]] = {}
+        for module, root, depth in self.stack_bounds:
+            stack.setdefault(module, {})[root] = depth
+        targets: dict[str, dict[str, list[str] | None]] = {}
+        for module, address, resolved in self.indirect_targets:
+            targets.setdefault(module, {})[f"{address:#010x}"] = (
+                None if resolved is None
+                else [f"{t:#010x}" for t in resolved]
+            )
         return {
+            "schema": SCHEMA,
             "image": self.image_name or None,
             "modules": list(self.modules),
+            "fingerprints": {
+                "image": self.image_fingerprint or None,
+                "modules": dict(self.fingerprints),
+            },
+            "stack_bounds": stack,
+            "indirect_targets": targets,
             "rules_run": list(self.rules_run),
             "notes": list(self.notes),
             "findings": [

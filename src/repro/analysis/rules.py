@@ -19,9 +19,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Iterator
 
-from repro.analysis.cfg import ModuleCfg
+from repro.analysis.cfg import EdgeKind, ModuleCfg
+from repro.analysis.dataflow import ModuleDataflow
 from repro.analysis.policy import AnalysisConfig, StaticPolicy
 from repro.analysis.report import Finding, Severity
+from repro.analysis.taint import control_sinks, crypto_sinks, policy_sinks
 from repro.core.loader import ParsedModule
 from repro.isa.opcodes import Op
 from repro.mpu.regions import Perm, spans_overlap
@@ -38,6 +40,7 @@ class AnalysisContext:
     cfgs: dict[str, ModuleCfg]
     policy: StaticPolicy
     config: AnalysisConfig
+    dataflow: dict[str, ModuleDataflow] = field(default_factory=dict)
     notes: list[str] = field(default_factory=list)
 
     def module_covering_code(self, address: int) -> ParsedModule | None:
@@ -359,7 +362,9 @@ def check_peripheral_exclusivity(ctx: AnalysisContext) -> Iterator[Finding]:
 def check_access_feasibility(ctx: AnalysisContext) -> Iterator[Finding]:
     for module in ctx.modules:
         cfg = ctx.cfgs[module.name]
+        checked: set[int] = set()
         for access in cfg.accesses:
+            checked.add(access.address)
             perm = Perm.W if access.is_store else Perm.R
             if ctx.policy.allows(
                 module.name, access.target, access.size, perm
@@ -373,6 +378,246 @@ def check_access_feasibility(ctx: AnalysisContext) -> Iterator[Finding]:
                 "only ever fault",
                 module=module.name, address=access.address,
             )
+        # The dataflow pass proves more addresses than the block-local
+        # propagation (loop-carried pointers, values flowing through
+        # calls).  Only singleton target sets are must-facts; a larger
+        # set means "one of these", which cannot prove the instruction
+        # always faults.
+        flow = ctx.dataflow.get(module.name)
+        if flow is None or flow.incomplete:
+            continue
+        for fact in flow.mem_facts:
+            target = fact.singleton_target
+            if target is None or fact.address in checked:
+                continue
+            perm = Perm.W if fact.is_store else Perm.R
+            if ctx.policy.allows(module.name, target, fact.size, perm):
+                continue
+            verb = "store to" if fact.is_store else "load from"
+            yield _finding(
+                "TL-ACC-001", Severity.ERROR,
+                f"{verb} {target:#010x} ({fact.size} byte(s)) is denied "
+                "by every policy rule — the instruction can only ever "
+                "fault (resolved across joins by the dataflow pass)",
+                module=module.name, address=fact.address,
+            )
+
+
+# ---------------------------------------------------------------------
+# Dataflow-powered rules (taint, indirect jumps, stack bounds).
+
+
+@_rule(
+    "TL-CFG-002", Severity.WARNING,
+    "execution can fall off the code region or into embedded data",
+)
+def check_fallthrough_containment(ctx: AnalysisContext) -> Iterator[Finding]:
+    for cfg in ctx.cfgs.values():
+        gaps = set(cfg.data_words)
+        for edge in cfg.edges:
+            if edge.kind is not EdgeKind.FALLTHROUGH:
+                continue
+            if edge.target is not None and edge.target >= cfg.end:
+                yield _finding(
+                    "TL-CFG-002", Severity.WARNING,
+                    "execution falls through the end of the code region "
+                    f"at {edge.target:#010x} — whatever is mapped next "
+                    "executes with this module's permissions",
+                    module=cfg.name, address=edge.source,
+                )
+            elif edge.target in gaps:
+                yield _finding(
+                    "TL-CFG-002", Severity.WARNING,
+                    f"execution falls through into undecodable data at "
+                    f"{edge.target:#010x}",
+                    module=cfg.name, address=edge.source,
+                )
+
+
+def _cfg_resolved_computed(cfg: ModuleCfg) -> dict[int, int]:
+    """Computed edges the block-local pass already resolved (those are
+    TL-CFG-001/TL-ENTRY-001's business — don't report them twice)."""
+    return {
+        e.source: e.target
+        for e in cfg.edges
+        if e.kind is EdgeKind.COMPUTED and e.target is not None
+    }
+
+
+@_rule(
+    "TL-IJMP-001", Severity.ERROR,
+    "a resolved indirect transfer leaves every code region",
+)
+def check_indirect_wild(ctx: AnalysisContext) -> Iterator[Finding]:
+    for module in ctx.modules:
+        flow = ctx.dataflow.get(module.name)
+        if flow is None:
+            continue
+        already = _cfg_resolved_computed(ctx.cfgs[module.name])
+        for fact in flow.jump_facts:
+            if fact.targets is None:
+                continue
+            for target in sorted(fact.targets):
+                if target == already.get(fact.address):
+                    continue
+                if ctx.module_covering_code(target) is None:
+                    yield _finding(
+                        "TL-IJMP-001", Severity.ERROR,
+                        f"{fact.op} target {target:#010x} (resolved by "
+                        "the dataflow pass) lands in no module's code "
+                        "region (wild indirect jump)",
+                        module=module.name, address=fact.address,
+                    )
+
+
+@_rule(
+    "TL-IJMP-002", Severity.ERROR,
+    "a resolved indirect transfer bypasses a peer's entry vector",
+)
+def check_indirect_entry(ctx: AnalysisContext) -> Iterator[Finding]:
+    for module in ctx.modules:
+        flow = ctx.dataflow.get(module.name)
+        if flow is None:
+            continue
+        cfg = ctx.cfgs[module.name]
+        already = _cfg_resolved_computed(cfg)
+        for fact in flow.jump_facts:
+            if fact.targets is None:
+                continue
+            for target in sorted(fact.targets):
+                if target == already.get(fact.address):
+                    continue
+                if cfg.contains(target):
+                    continue  # intra-module: any target is legal
+                peer = ctx.module_covering_code(target)
+                if peer is None:
+                    continue  # TL-IJMP-001's business
+                offset = target - peer.code_base
+                if offset >= peer.entry_size:
+                    yield _finding(
+                        "TL-IJMP-002", Severity.ERROR,
+                        f"{fact.op} into the middle of {peer.name!r} "
+                        f"(code offset {offset:#x}, entry vector ends "
+                        f"at {peer.entry_size:#x}) — resolved by the "
+                        "dataflow pass",
+                        module=module.name, address=fact.address,
+                    )
+                elif offset % ENTRY_SLOT_STRIDE:
+                    yield _finding(
+                        "TL-IJMP-002", Severity.ERROR,
+                        f"{fact.op} into {peer.name!r}'s entry vector at "
+                        f"offset {offset:#x}, which is not an "
+                        f"{ENTRY_SLOT_STRIDE}-byte slot boundary",
+                        module=module.name, address=fact.address,
+                    )
+
+
+@_rule(
+    "TL-TAINT-001", Severity.ERROR,
+    "an untrusted value steers a computed control transfer",
+)
+def check_tainted_control(ctx: AnalysisContext) -> Iterator[Finding]:
+    for module in ctx.modules:
+        flow = ctx.dataflow.get(module.name)
+        if flow is None:
+            continue
+        for hit in control_sinks(flow.jump_facts):
+            labels = ",".join(sorted(hit.labels))
+            yield _finding(
+                "TL-TAINT-001", Severity.ERROR,
+                f"{hit.sink} is influenced by untrusted input "
+                f"({labels}) with no sanitizing compare on the path",
+                module=module.name, address=hit.fact.address,
+            )
+
+
+@_rule(
+    "TL-TAINT-002", Severity.ERROR,
+    "an untrusted value reaches the MPU window or Trustlet Table",
+)
+def check_tainted_policy_store(ctx: AnalysisContext) -> Iterator[Finding]:
+    cfgspec = ctx.config
+    for module in ctx.modules:
+        flow = ctx.dataflow.get(module.name)
+        if flow is None:
+            continue
+        for hit in policy_sinks(
+            flow.mem_facts,
+            mpu_window=(cfgspec.mpu_mmio_base, cfgspec.mpu_mmio_end),
+            table_window=(cfgspec.table_base, cfgspec.table_end),
+        ):
+            labels = ",".join(sorted(hit.labels))
+            yield _finding(
+                "TL-TAINT-002", Severity.ERROR,
+                f"store into the {hit.sink} carries untrusted input "
+                f"({labels}) — the isolation policy itself would be "
+                "attacker-influenced",
+                module=module.name, address=hit.fact.address,
+            )
+
+
+@_rule(
+    "TL-TAINT-003", Severity.ERROR,
+    "an untrusted value programs the crypto engine",
+)
+def check_tainted_crypto(ctx: AnalysisContext) -> Iterator[Finding]:
+    for module in ctx.modules:
+        flow = ctx.dataflow.get(module.name)
+        if flow is None:
+            continue
+        for hit in crypto_sinks(flow.mem_facts):
+            labels = ",".join(sorted(hit.labels))
+            yield _finding(
+                "TL-TAINT-003", Severity.ERROR,
+                f"store into the {hit.sink} carries untrusted input "
+                f"({labels}) — command stream and key material must "
+                "stay trusted (DATA_IN is fine; hashing untrusted "
+                "bytes is the engine's job)",
+                module=module.name, address=hit.fact.address,
+            )
+
+
+@_rule(
+    "TL-STACK-001", Severity.ERROR,
+    "a proved stack depth exceeds the stack region",
+)
+def check_stack_overflow(ctx: AnalysisContext) -> Iterator[Finding]:
+    for module in ctx.modules:
+        flow = ctx.dataflow.get(module.name)
+        if flow is None or flow.incomplete:
+            continue
+        for bound in flow.stack_bounds:
+            if bound.max_depth is None:
+                continue
+            if bound.max_depth > module.stack_size:
+                yield _finding(
+                    "TL-STACK-001", Severity.ERROR,
+                    f"entry root {bound.root} provably pushes "
+                    f"{bound.max_depth} bytes but the stack region is "
+                    f"only {module.stack_size} bytes — guaranteed "
+                    "overflow into whatever is mapped below",
+                    module=module.name, address=bound.address,
+                )
+
+
+@_rule(
+    "TL-STACK-002", Severity.WARNING,
+    "stack depth has no static bound from an entry root",
+)
+def check_stack_unbounded(ctx: AnalysisContext) -> Iterator[Finding]:
+    for module in ctx.modules:
+        flow = ctx.dataflow.get(module.name)
+        if flow is None:
+            continue
+        for bound in flow.stack_bounds:
+            if bound.unbounded:
+                yield _finding(
+                    "TL-STACK-002", Severity.WARNING,
+                    f"entry root {bound.root} reaches a cycle that "
+                    "pushes more than it pops — stack depth is not "
+                    "statically bounded",
+                    module=module.name, address=bound.address,
+                )
 
 
 @_rule(

@@ -1,0 +1,155 @@
+"""Untrusted-input model for the taint rules.
+
+What counts as *untrusted* on a TrustLite node (Sec. 4: trustlets must
+validate anything that crosses their perimeter):
+
+* ``ipc``    — the IPC argument registers (r0 = message type, r1 =
+  payload) as delivered through a trustlet's call() entry slot.  The
+  return-entry register r2 is deliberately *not* a source: it names
+  the caller's entry vector, which the EA-MPU vets on the jump itself.
+* ``shared`` — loads from any EA-MPU shared region the module can
+  read; the peer on the other side is a different protection domain.
+* ``uart`` / ``dma`` — loads from the UART and DMA controller windows;
+  both carry external data onto the node.
+
+And what counts as a *sink* (a place where an unvetted value becomes a
+control or configuration decision):
+
+* the target register of a computed jump/call (``TL-TAINT-001``);
+* a store into the MPU MMIO window or the Trustlet Table
+  (``TL-TAINT-002``) — tainted *or* attacker-steered stores there
+  rewrite the isolation policy itself;
+* a store into the crypto engine's CTRL or KEY registers
+  (``TL-TAINT-003``).  The DATA_IN FIFO is *not* a sink: MACing or
+  hashing untrusted bytes is exactly what the engine is for
+  (e.g. the ePay trustlet MACs an untrusted amount) — what must stay
+  trusted is the command stream and key material.
+
+A compare (``cmp``/``cmpi``/``test``) of the tainted register is the
+sanitizing check the paper's validation requirement asks for; the
+dataflow transfer function clears taint on compared operands, so only
+*unvetted* flows reach the rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.dataflow import JumpFact, MemFact
+from repro.machine import soc as socmap
+from repro.machine.devices import crypto_engine as ce
+from repro.machine.devices import dma as dma_dev
+from repro.machine.devices import uart as uart_dev
+
+TAINT_IPC = "ipc"
+TAINT_SHARED = "shared"
+TAINT_UART = "uart"
+TAINT_DMA = "dma"
+
+#: Entry roots whose IPC argument registers arrive caller-controlled
+#: (the call() slot at +8; see repro.sw.runtime's slot convention).
+IPC_TAINT_ROOTS = frozenset({"entry+0x8"})
+
+
+def peripheral_windows() -> tuple[tuple[int, int, str], ...]:
+    """Peripheral MMIO windows whose loads yield untrusted bytes."""
+    return (
+        (socmap.UART_BASE, socmap.UART_BASE + uart_dev.SIZE, TAINT_UART),
+        (socmap.DMA_BASE, socmap.DMA_BASE + dma_dev.SIZE, TAINT_DMA),
+    )
+
+
+def taint_windows_for(module, policy) -> tuple[tuple[int, int, str], ...]:
+    """Source windows for one module: its readable shared regions plus
+    the untrusted peripherals."""
+    windows = list(peripheral_windows())
+    for rule in policy.rules:
+        if rule.kind != "shared":
+            continue
+        if rule.subjects is not None and module.name not in rule.subjects:
+            continue
+        windows.append((rule.base, rule.end, TAINT_SHARED))
+    return tuple(windows)
+
+
+@dataclass(frozen=True)
+class SinkHit:
+    """One tainted value reaching a sink."""
+
+    fact: MemFact | JumpFact
+    sink: str                   # human-readable sink description
+    labels: frozenset[str]      # the offending taint labels
+
+
+def _overlaps(targets: frozenset[int], size: int,
+              base: int, end: int) -> bool:
+    return any(t < end and t + size > base for t in targets)
+
+
+def control_sinks(facts: tuple[JumpFact, ...]) -> list[SinkHit]:
+    """Computed transfers steered by untrusted values (TL-TAINT-001)."""
+    hits = []
+    for fact in facts:
+        if fact.op == "ret":
+            continue  # LR is written by call, never by an input
+        if fact.taint:
+            hits.append(SinkHit(
+                fact=fact,
+                sink=f"{fact.op} target",
+                labels=fact.taint,
+            ))
+    return hits
+
+
+def policy_sinks(
+    facts: tuple[MemFact, ...],
+    *,
+    mpu_window: tuple[int, int],
+    table_window: tuple[int, int],
+) -> list[SinkHit]:
+    """Tainted stores into the isolation configuration (TL-TAINT-002).
+
+    Fires when the store's *resolved* address set touches the MPU MMIO
+    window or the Trustlet Table and either the stored value or the
+    address itself is tainted.  Unresolved stores stay silent — the
+    runtime EA-MPU is the backstop there.
+    """
+    hits = []
+    for fact in facts:
+        if not fact.is_store or fact.targets is None:
+            continue
+        labels = fact.value_taint | fact.addr_taint
+        if not labels:
+            continue
+        for name, (base, end) in (
+            ("MPU MMIO window", mpu_window),
+            ("Trustlet Table", table_window),
+        ):
+            if _overlaps(fact.targets, fact.size, base, end):
+                hits.append(SinkHit(fact=fact, sink=name, labels=labels))
+    return hits
+
+
+def crypto_sinks(
+    facts: tuple[MemFact, ...],
+    *,
+    crypto_base: int = socmap.CRYPTO_BASE,
+) -> list[SinkHit]:
+    """Tainted stores into crypto CTRL/KEY registers (TL-TAINT-003)."""
+    windows = (
+        ("crypto CTRL register",
+         crypto_base + ce.CTRL, crypto_base + ce.CTRL + 4),
+        ("crypto KEY registers",
+         crypto_base + ce.KEY, crypto_base + ce.KEY + 16),
+    )
+    hits = []
+    for fact in facts:
+        if not fact.is_store or fact.targets is None:
+            continue
+        labels = fact.value_taint | fact.addr_taint
+        if not labels:
+            continue
+        for name, base, end in windows:
+            if _overlaps(fact.targets, fact.size, base, end):
+                hits.append(SinkHit(fact=fact, sink=name, labels=labels))
+    return hits

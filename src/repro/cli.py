@@ -129,11 +129,15 @@ def _cmd_disasm(args) -> int:
 
 def _lint_images() -> dict:
     from repro.sw import images
+    from repro.sw.epay import build_epay_image
+    from repro.sw.handshake import build_handshake_image
 
     return {
         "two-counter": images.build_two_counter_image,
         "ipc": images.build_ipc_image,
         "attestation": images.build_attestation_image,
+        "epay": build_epay_image,
+        "handshake": build_handshake_image,
         "broken": images.build_broken_image,
     }
 
@@ -242,7 +246,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument(
         "--image",
-        choices=("two-counter", "ipc", "attestation", "broken"),
+        choices=(
+            "two-counter", "ipc", "attestation", "epay", "handshake",
+            "broken",
+        ),
         default="two-counter",
         help="canned image to verify (default: two-counter)",
     )

@@ -44,6 +44,23 @@ def expected_measurements(image) -> dict[str, bytes]:
     }
 
 
+def expected_cfg_fingerprints(image) -> dict[str, str]:
+    """Canonical CFG fingerprints of every module in the image.
+
+    The *semantic* counterpart to :func:`expected_measurements`: where
+    the code hash binds a quote to exact bytes, the CFG fingerprint
+    binds it to the verified control-flow shape the static analysis
+    reasoned about (trustlint v2), so a verifier can tie a quote to a
+    specific lint verdict.  Keys are module names; values are hex
+    digests identical to the ``fingerprints`` section of the lint
+    report for the same image.
+    """
+    # Imported lazily: analysis depends on core, not vice versa.
+    from repro.analysis import lint_image_cached
+
+    return dict(lint_image_cached(image).fingerprints)
+
+
 def measure_code(bus: Bus, code_base: int, code_end: int) -> bytes:
     """Hash a code region exactly as the Secure Loader does."""
     if code_end <= code_base:

@@ -102,6 +102,9 @@ class TrustLitePlatform:
         self._os_extra_regions = os_extra_regions
         self.image: BuiltImage | None = None
         self.boot_report: BootReport | None = None
+        #: Last static-verification report (``verify_image`` /
+        #: ``boot(verify=True)``); None until a verification ran.
+        self.lint_report = None
 
     # Convenience pass-throughs to the substrate.
     @property
@@ -162,7 +165,7 @@ class TrustLitePlatform:
         the findings when any error-severity finding exists.
         """
         # Imported lazily: analysis depends on core, not vice versa.
-        from repro.analysis import AnalysisConfig, lint_image
+        from repro.analysis import AnalysisConfig, lint_image_cached
         from repro.errors import AnalysisError
 
         config = AnalysisConfig(
@@ -172,7 +175,10 @@ class TrustLitePlatform:
             num_mpu_regions=self.mpu.num_regions,
             os_extra_regions=self._os_extra_regions,
         )
-        report = lint_image(image, config=config)
+        # Memoized by image measurement: a fleet booting the same
+        # golden image pays for static analysis exactly once.
+        report = lint_image_cached(image, config=config)
+        self.lint_report = report
         if report.errors:
             raise AnalysisError(
                 f"static verification found {len(report.errors)} "

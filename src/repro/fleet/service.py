@@ -27,6 +27,8 @@ from __future__ import annotations
 import random
 from dataclasses import asdict, dataclass
 
+from repro.analysis import lint_image_cached
+from repro.analysis import SCHEMA as LINT_SCHEMA
 from repro.core.attestation import expected_measurements
 from repro.core.platform import TrustLitePlatform
 from repro.core.trustlet_table import name_tag
@@ -46,7 +48,9 @@ from repro.machine.snapcodec import encode_snapshot
 from repro.machine.snapshot import Snapshot
 from repro.sw.images import build_attestation_image
 
-SCHEMA = "repro.fleet/2"
+#: /3 added the ``lint`` section binding the run to the golden image's
+#: static-analysis verdict and CFG fingerprint; /2 added execution.
+SCHEMA = "repro.fleet/3"
 
 
 @dataclass(frozen=True)
@@ -148,6 +152,11 @@ class PreparedRun:
     memory_bytes: int
     modules: tuple[str, ...]
     prom_bytes: int
+    #: Static-analysis verdict for the golden image: schema tag, ok
+    #: flag, error/warning counts, per-module and image-level CFG
+    #: fingerprints.  Computed once per golden image measurement via
+    #: the lint cache; byte-deterministic, so it may live in reports.
+    lint: tuple[tuple[str, object], ...] = ()
 
 
 def prepare_run(config: FleetConfig) -> PreparedRun:
@@ -161,6 +170,19 @@ def prepare_run(config: FleetConfig) -> PreparedRun:
     golden.boot(image)
     snapshot = Snapshot.save(golden)
     blob = encode_snapshot(snapshot)
+
+    # Lint the golden image exactly once per measurement: every fleet
+    # run (and benchmark re-preparation) of the same bytes hits the
+    # verdict cache instead of re-running the dataflow pass.
+    lint = lint_image_cached(image, image_name="attestation")
+    lint_summary = (
+        ("schema", LINT_SCHEMA),
+        ("ok", not lint.errors),
+        ("errors", len(lint.errors)),
+        ("warnings", len(lint.warnings)),
+        ("image_fingerprint", lint.image_fingerprint),
+        ("fingerprints", lint.fingerprints),
+    )
 
     compromise_rng = random.Random(f"fleet-compromise:{config.seed}")
     expected_compromised = tuple(
@@ -186,6 +208,7 @@ def prepare_run(config: FleetConfig) -> PreparedRun:
         memory_bytes=snapshot.memory_bytes,
         modules=tuple(image.module_order),
         prom_bytes=len(image.prom),
+        lint=lint_summary,
     )
 
 
@@ -228,6 +251,22 @@ def _shard_tasks(
             )
         )
     return tasks
+
+
+def _lint_section(prepared: PreparedRun) -> dict:
+    """JSON-ready view of the golden image's static-analysis verdict."""
+    summary = dict(prepared.lint)
+    fingerprints = summary.get("fingerprints") or ()
+    return {
+        "schema": summary.get("schema"),
+        "ok": summary.get("ok"),
+        "errors": summary.get("errors", 0),
+        "warnings": summary.get("warnings", 0),
+        "fingerprints": {
+            "image": summary.get("image_fingerprint") or None,
+            "modules": dict(fingerprints),
+        },
+    }
 
 
 def execute_run(
@@ -289,6 +328,7 @@ def execute_run(
             "modules": list(prepared.modules),
             "prom_bytes": prepared.prom_bytes,
         },
+        "lint": _lint_section(prepared),
         "fleet": {
             "devices": config.devices,
             "clone_memory_bytes": prepared.memory_bytes,
@@ -349,6 +389,15 @@ def format_report(report: dict) -> str:
         f"image: {', '.join(report['image']['modules'])} "
         f"({report['image']['prom_bytes']} PROM bytes)"
     )
+    lint = report.get("lint")
+    if lint:
+        verdict = "clean" if lint["ok"] else (
+            f"{lint['errors']} error(s), {lint['warnings']} warning(s)"
+        )
+        lines.append(
+            f"lint: {verdict}, cfg fingerprint "
+            f"{lint['fingerprints']['image']}"
+        )
     lines.append(
         f"expected compromised: "
         f"{report['expected_compromised'] or 'none'}"

@@ -159,24 +159,63 @@ def build_probe_image(
 def _rogue_source(victim_stack: int):
     """A misbehaving trustlet for :func:`build_broken_image`.
 
-    Stores into the victim's stack (no rule will ever permit it) and
-    then jumps past the victim's entry vector into the middle of its
-    code — both statically provable violations.
+    One true positive per rule family the verifier knows:
+
+    * stores into the victim's stack (TL-ACC-001) and jumps past the
+      victim's entry vector (TL-ENTRY-001) — the PR-1 classics;
+    * forwards an untrusted shared-region word into the MPU window
+      (TL-TAINT-002) and the crypto CTRL register (TL-TAINT-003), and
+      jumps through the caller-controlled IPC payload register
+      (TL-TAINT-001);
+    * computed jumps whose targets only the interprocedural dataflow
+      pass resolves — the pointers survive a join, so the block-local
+      propagation cannot see them — landing outside every code region
+      (TL-IJMP-001) and inside the victim's code body (TL-IJMP-002);
+    * a call chain that provably overflows the 0x100-byte stack
+      (TL-STACK-001) and a resume path that pushes in a loop with no
+      static bound (TL-STACK-002).
     """
 
     def source(lay):
         mid_victim = (
             lay.peer_entry("VICTIM") + layout.ENTRY_VECTOR_SIZE + 4
         )
+        scratch_base, _end = lay.shared["scratch"]
+        spills = "\n".join("    push r0" for _ in range(80))
         return f"""
 {runtime.entry_vector()}
 main:
+    call deep_spill         ; provable 320-byte peak (TL-STACK-001)
+    movi r9, {scratch_base:#x}
+    ldw r5, [r9]            ; untrusted: shared-region read
+    movi r4, {socmap.MPU_MMIO_BASE:#x}
+    stw r5, [r4]            ; tainted MPU write (TL-TAINT-002)
+    movi r4, {socmap.CRYPTO_BASE + ce.CTRL:#x}
+    stw r5, [r4]            ; tainted crypto command (TL-TAINT-003)
     movi r4, {victim_stack:#x}
     movi r5, 0x41
     stw r5, [r4]            ; foreign stack smash (TL-ACC-001)
+    movi r6, 0x000f0000     ; wild pointer...
+    movi r7, {mid_victim + 8:#x} ; ...and a victim-body pointer
+    cmpi r0, 0
+    beq wild_side           ; both pointers survive this join — only
+    cmpi r0, 1              ; the dataflow pass still resolves them
+    beq peer_side
     jmp {mid_victim:#x}     ; bypass the entry vector (TL-ENTRY-001)
+wild_side:
+    jmpr r6                 ; dataflow-resolved wild jump (TL-IJMP-001)
+peer_side:
+    jmpr r7                 ; dataflow-resolved entry bypass (TL-IJMP-002)
+deep_spill:
+{spills}
+    addi sp, sp, 320
+    ret
 {runtime.continue_impl(lay)}
-{runtime.halt_stub()}
+impl_call:
+    jmpr r1                 ; jump through the IPC payload (TL-TAINT-001)
+impl_resume:
+    push r0                 ; unbounded growth (TL-STACK-002)
+    jmp impl_resume
 """
 
     return source
@@ -194,7 +233,10 @@ def build_broken_image():
       broken lockdown);
     * ``EVIL`` requests an ``rwx`` shared region (W^X violation);
     * ``EVIL``'s code stores into ``VICTIM``'s stack and jumps into the
-      middle of ``VICTIM``'s code, bypassing the entry vector.
+      middle of ``VICTIM``'s code, bypassing the entry vector;
+    * ``EVIL``'s code lets untrusted input reach every taint sink, hides
+      two illegal computed-jump targets behind a join, and violates both
+      stack-depth rules (see :func:`_rogue_source`).
 
     Built with the same two-pass trick as :func:`build_probe_image`:
     the victim's layout is deterministic, so a draft build resolves the
@@ -215,6 +257,9 @@ def build_broken_image():
                     # Not peripherals at all: foreign SRAM and the MPU.
                     MmioGrant(victim_data, 0x100, Perm.RW),
                     MmioGrant(socmap.MPU_MMIO_BASE, 12, Perm.RW),
+                    # A real crypto grant so the tainted CTRL store is
+                    # policy-legal — only the taint rule catches it.
+                    MmioGrant(socmap.CRYPTO_BASE, ce.SIZE),
                 ),
                 shared=(
                     SharedRegionRequest("scratch", 0x40, Perm.RWX),

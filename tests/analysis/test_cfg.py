@@ -159,3 +159,104 @@ class TestDataTolerance:
         assert EdgeKind.FALLTHROUGH not in kinds
         assert EdgeKind.RETURN not in kinds
         assert EdgeKind.CALL in kinds
+
+
+class TestEdgeCases:
+    def test_unresolvable_indirect_target_stays_opaque(self):
+        # r7 comes from a load the propagation does not model: the
+        # computed edge must stay None, never be guessed.
+        cfg = lift("""
+            movi r1, 0x20000000
+            ldw r7, [r1]
+            jmpr r7
+        """)
+        computed = next(
+            e for e in cfg.edges if e.kind is EdgeKind.COMPUTED
+        )
+        assert computed.target is None
+
+    def test_block_ending_exactly_at_region_boundary(self):
+        # The last instruction ends flush with the region: its
+        # fallthrough edge targets cfg.end (one past the region), and
+        # the block carving must not read past the boundary.
+        cfg = lift("""
+            movi r1, 1
+            add r2, r1, r1
+        """)
+        last = cfg.blocks[-1]
+        assert last.end == cfg.end
+        fall = next(
+            e for e in cfg.edges if e.kind is EdgeKind.FALLTHROUGH
+        )
+        assert fall.target == cfg.end
+
+    def test_terminator_flush_with_boundary_has_no_fallthrough(self):
+        cfg = lift("""
+            movi r1, 1
+            halt
+        """)
+        assert cfg.blocks[-1].end == cfg.end
+        assert all(
+            e.kind is not EdgeKind.FALLTHROUGH for e in cfg.edges
+        )
+
+    def test_direct_target_outside_region_not_a_leader(self):
+        # A jump into a peer module must not split local blocks; the
+        # edge target is preserved absolutely for the entry rules.
+        cfg = lift("""
+            jmp 0x9000
+            halt
+        """)
+        jump = next(e for e in cfg.edges if e.kind is EdgeKind.JUMP)
+        assert jump.target == 0x9000
+        assert all(b.start != 0x9000 for b in cfg.blocks)
+
+    def test_resolved_computed_target_becomes_a_leader(self):
+        # Regression for the const-prop soundness fix: the resolved
+        # jmpr target is a join point, so it must become a leader and
+        # the facts of the re-run sweep must not carry constants
+        # across it.
+        cfg = lift("""
+            movi r1, rest
+            jmpr r1
+        rest:
+            movi r2, 2
+            halt
+        """)
+        computed = next(
+            e for e in cfg.edges if e.kind is EdgeKind.COMPUTED
+        )
+        rest = computed.target
+        assert rest is not None
+        assert any(b.start == rest for b in cfg.blocks)
+
+    def test_no_constant_flows_across_a_discovered_leader(self):
+        # r4 is constant on the fallthrough path into `land`, but
+        # `land` is also the target of a computed jump resolved in the
+        # same sweep.  Recording the store at `land` as a resolved
+        # access would be a path-sensitive false fact: the jmpr path
+        # arrives with a different r4.
+        cfg = lift("""
+            cmp r0, r0
+            beq skip
+            movi r4, 0x20000000
+            jmp land
+        skip:
+            movi r9, land
+            movi r4, 0x30000000
+            jmpr r9
+        land:
+            stw r5, [r4]
+            halt
+        """)
+        computed = next(
+            e for e in cfg.edges if e.kind is EdgeKind.COMPUTED
+        )
+        land = computed.target
+        assert land is not None
+        # The resolved target became a leader...
+        assert cfg.block_at(land).start == land
+        # ...and the store right after it was NOT recorded as resolved.
+        assert not any(
+            a.address == land for a in cfg.accesses
+        ), "constant leaked across a late-discovered join point"

@@ -1,0 +1,250 @@
+"""Unit tests for the interprocedural dataflow pass
+(repro.analysis.dataflow)."""
+
+from repro.analysis.cfg import EdgeKind, build_cfg
+from repro.analysis.dataflow import analyze_module
+from repro.analysis.taint import IPC_TAINT_ROOTS, control_sinks
+from repro.asm import assemble
+
+BASE = 0x1000
+
+
+def lift(source: str, base: int = BASE):
+    program = assemble(source, base=base)
+    return build_cfg("M", program.data, base)
+
+
+def flow_of(source: str, *, base: int = BASE, roots=None, **kwargs):
+    cfg = lift(source, base)
+    return analyze_module(
+        cfg, roots=roots or (("main", base),), **kwargs
+    )
+
+
+def jump_at(flow, op: str):
+    return next(f for f in flow.jump_facts if f.op == op)
+
+
+class TestLoopCarriedConstants:
+    # The regression for the audited const-prop unsoundness: a pointer
+    # materialized before a loop must survive the back-edge join.  The
+    # block-local pass resets at leaders (so it must NOT resolve the
+    # target); the worklist join {X} u {X} keeps the singleton.
+    SOURCE = f"""
+        movi r1, {BASE + 0x40:#x}
+        movi r2, 3
+    loop:
+        subi r2, r2, 1
+        cmpi r2, 0
+        bne loop
+        jmpr r1
+    """
+
+    def test_block_local_pass_cannot_resolve(self):
+        cfg = lift(self.SOURCE)
+        computed = next(
+            e for e in cfg.edges if e.kind is EdgeKind.COMPUTED
+        )
+        assert computed.target is None
+
+    def test_dataflow_resolves_across_the_loop(self):
+        flow = flow_of(self.SOURCE)
+        assert not flow.incomplete
+        fact = jump_at(flow, "jmpr")
+        assert fact.targets == frozenset({BASE + 0x40})
+
+    def test_induction_variable_widens_to_top(self):
+        # The loop counter's value set keeps changing at the join; the
+        # widening must push it to TOP instead of cycling forever.
+        flow = flow_of(f"""
+        main:
+            movi r2, {BASE:#x}
+        loop:
+            stw r0, [r2]
+            addi r2, r2, 4
+            jmp loop
+        """)
+        assert not flow.incomplete
+        store = next(f for f in flow.mem_facts if f.is_store)
+        assert store.targets is None  # widened, not enumerated
+
+
+class TestInterprocedural:
+    def test_callee_effects_flow_back_through_ret(self):
+        # r3 is set only inside the callee; the call fallthrough is
+        # reached exclusively via ret through the LR link, so the
+        # caller's jmpr sees the callee's constant.
+        flow = flow_of(f"""
+        main:
+            call fn
+            jmpr r3
+        fn:
+            movi r3, {BASE + 0x20:#x}
+            ret
+        """)
+        fact = jump_at(flow, "jmpr")
+        assert fact.targets == frozenset({BASE + 0x20})
+
+    def test_ret_target_is_the_return_address(self):
+        flow = flow_of("""
+        main:
+            call fn
+            halt
+        fn:
+            ret
+        """)
+        fact = jump_at(flow, "ret")
+        # call is an imm32 op (8 bytes): the link register holds the
+        # halt's address.
+        assert fact.targets == frozenset({BASE + 8})
+
+
+WINDOW = (0x5000_0000, 0x5000_0010, "shared")
+
+
+class TestTaint:
+    def test_shared_window_load_taints(self):
+        flow = flow_of(f"""
+        main:
+            movi r1, {WINDOW[0]:#x}
+            ldw r2, [r1]
+            jmpr r2
+        """, taint_windows=(WINDOW,))
+        fact = jump_at(flow, "jmpr")
+        assert fact.taint == frozenset({"shared"})
+        assert len(control_sinks(flow.jump_facts)) == 1
+
+    def test_sanitizing_compare_clears_taint(self):
+        flow = flow_of(f"""
+        main:
+            movi r1, {WINDOW[0]:#x}
+            ldw r2, [r1]
+            cmpi r2, 4
+            jmpr r2
+        """, taint_windows=(WINDOW,))
+        fact = jump_at(flow, "jmpr")
+        assert fact.taint == frozenset()
+        assert control_sinks(flow.jump_facts) == []
+
+    def test_taint_propagates_through_arithmetic(self):
+        flow = flow_of(f"""
+        main:
+            movi r1, {WINDOW[0]:#x}
+            ldw r2, [r1]
+            addi r3, r2, 8
+            jmpr r3
+        """, taint_windows=(WINDOW,))
+        assert jump_at(flow, "jmpr").taint == frozenset({"shared"})
+
+    def test_ipc_roots_seed_argument_registers(self):
+        flow = flow_of(
+            "main:\n    jmpr r1\n",
+            roots=(("entry+0x8", BASE),),
+            ipc_taint_roots=IPC_TAINT_ROOTS,
+        )
+        assert jump_at(flow, "jmpr").taint == frozenset({"ipc"})
+
+    def test_return_entry_register_not_tainted(self):
+        # r2 names the caller's entry vector; the EA-MPU vets the jump
+        # at runtime, so the receiver's 'jmpr r2' must stay clean.
+        flow = flow_of(
+            "main:\n    jmpr r2\n",
+            roots=(("entry+0x8", BASE),),
+            ipc_taint_roots=IPC_TAINT_ROOTS,
+        )
+        assert jump_at(flow, "jmpr").taint == frozenset()
+        assert control_sinks(flow.jump_facts) == []
+
+    def test_non_ipc_roots_stay_clean(self):
+        flow = flow_of(
+            "main:\n    jmpr r1\n",
+            roots=(("entry+0x0", BASE),),
+            ipc_taint_roots=IPC_TAINT_ROOTS,
+        )
+        assert jump_at(flow, "jmpr").taint == frozenset()
+
+
+class TestStackBounds:
+    def bound(self, source: str, **kwargs):
+        flow = flow_of(source, **kwargs)
+        assert not flow.incomplete
+        (bound,) = flow.stack_bounds
+        return bound
+
+    def test_push_pop_peak(self):
+        bound = self.bound("""
+        main:
+            push r0
+            push r1
+            pop r2
+            push r3
+            halt
+        """)
+        assert bound.max_depth == 8
+        assert not bound.unbounded
+
+    def test_sp_arithmetic_adjusts_depth(self):
+        bound = self.bound("""
+        main:
+            subi sp, sp, 0x20
+            addi sp, sp, 0x20
+            halt
+        """)
+        assert bound.max_depth == 0x20
+
+    def test_call_chain_depth_is_interprocedural(self):
+        bound = self.bound("""
+        main:
+            call fn
+            halt
+        fn:
+            push r0
+            push r1
+            pop r1
+            pop r0
+            ret
+        """)
+        assert bound.max_depth == 8
+
+    def test_foreign_sp_write_loses_the_bound(self):
+        bound = self.bound("""
+        main:
+            push r0
+            movi sp, 0x20000f00
+            halt
+        """)
+        assert bound.max_depth is None
+        assert not bound.unbounded
+
+    def test_growing_loop_is_unbounded(self):
+        bound = self.bound("""
+        main:
+            push r0
+            jmp main
+        """)
+        assert bound.unbounded
+        assert bound.max_depth is None
+
+
+class TestConservatism:
+    def test_unresolved_jump_propagates_nowhere(self):
+        # r9 is TOP: the jmpr must not invent successors, so the code
+        # after it is unreachable and produces no facts.
+        flow = flow_of(f"""
+        main:
+            jmpr r9
+            movi r1, {BASE:#x}
+            stw r0, [r1]
+            halt
+        """)
+        assert jump_at(flow, "jmpr").targets is None
+        assert flow.mem_facts == ()
+
+    def test_swi_havocs_registers(self):
+        flow = flow_of(f"""
+        main:
+            movi r1, {BASE + 0x20:#x}
+            swi 1
+            jmpr r1
+        """)
+        assert jump_at(flow, "jmpr").targets is None

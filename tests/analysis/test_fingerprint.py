@@ -1,0 +1,101 @@
+"""Tests for canonical CFG fingerprints (repro.analysis.fingerprint)."""
+
+from repro.analysis import lint_image
+from repro.analysis.cfg import build_cfg
+from repro.analysis.dataflow import analyze_module
+from repro.analysis.fingerprint import (
+    fingerprint_image,
+    fingerprint_module,
+    serialize_cfg,
+)
+from repro.asm import assemble
+from repro.sw.images import build_attestation_image, build_two_counter_image
+
+BASE = 0x1000
+
+
+def lift(source: str):
+    program = assemble(source, base=BASE)
+    return build_cfg("M", program.data, BASE)
+
+
+SOURCE = f"""
+main:
+    movi r1, {BASE + 0x18:#x}
+    cmp r0, r2
+    beq out
+    jmpr r1
+out:
+    halt
+"""
+
+
+class TestDeterminism:
+    def test_serialization_is_stable_across_runs(self):
+        first = serialize_cfg(lift(SOURCE))
+        second = serialize_cfg(lift(SOURCE))
+        assert first == second
+
+    def test_flow_facts_are_canonicalized(self):
+        cfg = lift(SOURCE)
+        flow = analyze_module(cfg, roots=(("main", BASE),))
+        again = analyze_module(cfg, roots=(("main", BASE),))
+        assert fingerprint_module(cfg, flow) == fingerprint_module(
+            cfg, again
+        )
+        assert "ijmp" in serialize_cfg(cfg, flow)
+
+    def test_image_fingerprint_sorted_by_module_name(self):
+        digests = {"B": "22", "A": "11"}
+        assert fingerprint_image(digests) == fingerprint_image(
+            dict(reversed(list(digests.items())))
+        )
+
+    def test_repeated_lints_byte_identical(self):
+        one = lint_image(build_attestation_image())
+        two = lint_image(build_attestation_image())
+        assert one.image_fingerprint == two.image_fingerprint
+        assert one.fingerprints == two.fingerprints
+        assert one.to_dict() == two.to_dict()
+
+
+class TestSensitivity:
+    def test_changed_cfg_changes_the_digest(self):
+        # An extra instruction moves every block boundary: the shape
+        # (not just the bytes) changed, so the digest must change.
+        other = f"""
+        main:
+            movi r1, {BASE + 0x18:#x}
+            movi r3, 1
+            cmp r0, r2
+            beq out
+            jmpr r1
+        out:
+            halt
+        """
+        assert fingerprint_module(lift(SOURCE)) != fingerprint_module(
+            lift(other)
+        )
+
+    def test_different_images_differ(self):
+        a = lint_image(build_attestation_image())
+        b = lint_image(build_two_counter_image())
+        assert a.image_fingerprint != b.image_fingerprint
+
+
+class TestReportExposure:
+    def test_lint_report_carries_fingerprints(self):
+        report = lint_image(build_attestation_image())
+        modules = dict(report.fingerprints)
+        assert set(modules) == set(report.modules)
+        assert report.image_fingerprint == fingerprint_image(modules)
+        text = report.format_text()
+        assert f"cfg fingerprint: {report.image_fingerprint}" in text
+
+    def test_attestation_binding_matches_the_report(self):
+        from repro.core.attestation import expected_cfg_fingerprints
+
+        image = build_attestation_image()
+        assert expected_cfg_fingerprints(image) == dict(
+            lint_image(image).fingerprints
+        )

@@ -34,15 +34,26 @@ class TestBrokenImage:
         # Plus the overlap/lockdown/feasibility fallout of the rogue
         # metadata.
         assert {"TL-OVL-001", "TL-PRIV-002", "TL-ACC-001"} <= fired
+        # And the v2 dataflow families (taint, indirect jumps, stack).
+        assert {"TL-TAINT-001", "TL-TAINT-002", "TL-TAINT-003",
+                "TL-IJMP-001", "TL-IJMP-002",
+                "TL-STACK-001", "TL-STACK-002"} <= fired
         assert report.errors and not report.ok
 
     def test_json_report_shape(self):
         report = lint_image(build_broken_image(), image_name="broken")
         as_dict = report.to_dict()
+        assert as_dict["schema"] == "repro.lint/2"
         assert as_dict["image"] == "broken"
         assert as_dict["ok"] is False
         assert as_dict["counts"]["findings"] == len(as_dict["findings"])
         assert as_dict["counts"]["errors"] >= 3
+        assert as_dict["fingerprints"]["image"]
+        assert set(as_dict["fingerprints"]["modules"]) == set(
+            as_dict["modules"]
+        )
+        assert as_dict["stack_bounds"]
+        assert as_dict["indirect_targets"]
         for finding in as_dict["findings"]:
             assert set(finding) == {
                 "rule", "severity", "module", "address", "message",
@@ -77,6 +88,18 @@ class TestPreBootGate:
         platform = TrustLitePlatform()
         report = platform.verify_image(build_two_counter_image())
         assert report.ok
+        assert platform.lint_report is report
+
+    def test_verify_hits_the_measurement_cache(self):
+        from repro.analysis import lint_cache_stats, reset_lint_cache
+
+        reset_lint_cache()
+        image = build_two_counter_image()
+        TrustLitePlatform().boot(image, verify=True)
+        TrustLitePlatform().boot(image, verify=True)
+        stats = lint_cache_stats()
+        assert stats.misses == 1
+        assert stats.hits >= 1
 
     def test_verify_uses_platform_configuration(self):
         # A platform with too few MPU regions must fail verification

@@ -183,6 +183,152 @@ class TestCodeRules:
         assert findings[0].module == "EVIL"
 
 
+class TestTaintRules:
+    SHARED = (SharedRegionRequest("scratch", 0x40, Perm.RW),)
+
+    def _tainted(self, then: str):
+        """Load an untrusted shared-region word into r5, then ``then``."""
+        return lambda lay: (
+            f"    movi r9, {lay.shared['scratch'][0]:#x}\n"
+            "    ldw r5, [r9]\n"
+            f"{then}"
+        )
+
+    def test_tainted_indirect_jump_fires_taint_001(self):
+        image = make_image(
+            self._tainted("    jmpr r5"), shared=self.SHARED
+        )
+        assert "TL-TAINT-001" in rules_fired(image)
+
+    def test_sanitizing_compare_silences_taint_001(self):
+        image = make_image(
+            self._tainted("    cmpi r5, 4\n    jmpr r5"),
+            shared=self.SHARED,
+        )
+        assert "TL-TAINT-001" not in rules_fired(image)
+
+    def test_tainted_mpu_store_fires_taint_002(self):
+        image = make_image(
+            self._tainted(
+                f"    movi r4, {socmap.MPU_MMIO_BASE:#x}\n"
+                "    stw r5, [r4]"
+            ),
+            shared=self.SHARED,
+        )
+        assert "TL-TAINT-002" in rules_fired(image)
+
+    def test_tainted_crypto_ctrl_fires_taint_003(self):
+        from repro.machine.devices import crypto_engine as ce
+
+        image = make_image(
+            self._tainted(
+                f"    movi r4, {socmap.CRYPTO_BASE + ce.CTRL:#x}\n"
+                "    stw r5, [r4]"
+            ),
+            shared=self.SHARED,
+        )
+        assert "TL-TAINT-003" in rules_fired(image)
+
+    def test_untainted_crypto_ctrl_is_silent(self):
+        from repro.machine.devices import crypto_engine as ce
+
+        image = make_image(
+            f"    movi r4, {socmap.CRYPTO_BASE + ce.CTRL:#x}\n"
+            "    movi r5, 1\n"
+            "    stw r5, [r4]",
+            mmio_grants=(MmioGrant(socmap.CRYPTO_BASE, ce.SIZE),),
+        )
+        assert "TL-TAINT-003" not in rules_fired(image)
+
+
+class TestIndirectJumpRules:
+    def _hidden_pointer(self, value_expr):
+        """Materialize a pointer, hide it behind a join, jump through.
+
+        The branch makes ``land`` a block leader, so the block-local
+        const-prop (TL-CFG-001's feeder) cannot see the target — only
+        the dataflow pass resolves it.
+        """
+        return lambda lay: (
+            f"    movi r6, {value_expr(lay):#x}\n"
+            "    cmpi r0, 0\n"
+            "    beq land\n"
+            "land:\n"
+            "    jmpr r6"
+        )
+
+    def test_wild_resolved_jump_fires_ijmp_001(self):
+        image = make_image(self._hidden_pointer(lambda lay: 0x000F_0000))
+        fired = rules_fired(image)
+        assert "TL-IJMP-001" in fired
+        assert "TL-CFG-001" not in fired  # invisible to the cfg pass
+
+    def test_entry_bypass_resolved_jump_fires_ijmp_002(self):
+        image = make_image(self._hidden_pointer(
+            lambda lay: lay.peer_entry("VICTIM")
+            + layout.ENTRY_VECTOR_SIZE + 8
+        ))
+        fired = rules_fired(image)
+        assert "TL-IJMP-002" in fired
+        assert "TL-ENTRY-001" not in fired
+
+    def test_resolved_jump_to_peer_entry_slot_is_clean(self):
+        image = make_image(self._hidden_pointer(
+            lambda lay: lay.peer_entry("VICTIM") + 8
+        ))
+        fired = rules_fired(image)
+        assert not fired & {"TL-IJMP-001", "TL-IJMP-002"}
+
+
+class TestStackRules:
+    def test_provable_overflow_fires_stack_001(self):
+        # Default stack regions are 0x100 bytes; 80 pushes through a
+        # call prove a 324-byte peak.
+        spills = "\n".join("    push r0" for _ in range(80))
+        image = make_image(
+            "    call deep\n"
+            "    jmp done\n"
+            "deep:\n"
+            f"{spills}\n"
+            "    addi sp, sp, 320\n"
+            "    ret\n"
+            "done:"
+        )
+        assert "TL-STACK-001" in rules_fired(image)
+
+    def test_balanced_pushes_are_silent(self):
+        image = make_image(
+            "    push r0\n"
+            "    push r1\n"
+            "    pop r1\n"
+            "    pop r0"
+        )
+        fired = rules_fired(image)
+        assert not fired & {"TL-STACK-001", "TL-STACK-002"}
+
+    def test_growing_loop_fires_stack_002(self):
+        image = make_image(
+            "spin:\n"
+            "    push r0\n"
+            "    jmp spin"
+        )
+        assert "TL-STACK-002" in rules_fired(image)
+
+
+class TestFallthroughContainment:
+    def test_fallthrough_into_data_fires_cfg_002(self):
+        image = make_image(
+            "    cmp r0, r0\n"
+            "    beq over\n"
+            ".word 0xFFFFFFFF\n"
+            "over:"
+        )
+        report = lint_image(image)
+        findings = report.by_rule("TL-CFG-002")
+        assert findings
+        assert all(f.severity.value == "warning" for f in findings)
+
+
 class TestResourceBudget:
     def test_too_few_regions_fires_res_001(self):
         report = lint_image(

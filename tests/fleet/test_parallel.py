@@ -159,10 +159,33 @@ class TestShardedRuns:
         second = execute_run(prepared, ExecutionPlan(shard_size=3))
         assert first == second
 
+    def test_golden_image_linted_once_per_measurement(self):
+        from repro.analysis import lint_cache_stats, reset_lint_cache
+
+        reset_lint_cache()
+        prepare_run(FleetConfig(devices=2, seed=1))
+        first = lint_cache_stats()
+        assert first.misses == 1
+        prepare_run(FleetConfig(devices=4, seed=2))
+        again = lint_cache_stats()
+        # Same golden bytes: second preparation hits the verdict cache.
+        assert again.misses == 1
+        assert again.hits >= 1
+
+    def test_lint_section_identical_across_preparations(self):
+        one = prepare_run(FleetConfig(devices=2, seed=1))
+        two = prepare_run(FleetConfig(devices=3, seed=9))
+        assert one.lint == two.lint
+
     def test_report_shape(self):
         config = FleetConfig(devices=4, seed=1)
         report = run_fleet(config, ExecutionPlan(workers=1))
-        assert report["schema"] == "repro.fleet/2"
+        assert report["schema"] == "repro.fleet/3"
+        lint = report["lint"]
+        assert lint["schema"] == "repro.lint/2"
+        assert lint["ok"] is True and lint["errors"] == 0
+        assert lint["fingerprints"]["image"]
+        assert "ATTEST" in lint["fingerprints"]["modules"]
         execution = report["execution"]
         assert execution["workers"] == 1
         assert execution["shard_size"] == 16

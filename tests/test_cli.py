@@ -57,8 +57,11 @@ class TestCommands:
             "fleet", "--devices", "3", "--compromise", "0", "--json",
         ]) == EXIT_OK
         report = json.loads(capsys.readouterr().out)
-        assert report["schema"] == "repro.fleet/2"
+        assert report["schema"] == "repro.fleet/3"
         assert report["ok"] is True
+        assert report["lint"]["ok"] is True
+        assert report["lint"]["schema"] == "repro.lint/2"
+        assert report["lint"]["fingerprints"]["image"]
         assert report["rounds"][0]["healthy"] == 3
         assert report["execution"]["workers"] == 1
         assert report["execution"]["engine"] == "fast"
@@ -112,17 +115,25 @@ class TestLint:
     def test_broken_image_exits_one(self, capsys):
         assert main(["lint", "--image", "broken"]) == EXIT_FINDINGS
         out = capsys.readouterr().out
-        # The three headline rule families must all appear.
+        # The headline rule families must all appear: the PR-1
+        # syntactic ones and the v2 dataflow ones.
         assert "TL-ENTRY-001" in out
         assert "TL-WX-001" in out
         assert "TL-PRIV-001" in out
+        assert "TL-TAINT-001" in out
+        assert "TL-IJMP-001" in out
+        assert "TL-STACK-001" in out
 
     def test_json_report(self, capsys):
         assert main(["lint", "--image", "broken", "--json"]) == EXIT_FINDINGS
         report = json.loads(capsys.readouterr().out)
+        assert report["schema"] == "repro.lint/2"
         assert report["ok"] is False
         rules = {f["rule"] for f in report["findings"]}
-        assert {"TL-ENTRY-001", "TL-WX-001", "TL-PRIV-001"} <= rules
+        assert {"TL-ENTRY-001", "TL-WX-001", "TL-PRIV-001",
+                "TL-TAINT-001", "TL-TAINT-002", "TL-TAINT-003",
+                "TL-IJMP-001", "TL-IJMP-002",
+                "TL-STACK-001", "TL-STACK-002"} <= rules
         assert report["counts"]["errors"] == len(
             [f for f in report["findings"] if f["severity"] == "error"]
         )
@@ -130,8 +141,22 @@ class TestLint:
     def test_json_clean_report(self, capsys):
         assert main(["lint", "--json"]) == EXIT_OK
         report = json.loads(capsys.readouterr().out)
+        assert report["schema"] == "repro.lint/2"
         assert report["ok"] is True
         assert report["findings"] == []
+        assert report["fingerprints"]["image"]
+        assert set(report["fingerprints"]["modules"]) == set(
+            report["modules"]
+        )
+        assert report["stack_bounds"]
+
+    @pytest.mark.parametrize("image", ["epay", "handshake"])
+    def test_new_cli_images_lint(self, image, capsys):
+        # Both exit 0/1 by findings; neither has error findings.
+        code = main(["lint", "--image", image, "--json"])
+        report = json.loads(capsys.readouterr().out)
+        assert report["counts"]["errors"] == 0
+        assert code == (EXIT_OK if report["ok"] else EXIT_FINDINGS)
 
     def test_unknown_image_is_usage_error(self):
         with pytest.raises(SystemExit) as exc:
