@@ -10,10 +10,81 @@ trend tracking across commits never has to special-case a benchmark.
 from __future__ import annotations
 
 import json
+import math
+import os
 import pathlib
 
 OUT_DIR = pathlib.Path(__file__).parent / "out"
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: cgroup v2 CPU quota file (``"max 100000"`` or ``"200000 100000"``).
+CGROUP_CPU_MAX = "/sys/fs/cgroup/cpu.max"
+
+
+def _cgroup_cpu_quota(path: str = CGROUP_CPU_MAX) -> int:
+    """Usable cores granted by a cgroup v2 CPU quota; 0 when unbounded
+    or unreadable."""
+    try:
+        parts = pathlib.Path(path).read_text().split()
+        if not parts or parts[0] == "max":
+            return 0
+        quota = int(parts[0])
+        period = int(parts[1]) if len(parts) > 1 else 100_000
+        return max(1, math.ceil(quota / period))
+    except (OSError, ValueError):
+        return 0
+
+
+def detect_host_cores(*, cgroup_path: str = CGROUP_CPU_MAX) -> dict:
+    """Usable-core detection with the evidence attached.
+
+    ``os.cpu_count()`` alone is a trap for benchmark gating: it can
+    read 1 inside a sandbox on a multi-core host (silently disabling
+    scaling floors) or report every host core when affinity masks or
+    cgroup quotas cap the process much lower (enforcing a floor the
+    machine cannot express).  This helper consults all three signals
+    and returns a dict so the JSON artifact records *why* a floor was
+    or wasn't enforced:
+
+    * ``cpu_count``    — ``os.cpu_count()`` (0 when unknown);
+    * ``affinity``     — ``len(os.sched_getaffinity(0))`` (0 where
+      unsupported, e.g. macOS);
+    * ``cgroup_quota`` — cores granted by the cgroup v2 CPU quota
+      (0 when unbounded or absent);
+    * ``usable``       — the cores a worker pool can actually use: the
+      minimum of the positive signals, at least 1;
+    * ``source``       — ``"detected"``, or ``"env"`` when the
+      ``REPRO_HOST_CORES`` override is set (the escape hatch for hosts
+      where every signal lies).
+    """
+    override = os.environ.get("REPRO_HOST_CORES", "")
+    if override.isdigit() and int(override) > 0:
+        usable = int(override)
+        return {
+            "cpu_count": os.cpu_count() or 0,
+            "affinity": _affinity_count(),
+            "cgroup_quota": _cgroup_cpu_quota(cgroup_path),
+            "usable": usable,
+            "source": "env",
+        }
+    cpu_count = os.cpu_count() or 0
+    affinity = _affinity_count()
+    quota = _cgroup_cpu_quota(cgroup_path)
+    signals = [s for s in (cpu_count, affinity, quota) if s > 0]
+    return {
+        "cpu_count": cpu_count,
+        "affinity": affinity,
+        "cgroup_quota": quota,
+        "usable": min(signals) if signals else 1,
+        "source": "detected",
+    }
+
+
+def _affinity_count() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        return 0
 
 
 def write_artifact(name: str, content: str) -> pathlib.Path:

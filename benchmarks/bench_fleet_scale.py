@@ -34,7 +34,11 @@ import json
 import os
 import time
 
-from benchmarks._util import write_artifact, write_bench_json
+from benchmarks._util import (
+    detect_host_cores,
+    write_artifact,
+    write_bench_json,
+)
 from repro.fleet import ExecutionPlan, FleetConfig, execute_run, prepare_run
 
 DEVICES = int(os.environ.get("FLEET_SCALE_DEVICES", "64"))
@@ -48,11 +52,19 @@ FLOOR_WORKERS = 4
 ENFORCE_CORES = 4
 
 
-def _floor_enforced() -> tuple[bool, int]:
-    cores = os.cpu_count() or 1
+def _floor_enforced() -> tuple[bool, dict]:
+    """Whether to gate the speedup floor, plus the core evidence.
+
+    Uses :func:`benchmarks._util.detect_host_cores` rather than bare
+    ``os.cpu_count()``: the floor decision rests on the cores a worker
+    pool can *use* (affinity/quota aware, ``REPRO_HOST_CORES``
+    overridable), and the full evidence lands in the JSON so a
+    disabled floor is never silent.
+    """
+    cores = detect_host_cores()
     if os.environ.get("FLEET_SCALE_ENFORCE") == "1":
         return True, cores
-    return cores >= ENFORCE_CORES, cores
+    return cores["usable"] >= ENFORCE_CORES, cores
 
 
 def test_fleet_scale():
@@ -94,7 +106,8 @@ def test_fleet_scale():
     enforced, cores = _floor_enforced()
     lines = [
         f"fleet scale-out, {DEVICES} devices x {ROUNDS} round(s), "
-        f"{STEP_CYCLES} guest cycles/round, {cores} host core(s)",
+        f"{STEP_CYCLES} guest cycles/round, {cores['usable']} usable "
+        f"core(s) ({cores['source']})",
         f"  {'workers':>7}{'shards':>8}{'seconds':>9}"
         f"{'devices/s':>11}{'speedup':>9}",
     ]
@@ -107,7 +120,12 @@ def test_fleet_scale():
     if enforced:
         floor_note = "enforced"
     else:
-        floor_note = f"recorded only: {cores} core(s) < {ENFORCE_CORES}"
+        floor_note = (
+            f"recorded only: {cores['usable']} usable core(s) < "
+            f"{ENFORCE_CORES} (cpu_count={cores['cpu_count']}, "
+            f"affinity={cores['affinity']}, "
+            f"cgroup_quota={cores['cgroup_quota']})"
+        )
     lines.append(
         f"  floor: {SPEEDUP_FLOOR:.0f}x at {FLOOR_WORKERS} workers "
         f"({floor_note})"
@@ -124,7 +142,8 @@ def test_fleet_scale():
             "speedup_floor": SPEEDUP_FLOOR,
             "floor_workers": FLOOR_WORKERS,
             "floor_enforced": enforced,
-            "host_cores": cores,
+            "host_cores": cores["usable"],
+            "host_cores_evidence": cores,
             "deterministic_across_workers": True,
             "workloads": results,
         },

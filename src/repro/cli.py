@@ -11,6 +11,8 @@ the simulated platform:
 * ``disasm``    — disassemble a module of the demo image
 * ``lint``      — statically verify an image (trustlint)
 * ``fleet``     — clone a device fleet and run remote attestation
+* ``serve``     — run the fleet as an attestation service under
+  seeded open-loop load (Poisson arrivals, bursts, flap storms)
 * ``faults``    — seeded fault-injection campaign over the fleet
 
 Exit codes are uniform across commands: **0** success / clean,
@@ -193,6 +195,55 @@ def _cmd_fleet(args) -> int:
     return EXIT_OK if report["ok"] else EXIT_FINDINGS
 
 
+def _cmd_serve(args) -> int:
+    from repro.errors import FleetError
+    from repro.fleet import (
+        ServiceConfig,
+        format_serve_report,
+        run_service,
+    )
+
+    try:
+        if args.workers < 1:
+            raise FleetError(f"workers must be >= 1: {args.workers}")
+        # `--burst 4` alone is enough: default windows derive from the
+        # duration (still a pure function of the arguments).
+        burst_every = args.burst_every
+        burst_length = args.burst_length
+        if args.burst > 1.0 and not burst_every:
+            burst_every = max(1, args.duration // 4)
+            burst_length = burst_length or max(1, args.duration // 8)
+        config = ServiceConfig(
+            devices=args.devices,
+            seed=args.seed,
+            compromise=args.compromise,
+            duration_cycles=args.duration,
+            rate_per_kcycle=args.rate,
+            burst_every=burst_every,
+            burst_length=burst_length,
+            burst_multiplier=args.burst,
+            storm_up_mean=args.storm_up,
+            storm_down_mean=args.storm_down,
+            drop_rate=args.drop_rate,
+            delay_min=args.delay_min,
+            delay_max=args.delay_max,
+            timeout_cycles=args.timeout_cycles,
+            tick_cycles=args.tick_cycles,
+            queue_capacity=args.queue,
+            batch_max=args.batch_max,
+            pipeline_depth=args.pipeline,
+        )
+    except FleetError as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    report = run_service(config, workers=args.workers)
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(format_serve_report(report))
+    return EXIT_OK if report["ok"] else EXIT_FINDINGS
+
+
 def _cmd_faults(args) -> int:
     from repro.errors import FaultError, FleetError
     from repro.faults import CampaignConfig, format_campaign, run_campaign
@@ -298,6 +349,62 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--json", action="store_true",
                        help="emit the machine-readable report")
     fleet.set_defaults(func=_cmd_fleet)
+    serve = sub.add_parser(
+        "serve",
+        help="run the attestation service under seeded open-loop load "
+             "(exit 0 all verdicts as expected, 1 otherwise)",
+    )
+    serve.add_argument("--devices", type=int, default=8,
+                       help="fleet size (default: 8)")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="seed for arrivals, nonces, faults, storms "
+                            "and compromise choice")
+    serve.add_argument("--compromise", type=int, default=1,
+                       help="devices to tamper post-boot (default: 1)")
+    serve.add_argument("--duration", type=int, default=60_000,
+                       help="load horizon in simulated cycles "
+                            "(default: 60000); the service then drains")
+    serve.add_argument("--rate", type=float, default=2.0,
+                       help="mean arrivals per 1000 cycles (default: 2.0)")
+    serve.add_argument("--burst", type=float, default=1.0,
+                       help="burst-window rate multiplier (default: 1.0 "
+                            "= no bursts; > 1 enables burst trains)")
+    serve.add_argument("--burst-every", type=int, default=0,
+                       help="cycles between burst-window starts "
+                            "(default: duration/4 when --burst > 1)")
+    serve.add_argument("--burst-length", type=int, default=0,
+                       help="burst window length in cycles "
+                            "(default: duration/8 when --burst > 1)")
+    serve.add_argument("--storm-up", type=int, default=0,
+                       help="flap storm: mean cycles up between outages "
+                            "(0 = no storm)")
+    serve.add_argument("--storm-down", type=int, default=0,
+                       help="flap storm: mean cycles down per outage")
+    serve.add_argument("--drop-rate", type=float, default=0.0,
+                       help="per-link message loss probability")
+    serve.add_argument("--delay-min", type=int, default=0,
+                       help="minimum link delay in cycles")
+    serve.add_argument("--delay-max", type=int, default=256,
+                       help="maximum link delay in cycles")
+    serve.add_argument("--timeout-cycles", type=int, default=8192,
+                       help="challenge expiry in cycles (no retries in "
+                            "open-loop mode; losses are measured)")
+    serve.add_argument("--tick-cycles", type=int, default=256,
+                       help="simulated cycles per server tick")
+    serve.add_argument("--queue", type=int, default=64,
+                       help="admission queue capacity; overflow is shed")
+    serve.add_argument("--batch-max", type=int, default=8,
+                       help="max quotes per verification batch")
+    serve.add_argument("--pipeline", type=int, default=2,
+                       help="modeled verifier pipeline lanes (part of "
+                            "the simulation, changes the report)")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="worker processes for the quote checks "
+                            "(wall clock only; the report is identical "
+                            "for any worker count)")
+    serve.add_argument("--json", action="store_true",
+                       help="emit the machine-readable report")
+    serve.set_defaults(func=_cmd_serve)
     faults = sub.add_parser(
         "faults",
         help="run the seeded fault-injection campaign (exit 0 all "

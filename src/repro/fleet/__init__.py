@@ -16,7 +16,13 @@ the single-platform simulator out to a fleet:
   into worker-count-independent shards, each hydrated from the encoded
   golden snapshot on a process pool, with an order-independent merge;
 * :mod:`repro.fleet.service` — the one-call experiment: boot one
-  golden image, snapshot-clone N devices, tamper some, attest all.
+  golden image, snapshot-clone N devices, tamper some, attest all;
+* :mod:`repro.fleet.loadgen` — seeded open-loop traffic: Poisson
+  arrivals, burst trains, flap storms, all pure functions of the seed;
+* :mod:`repro.fleet.server` — the long-running asyncio attestation
+  service: devices stream quotes in, a bounded admission queue feeds
+  pipelined batch verification on the process pool, and the
+  ``repro.serve/1`` report is byte-identical per seed.
 """
 
 from repro.fleet.device import FleetDevice
@@ -25,14 +31,28 @@ from repro.fleet.executor import (
     RetryPolicy,
     run_resilient,
 )
+from repro.fleet.loadgen import (
+    Arrival,
+    LoadProfile,
+    build_schedule,
+    storm_windows,
+)
 from repro.fleet.metrics import Counter, Histogram, MetricsRegistry
 from repro.fleet.parallel import (
     ENGINES,
     ExecutionPlan,
+    QuoteCheckBatch,
     ShardTask,
     run_shard,
     run_shards,
     shard_ids,
+    verify_quote_batch,
+)
+from repro.fleet.server import (
+    AttestationService,
+    ServiceConfig,
+    format_serve_report,
+    run_service,
 )
 from repro.fleet.service import (
     FleetConfig,
@@ -60,6 +80,8 @@ from repro.fleet.verifier import (
 )
 
 __all__ = [
+    "Arrival",
+    "AttestationService",
     "COMPROMISED",
     "Counter",
     "DeviceVerdict",
@@ -72,23 +94,31 @@ __all__ = [
     "HEALTHY",
     "Histogram",
     "InProcessTransport",
+    "LoadProfile",
     "Message",
     "MetricsRegistry",
     "PreparedRun",
+    "QuoteCheckBatch",
     "RecoveryLog",
     "RetryPolicy",
+    "ServiceConfig",
     "ShardTask",
     "TransportStats",
     "UNRESPONSIVE",
     "build_fleet",
+    "build_schedule",
     "device_key",
     "execute_run",
     "flap_windows",
     "format_report",
+    "format_serve_report",
     "prepare_run",
     "run_fleet",
     "run_resilient",
+    "run_service",
     "run_shard",
     "run_shards",
     "shard_ids",
+    "storm_windows",
+    "verify_quote_batch",
 ]

@@ -60,6 +60,37 @@ class Histogram:
             rank = max(1, -(-len(ordered) * pct // 100))  # ceil
             return ordered[int(rank) - 1]
 
+    @property
+    def p50(self) -> int:
+        return self.percentile(50)
+
+    @property
+    def p95(self) -> int:
+        return self.percentile(95)
+
+    @property
+    def p99(self) -> int:
+        return self.percentile(99)
+
+    def percentiles(self, pcts: tuple[float, ...] = (50, 95, 99)) -> dict:
+        """``{"p50": ..., "p95": ..., "p99": ...}`` in one sort.
+
+        One snapshot of the observations serves every requested
+        percentile, so the answers are mutually consistent even while
+        other threads keep observing.
+        """
+        with self._lock:
+            ordered = sorted(self._values)
+        result = {}
+        for pct in pcts:
+            key = f"p{pct:g}"
+            if not ordered:
+                result[key] = 0
+                continue
+            rank = max(1, -(-len(ordered) * pct // 100))  # ceil
+            result[key] = ordered[int(rank) - 1]
+        return result
+
     def summary(self) -> dict:
         with self._lock:
             values = sorted(self._values)

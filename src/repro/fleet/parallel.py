@@ -289,6 +289,49 @@ def run_shard(task: ShardTask) -> dict:
 
 
 # ---------------------------------------------------------------------------
+# Quote-check batches.  The attestation *service* (repro.fleet.server)
+# doesn't ship whole shards to workers — devices live in the serving
+# process — but it does fan the MAC verification of admitted quotes
+# out to the same process pool.  A batch is plain picklable data and
+# its check is a pure function, so results are byte-identical whether
+# a batch runs on a worker or inline, and worker count can never
+# change a verdict.
+
+
+@dataclass(frozen=True)
+class QuoteCheckBatch:
+    """One pipelined verification batch, as plain picklable data.
+
+    ``items`` rows are ``(device_id, seq, nonce, quote, key)``;
+    ``expected_rows`` is the golden image's ``(name_tag, digest)``
+    table shared by every quote in the batch.
+    """
+
+    batch_index: int
+    expected_rows: tuple[tuple[int, bytes], ...]
+    items: tuple[tuple[int, int, bytes, bytes, bytes], ...]
+
+
+def verify_quote_batch(batch: QuoteCheckBatch) -> tuple[bool, ...]:
+    """Check every quote in the batch; one verdict bool per item.
+
+    Pure function of the batch: recomputes each device's expected
+    quote (``MAC(key, nonce ‖ seq ‖ device_id ‖ expected_rows)``) and
+    compares in constant time.
+    """
+    from repro.crypto import constant_time_equal, mac
+    from repro.fleet.device import quote_material
+
+    rows = list(batch.expected_rows)
+    return tuple(
+        constant_time_equal(
+            quote, mac(key, quote_material(nonce, seq, device_id, rows))
+        )
+        for device_id, seq, nonce, quote, key in batch.items
+    )
+
+
+# ---------------------------------------------------------------------------
 # Parent side.
 
 

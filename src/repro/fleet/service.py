@@ -360,6 +360,38 @@ def run_fleet(
     return execute_run(prepare_run(config), plan)
 
 
+def _recovery_lines(recovery: dict) -> list[str]:
+    """Render ``execution.recovery`` so fault-tolerant runs are legible.
+
+    Shared by the batch fleet and the serving front-end: an undisturbed
+    run says so explicitly ("recovery: none"), a disturbed one
+    itemizes what it took — crashes, hangs, retries, rebuilds, the
+    deterministic backoff charge — and whether the pool degraded to
+    in-process execution.
+    """
+    if not recovery:
+        return []
+    if not recovery.get("recoveries"):
+        return ["recovery: none"]
+    lines = [
+        f"recovery: {recovery['recoveries']} event(s) — "
+        f"{recovery['worker_crash']} worker crash(es), "
+        f"{recovery['task_timeout']} timeout(s), "
+        f"{recovery['task_retry']} retry(ies), "
+        f"{recovery['pool_rebuild']} pool rebuild(s)"
+    ]
+    if recovery.get("backoff_cycles"):
+        lines.append(
+            f"recovery backoff: {recovery['backoff_cycles']} "
+            f"simulated cycle(s)"
+        )
+    if recovery.get("degraded"):
+        lines.append(
+            "recovery degraded: pool abandoned, survivors ran in-process"
+        )
+    return lines
+
+
 def format_report(report: dict) -> str:
     """Human-readable rendering of a ``run_fleet`` report."""
     lines = []
@@ -375,16 +407,7 @@ def format_report(report: dict) -> str:
             f"{execution['shards']} shard(s) of <= "
             f"{execution['shard_size']}, {execution['engine']} engine"
         )
-        recovery = execution.get("recovery", {})
-        if recovery.get("recoveries"):
-            lines.append(
-                f"recovery: {recovery['recoveries']} event(s) — "
-                f"{recovery['worker_crash']} worker crash(es), "
-                f"{recovery['task_timeout']} timeout(s), "
-                f"{recovery['task_retry']} retry(ies), "
-                f"{recovery['pool_rebuild']} pool rebuild(s), "
-                f"degraded={bool(recovery['degraded'])}"
-            )
+        lines.extend(_recovery_lines(execution.get("recovery", {})))
     lines.append(
         f"image: {', '.join(report['image']['modules'])} "
         f"({report['image']['prom_bytes']} PROM bytes)"

@@ -60,6 +60,44 @@ class TestHistogram:
         summary = histogram.summary()
         assert summary["p50"] == summary["p95"] == summary["p99"] == 7
 
+    def test_percentile_properties(self):
+        histogram = Histogram("h")
+        for value in range(1, 101):
+            histogram.observe(value)
+        assert histogram.p50 == 50
+        assert histogram.p95 == 95
+        assert histogram.p99 == 99
+
+    def test_percentile_properties_empty(self):
+        histogram = Histogram("h")
+        assert histogram.p50 == histogram.p95 == histogram.p99 == 0
+
+    def test_percentile_properties_match_summary(self):
+        histogram = Histogram("h")
+        for value in (3, 1, 4, 1, 5, 9, 2, 6):
+            histogram.observe(value)
+        summary = histogram.summary()
+        assert histogram.p50 == summary["p50"]
+        assert histogram.p95 == summary["p95"]
+        assert histogram.p99 == summary["p99"]
+
+    def test_percentiles_batch(self):
+        histogram = Histogram("h")
+        for value in range(1, 1001):
+            histogram.observe(value)
+        assert histogram.percentiles() == {
+            "p50": 500, "p95": 950, "p99": 990,
+        }
+        # Fractional percentiles format without trailing zeros.
+        assert histogram.percentiles((99.9, 100)) == {
+            "p99.9": 999, "p100": 1000,
+        }
+
+    def test_percentiles_batch_empty(self):
+        assert Histogram("h").percentiles() == {
+            "p50": 0, "p95": 0, "p99": 0,
+        }
+
 
 class TestRegistry:
     def test_get_or_create_identity(self):

@@ -199,6 +199,105 @@ class TestPartitions:
         assert outcomes(True) == outcomes(False)
 
 
+class TestPollEdgeCases:
+    """Delivery ordering and partition accounting around delays."""
+
+    def test_poll_orders_by_deliver_at_not_send_order(self):
+        """A later send with a shorter effective delay arrives first."""
+        transport = InProcessTransport(
+            fault_model=FaultModel(delay_min=100, delay_max=100)
+        )
+        transport.register(0)
+        # seq 1 sent at 100 -> delivers 200; seq 2 sent at 50 -> 150.
+        transport.send(challenge(seq=1, sent_at=100))
+        transport.send(challenge(seq=2, sent_at=50))
+        delivered = transport.poll("device", 0, now=250)
+        assert [m.seq for m in delivered] == [2, 1]
+        assert [m.deliver_at for m in delivered] == [150, 200]
+
+    def test_equal_deliver_at_breaks_ties_by_seq(self):
+        transport = InProcessTransport()
+        transport.register(0)
+        for seq in (3, 1, 2):
+            transport.send(challenge(seq=seq, sent_at=10))
+        delivered = transport.poll("device", 0, now=10)
+        assert [m.seq for m in delivered] == [1, 2, 3]
+
+    def test_delayed_message_crosses_into_a_flap_window(self):
+        """Partitions gate the *send* instant only: a message already
+        in flight when the window opens is delivered inside it."""
+        transport = InProcessTransport(
+            fault_model=FaultModel(
+                delay_min=50, delay_max=50,
+                partitions=((100, 200),),
+            )
+        )
+        transport.register(0)
+        assert transport.send(challenge(seq=1, sent_at=90))  # lands 140
+        delivered = transport.poll("device", 0, now=140)
+        assert [m.seq for m in delivered] == [1]
+        assert transport.stats.partition_dropped == 0
+
+    def test_partition_opening_mid_delay_does_not_backdate_drops(self):
+        """Accounting when a window opens between send and delivery:
+        only sends *inside* the window count as partition drops."""
+        transport = InProcessTransport(
+            fault_model=FaultModel(
+                delay_min=50, delay_max=50,
+                partitions=((100, 200),),
+            )
+        )
+        transport.register(0)
+        assert transport.send(challenge(seq=1, sent_at=90))    # in flight
+        assert not transport.send(challenge(seq=2, sent_at=100))  # boundary
+        assert not transport.send(challenge(seq=3, sent_at=150))  # inside
+        assert transport.send(challenge(seq=4, sent_at=200))   # end is open
+        stats = transport.stats
+        assert stats.partition_dropped == 2
+        assert stats.dropped == 2
+        assert stats.in_flight == 2
+        delivered = transport.poll("device", 0, now=1000)
+        assert [m.seq for m in delivered] == [1, 4]
+        assert transport.stats.delivered == 2
+        assert transport.stats.in_flight == 0
+
+    def test_delayed_ordering_across_flap_window_boundaries(self):
+        """Messages sent in the gaps of a flap schedule, with delays
+        pushing delivery across window boundaries, drain in deliver_at
+        order and the drop accounting matches the windows exactly."""
+        import random
+
+        windows = flap_windows(
+            random.Random("poll-edge"),
+            horizon=10_000, up_mean=1000, down_mean=400,
+        )
+        transport = InProcessTransport(
+            fault_model=FaultModel(
+                delay_min=300, delay_max=300, partitions=windows,
+            )
+        )
+        transport.register(0)
+        model = transport.fault_model
+        eaten = 0
+        seq = 0
+        for sent_at in range(0, 10_000, 175):
+            seq += 1
+            survived = transport.send(challenge(seq=seq, sent_at=sent_at))
+            assert survived == (not model.partitioned(sent_at))
+            eaten += not survived
+        assert 0 < eaten < seq  # the schedule actually bit
+        assert transport.stats.partition_dropped == eaten
+        delivered = transport.poll("device", 0, now=1 << 30)
+        assert len(delivered) == seq - eaten
+        deliver_ats = [m.deliver_at for m in delivered]
+        assert deliver_ats == sorted(deliver_ats)
+        # Some survivors were delivered *inside* a window they were
+        # sent before — in flight when the link went down.
+        assert any(
+            model.partitioned(m.deliver_at) for m in delivered
+        ), "no delivery crossed into an outage window"
+
+
 class TestFlapWindows:
     def _rng(self):
         import random

@@ -1,0 +1,107 @@
+"""Tests for the benchmark harness helpers (host-core detection).
+
+``BENCH_fleet_scale.json`` once recorded ``host_cores: 1`` from a bare
+``os.cpu_count()`` inside a sandbox, silently disabling the scaling
+floor.  :func:`benchmarks._util.detect_host_cores` exists so that can
+never happen silently again: every signal lands in the evidence dict
+and the floor decision uses the minimum of the positive ones.
+"""
+
+import os
+
+import pytest
+
+from benchmarks._util import (
+    _cgroup_cpu_quota,
+    detect_host_cores,
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_env_override(monkeypatch):
+    monkeypatch.delenv("REPRO_HOST_CORES", raising=False)
+
+
+class TestCgroupQuota:
+    def _quota(self, tmp_path, text):
+        path = tmp_path / "cpu.max"
+        path.write_text(text)
+        return _cgroup_cpu_quota(str(path))
+
+    def test_bounded_quota_rounds_up(self, tmp_path):
+        assert self._quota(tmp_path, "200000 100000\n") == 2
+        assert self._quota(tmp_path, "150000 100000\n") == 2  # ceil
+        assert self._quota(tmp_path, "50000 100000\n") == 1  # floor of 1
+
+    def test_unbounded_quota_is_zero(self, tmp_path):
+        assert self._quota(tmp_path, "max 100000\n") == 0
+
+    def test_default_period(self, tmp_path):
+        assert self._quota(tmp_path, "400000\n") == 4
+
+    def test_unreadable_or_garbage_is_zero(self, tmp_path):
+        assert _cgroup_cpu_quota(str(tmp_path / "missing")) == 0
+        assert self._quota(tmp_path, "") == 0
+        assert self._quota(tmp_path, "not a number 100000\n") == 0
+
+
+class TestDetectHostCores:
+    def test_evidence_shape_on_this_host(self):
+        cores = detect_host_cores()
+        assert set(cores) == {
+            "cpu_count", "affinity", "cgroup_quota", "usable", "source",
+        }
+        assert cores["usable"] >= 1
+        assert cores["source"] == "detected"
+
+    def test_usable_is_the_minimum_positive_signal(
+        self, monkeypatch, tmp_path
+    ):
+        monkeypatch.setattr(os, "cpu_count", lambda: 16)
+        monkeypatch.setattr(
+            os, "sched_getaffinity", lambda pid: {0, 1}, raising=False
+        )
+        quota = tmp_path / "cpu.max"
+        quota.write_text("800000 100000\n")
+        cores = detect_host_cores(cgroup_path=str(quota))
+        assert cores == {
+            "cpu_count": 16,
+            "affinity": 2,
+            "cgroup_quota": 8,
+            "usable": 2,
+            "source": "detected",
+        }
+
+    def test_affinity_tighter_than_cpu_count_wins(self, monkeypatch):
+        """The original bug, inverted: cpu_count says many, the mask
+        says few — the floor decision must see few."""
+        monkeypatch.setattr(os, "cpu_count", lambda: 64)
+        monkeypatch.setattr(
+            os, "sched_getaffinity", lambda pid: {0}, raising=False
+        )
+        cores = detect_host_cores(cgroup_path="/nonexistent/cpu.max")
+        assert cores["usable"] == 1
+
+    def test_no_signals_falls_back_to_one(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: None)
+        monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+        cores = detect_host_cores(cgroup_path="/nonexistent/cpu.max")
+        assert cores == {
+            "cpu_count": 0,
+            "affinity": 0,
+            "cgroup_quota": 0,
+            "usable": 1,
+            "source": "detected",
+        }
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_HOST_CORES", "12")
+        cores = detect_host_cores(cgroup_path="/nonexistent/cpu.max")
+        assert cores["usable"] == 12
+        assert cores["source"] == "env"
+
+    def test_bad_env_override_ignored(self, monkeypatch):
+        monkeypatch.setenv("REPRO_HOST_CORES", "lots")
+        assert detect_host_cores()["source"] == "detected"
+        monkeypatch.setenv("REPRO_HOST_CORES", "0")
+        assert detect_host_cores()["source"] == "detected"

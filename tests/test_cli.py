@@ -197,6 +197,64 @@ class TestFleetResilienceFlags:
         ) == EXIT_USAGE
 
 
+class TestServe:
+    SMALL = [
+        "serve", "--devices", "3", "--seed", "3",
+        "--duration", "8000", "--rate", "3.0",
+        "--timeout-cycles", "4096",
+    ]
+
+    def test_text_report(self, capsys):
+        assert main(self.SMALL) == EXIT_OK
+        out = capsys.readouterr().out
+        assert "serve: 3 devices" in out
+        assert "admission:" in out
+        assert "verdict: OK" in out
+
+    def test_json_report(self, capsys):
+        assert main(self.SMALL + ["--json"]) == EXIT_OK
+        report = json.loads(capsys.readouterr().out)
+        assert report["schema"] == "repro.serve/1"
+        assert report["ok"] is True
+        assert report["lint"]["ok"] is True
+        assert report["latency"]["count"] > 0
+        assert report["execution"]["workers"] == 1
+
+    def test_worker_count_never_changes_the_report(self, capsys):
+        assert main(self.SMALL + ["--json"]) == EXIT_OK
+        one = json.loads(capsys.readouterr().out)
+        assert main(self.SMALL + ["--workers", "2", "--json"]) == EXIT_OK
+        two = json.loads(capsys.readouterr().out)
+        assert two["execution"]["workers"] == 2
+        one.pop("execution")
+        two.pop("execution")
+        assert one == two
+
+    def test_burst_multiplier_alone_derives_windows(self, capsys):
+        assert main(self.SMALL + ["--burst", "4", "--json"]) == EXIT_OK
+        report = json.loads(capsys.readouterr().out)
+        assert report["load"]["burst_windows"] == [
+            [2000, 3000], [4000, 5000], [6000, 7000],
+        ]
+        assert report["config"]["burst_multiplier"] == 4.0
+
+    @pytest.mark.parametrize(
+        "extra",
+        [
+            ["--workers", "0"],
+            ["--queue", "0"],
+            ["--rate", "0"],
+            ["--burst", "0.5", "--burst-every", "1000",
+             "--burst-length", "500"],
+            ["--storm-up", "1000"],  # missing --storm-down
+            ["--compromise", "9"],
+        ],
+    )
+    def test_bad_serve_values_are_usage_errors(self, extra, capsys):
+        assert main(self.SMALL + extra) == EXIT_USAGE
+        assert "serve:" in capsys.readouterr().err
+
+
 class TestFaults:
     def test_campaign_passes_and_emits_json(self, capsys):
         assert main([
