@@ -5,7 +5,9 @@ experiment's wall clock is bounded by one *shard*, not the whole
 fleet.  This benchmark pins both halves of that claim:
 
 * **determinism** — the report (minus the ``execution`` section) is
-  byte-identical for every worker count, always asserted;
+  byte-identical for every worker count, always asserted; the
+  shared-memory blob path is additionally diffed against the
+  pickle-per-shard path at the highest worker count;
 * **throughput** — 4 workers clear ``SPEEDUP_FLOOR`` (2x) over 1
   worker on a >= 64-device fleet.
 
@@ -19,15 +21,26 @@ enforced and on how many cores.
 Only ``execute_run`` is timed: the golden boot, snapshot encode and
 expected-measurement derivation happen once in ``prepare_run`` and are
 shared by every worker count, so the comparison isolates executor
-throughput.
+throughput.  Every timed run also records the per-stage wall-clock
+breakdown (blob ship, pool spin-up, worker-side hydrate/execute,
+coordinator merge), so a sub-1.0 speedup is explained by its stage,
+not guessed at.
+
+The **large** configuration provisions ``FLEET_SCALE_LARGE_DEVICES``
+devices (default 10000) in one adaptive-shard shared-memory run and
+reports devices/sec as the headline.  Device states are lazy
+zero-page-shared snapshots — the ~1.4 MB/device hydrated platforms
+exist only transiently inside each shard — so six-figure fleets fit in
+RAM.  Set the knob to 0 to skip it.
 
 Scale knobs (so CI smoke runs stay quick):
 
-    FLEET_SCALE_DEVICES    fleet size                   (default 64)
-    FLEET_SCALE_ROUNDS     attestation rounds           (default 1)
-    FLEET_SCALE_STEP       guest cycles between rounds  (default 2000)
-    FLEET_SCALE_WORKERS    comma-separated worker counts (default 1,2,4)
-    FLEET_SCALE_ENFORCE    1 = assert the floor regardless of cores
+    FLEET_SCALE_DEVICES        fleet size                   (default 64)
+    FLEET_SCALE_ROUNDS         attestation rounds           (default 1)
+    FLEET_SCALE_STEP           guest cycles between rounds  (default 2000)
+    FLEET_SCALE_WORKERS        comma-separated worker counts (default 1,2,4)
+    FLEET_SCALE_ENFORCE        1 = assert the floor regardless of cores
+    FLEET_SCALE_LARGE_DEVICES  large-config fleet size      (default 10000)
 """
 
 import json
@@ -46,6 +59,9 @@ ROUNDS = int(os.environ.get("FLEET_SCALE_ROUNDS", "1"))
 STEP_CYCLES = int(os.environ.get("FLEET_SCALE_STEP", "2000"))
 WORKER_COUNTS = tuple(
     int(w) for w in os.environ.get("FLEET_SCALE_WORKERS", "1,2,4").split(",")
+)
+LARGE_DEVICES = int(
+    os.environ.get("FLEET_SCALE_LARGE_DEVICES", "10000")
 )
 SPEEDUP_FLOOR = 2.0
 FLOOR_WORKERS = 4
@@ -67,6 +83,19 @@ def _floor_enforced() -> tuple[bool, dict]:
     return cores["usable"] >= ENFORCE_CORES, cores
 
 
+def _rounded_stages(stages: dict) -> dict:
+    return {key: round(value, 3) for key, value in sorted(stages.items())}
+
+
+def _timed_run(prepared, plan) -> tuple[dict, float, dict]:
+    """One timed ``execute_run``; returns (report, seconds, stages)."""
+    stages: dict = {}
+    started = time.perf_counter()
+    report = execute_run(prepared, plan, stage_timings=stages)
+    elapsed = time.perf_counter() - started
+    return report, elapsed, stages
+
+
 def test_fleet_scale():
     """Worker-count determinism always; 2x at 4 workers when cores allow."""
     config = FleetConfig(
@@ -79,9 +108,7 @@ def test_fleet_scale():
     baseline_json = None
     for workers in WORKER_COUNTS:
         plan = ExecutionPlan(workers=workers, shard_size=16)
-        started = time.perf_counter()
-        report = execute_run(prepared, plan)
-        elapsed = time.perf_counter() - started
+        report, elapsed, stages = _timed_run(prepared, plan)
         assert report["ok"] is True
         execution = report.pop("execution")
         assert execution["workers"] == workers
@@ -95,9 +122,27 @@ def test_fleet_scale():
         results[str(workers)] = {
             "workers": workers,
             "shards": execution["shards"],
+            "shared_blob": execution["shared_blob"],
             "seconds": round(elapsed, 3),
             "devices_per_sec": round(DEVICES * ROUNDS / elapsed, 1),
+            "stages": _rounded_stages(stages),
         }
+
+    # The zero-copy blob path must be invisible in the payload: rerun
+    # the highest worker count with the blob pickled into every shard
+    # task and diff byte for byte.
+    repickle_workers = max(WORKER_COUNTS)
+    repickle_plan = ExecutionPlan(
+        workers=repickle_workers, shard_size=16, share_blob=False
+    )
+    repickle_report, _elapsed, _stages = _timed_run(
+        prepared, repickle_plan
+    )
+    repickle_execution = repickle_report.pop("execution")
+    assert repickle_execution["shared_blob"] is False
+    assert json.dumps(repickle_report, sort_keys=True) == baseline_json, (
+        "shared-memory and re-pickle blob paths diverged"
+    )
 
     base = results[str(WORKER_COUNTS[0])]["seconds"]
     for row in results.values():
@@ -117,6 +162,16 @@ def test_fleet_scale():
             f"{row['seconds']:>9.3f}{row['devices_per_sec']:>11.1f}"
             f"{row['speedup']:>8.2f}x"
         )
+    for row in results.values():
+        stages = row["stages"]
+        lines.append(
+            f"  stages w={row['workers']}: "
+            f"ship={stages['ship_s']:.3f}s "
+            f"spinup={stages['pool_spinup_s']:.3f}s "
+            f"hydrate={stages['hydrate_s']:.3f}s "
+            f"execute={stages['shard_execute_s']:.3f}s "
+            f"merge={stages['merge_s']:.3f}s"
+        )
     if enforced:
         floor_note = "enforced"
     else:
@@ -130,7 +185,20 @@ def test_fleet_scale():
         f"  floor: {SPEEDUP_FLOOR:.0f}x at {FLOOR_WORKERS} workers "
         f"({floor_note})"
     )
-    lines.append("  determinism: reports byte-identical across workers")
+    lines.append(
+        "  determinism: reports byte-identical across workers "
+        "and across shared-memory vs re-pickled blob shipping"
+    )
+
+    large = _run_large(cores)
+    if large is not None:
+        lines.append(
+            f"  large: {large['devices']} devices, "
+            f"{large['workers']} worker(s), {large['shards']} "
+            f"adaptive shard(s) of <= {large['shard_size']}, "
+            f"{large['seconds']:.1f}s — "
+            f"{large['devices_per_sec']:.1f} devices/s"
+        )
     write_artifact("fleet_scale.txt", "\n".join(lines))
 
     write_bench_json(
@@ -145,7 +213,9 @@ def test_fleet_scale():
             "host_cores": cores["usable"],
             "host_cores_evidence": cores,
             "deterministic_across_workers": True,
+            "deterministic_shm_vs_repickle": True,
             "workloads": results,
+            "large": large,
         },
     )
 
@@ -155,3 +225,37 @@ def test_fleet_scale():
             f"{FLOOR_WORKERS}-worker speedup only {speedup:.2f}x "
             f"(floor {SPEEDUP_FLOOR}x)"
         )
+
+
+def _run_large(cores: dict) -> dict | None:
+    """The headline run: a five-figure fleet through one warm pool.
+
+    One configuration, sized by ``FLEET_SCALE_LARGE_DEVICES``: shared
+    blob, warm pool, adaptive shards, no guest stepping — pure
+    hydrate-attest-merge throughput.  Clone states are zero-page
+    placeholders until a shard hydrates them, and each worker holds at
+    most one shard's platforms at a time, so peak RAM is
+    O(shard_size x clone), never O(fleet).
+    """
+    if LARGE_DEVICES < 1:
+        return None
+    workers = max(2, min(FLOOR_WORKERS, cores["usable"]))
+    config = FleetConfig(
+        devices=LARGE_DEVICES, rounds=1, seed=11, compromise=2,
+        delay_min=0, delay_max=512, step_cycles=0,
+    )
+    prepared = prepare_run(config)
+    plan = ExecutionPlan(workers=workers, shard_size=None)
+    report, elapsed, stages = _timed_run(prepared, plan)
+    assert report["ok"] is True
+    execution = report["execution"]
+    assert execution["shared_blob"] is True
+    return {
+        "devices": LARGE_DEVICES,
+        "workers": workers,
+        "shards": execution["shards"],
+        "shard_size": execution["shard_size"],
+        "seconds": round(elapsed, 3),
+        "devices_per_sec": round(LARGE_DEVICES / elapsed, 1),
+        "stages": _rounded_stages(stages),
+    }

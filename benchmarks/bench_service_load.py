@@ -33,7 +33,11 @@ import json
 import os
 import time
 
-from benchmarks._util import write_artifact, write_bench_json
+from benchmarks._util import (
+    detect_host_cores,
+    write_artifact,
+    write_bench_json,
+)
 from repro.fleet import ServiceConfig, run_service
 
 DURATION = int(os.environ.get("SERVICE_BENCH_DURATION", "60000"))
@@ -126,9 +130,14 @@ def test_service_load():
         run_service(_config({}), workers=other_workers)
     ), "report changed with worker count"
 
+    # Host-core evidence (affinity/quota aware, ``REPRO_HOST_CORES``
+    # overridable): quotes/sec from a quota-capped runner must not
+    # read like a full-width host's.
+    cores = detect_host_cores()
     lines = [
         f"attestation service, {DEVICES} devices, horizon {DURATION} "
-        f"cycles, base rate {RATE}/kcycle, {WORKERS} worker(s)",
+        f"cycles, base rate {RATE}/kcycle, {WORKERS} worker(s), "
+        f"{cores['usable']} usable core(s) ({cores['source']})",
         f"  {'scenario':>11}{'arrivals':>9}{'checked':>8}{'shed':>6}"
         f"{'timeout':>8}{'q/s':>8}{'p50':>7}{'p95':>7}{'p99':>7}",
     ]
@@ -157,6 +166,8 @@ def test_service_load():
             "rate_per_kcycle": RATE,
             "workers": WORKERS,
             "seed": SEED,
+            "host_cores": cores["usable"],
+            "host_cores_evidence": cores,
             "deterministic_across_workers": True,
             "workloads": workloads,
         },

@@ -168,8 +168,12 @@ def _cmd_fleet(args) -> int:
     try:
         plan = ExecutionPlan(
             workers=args.workers,
-            shard_size=args.shard_size,
+            shard_size=(
+                None if args.adaptive_shards else args.shard_size
+            ),
             engine=args.engine,
+            share_blob=not args.no_shared_blob,
+            reuse_pool=not args.no_pool_reuse,
         )
         config = FleetConfig(
             devices=args.devices,
@@ -236,7 +240,11 @@ def _cmd_serve(args) -> int:
     except FleetError as exc:
         print(f"serve: {exc}", file=sys.stderr)
         return EXIT_USAGE
-    report = run_service(config, workers=args.workers)
+    report = run_service(
+        config,
+        workers=args.workers,
+        reuse_pool=not args.no_pool_reuse,
+    )
     if args.json:
         print(json.dumps(report, indent=2))
     else:
@@ -343,9 +351,19 @@ def build_parser() -> argparse.ArgumentParser:
                             "any worker count)")
     fleet.add_argument("--shard-size", type=int, default=16,
                        help="devices per shard (default: 16)")
+    fleet.add_argument("--adaptive-shards", action="store_true",
+                       help="size shards from measured per-device "
+                            "cost instead of --shard-size")
     fleet.add_argument("--engine", choices=("fast", "reference"),
                        default="fast",
                        help="execution engine for hydrated clones")
+    fleet.add_argument("--no-shared-blob", action="store_true",
+                       help="pickle the golden blob into every shard "
+                            "task instead of shipping it once via "
+                            "shared memory (identical report)")
+    fleet.add_argument("--no-pool-reuse", action="store_true",
+                       help="build a fresh worker pool instead of "
+                            "reusing the warm one (identical report)")
     fleet.add_argument("--json", action="store_true",
                        help="emit the machine-readable report")
     fleet.set_defaults(func=_cmd_fleet)
@@ -402,6 +420,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes for the quote checks "
                             "(wall clock only; the report is identical "
                             "for any worker count)")
+    serve.add_argument("--no-pool-reuse", action="store_true",
+                       help="build a fresh worker pool instead of "
+                            "reusing the warm one (identical report)")
     serve.add_argument("--json", action="store_true",
                        help="emit the machine-readable report")
     serve.set_defaults(func=_cmd_serve)

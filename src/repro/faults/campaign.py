@@ -490,15 +490,20 @@ def run_campaign(
     log if you want to observe what the executor had to do.
     """
     tasks = build_tasks(config)
-    results = run_resilient(
+    # Streamed collection: each scenario result is folded the moment
+    # it completes (completion order), dropping the executor's own
+    # ordered-results copy; the final sort restores name order.
+    scenarios: list[dict] = []
+    run_resilient(
         run_scenario,
         tasks,
         workers,
         task_ids=[task.name for task in tasks],
         policy=policy,
         log=recovery,
+        consume=lambda _index, result: scenarios.append(result),
     )
-    scenarios = sorted(results, key=lambda r: r["name"])
+    scenarios.sort(key=lambda r: r["name"])
     violations = sum(len(r["violations"]) for r in scenarios)
     return {
         "schema": SCHEMA,

@@ -14,7 +14,12 @@ the single-platform simulator out to a fleet:
   exported as JSON;
 * :mod:`repro.fleet.parallel` — the sharded executor: the fleet cut
   into worker-count-independent shards, each hydrated from the encoded
-  golden snapshot on a process pool, with an order-independent merge;
+  golden snapshot on a process pool, with an order-independent
+  streaming merge (:class:`~repro.fleet.parallel.ShardMerger`);
+* :mod:`repro.fleet.shm` — the golden blob shipped once per run via
+  POSIX shared memory with guaranteed unlink;
+* :mod:`repro.fleet.pool` — persistent warm worker pools and
+  measured-cost adaptive shard sizing;
 * :mod:`repro.fleet.service` — the one-call experiment: boot one
   golden image, snapshot-clone N devices, tamper some, attest all;
 * :mod:`repro.fleet.loadgen` — seeded open-loop traffic: Poisson
@@ -42,11 +47,23 @@ from repro.fleet.parallel import (
     ENGINES,
     ExecutionPlan,
     QuoteCheckBatch,
+    ShardMerger,
     ShardTask,
+    merge_shard_results,
     run_shard,
     run_shards,
     shard_ids,
     verify_quote_batch,
+)
+from repro.fleet.pool import (
+    CostModel,
+    PoolStats,
+    adaptive_shard_size,
+    cost_model,
+    discard_warm_pool,
+    get_warm_pool,
+    pool_stats,
+    shutdown_warm_pools,
 )
 from repro.fleet.server import (
     AttestationService,
@@ -64,6 +81,7 @@ from repro.fleet.service import (
     prepare_run,
     run_fleet,
 )
+from repro.fleet.shm import SharedBlob, SharedBlobRef, attach_ref
 from repro.fleet.transport import (
     FaultModel,
     InProcessTransport,
@@ -83,6 +101,7 @@ __all__ = [
     "Arrival",
     "AttestationService",
     "COMPROMISED",
+    "CostModel",
     "Counter",
     "DeviceVerdict",
     "ENGINES",
@@ -97,21 +116,32 @@ __all__ = [
     "LoadProfile",
     "Message",
     "MetricsRegistry",
+    "PoolStats",
     "PreparedRun",
     "QuoteCheckBatch",
     "RecoveryLog",
     "RetryPolicy",
     "ServiceConfig",
+    "SharedBlob",
+    "SharedBlobRef",
+    "ShardMerger",
     "ShardTask",
     "TransportStats",
     "UNRESPONSIVE",
+    "adaptive_shard_size",
+    "attach_ref",
     "build_fleet",
     "build_schedule",
+    "cost_model",
     "device_key",
+    "discard_warm_pool",
     "execute_run",
     "flap_windows",
     "format_report",
     "format_serve_report",
+    "get_warm_pool",
+    "merge_shard_results",
+    "pool_stats",
     "prepare_run",
     "run_fleet",
     "run_resilient",
@@ -119,6 +149,7 @@ __all__ = [
     "run_shard",
     "run_shards",
     "shard_ids",
+    "shutdown_warm_pools",
     "storm_windows",
     "verify_quote_batch",
 ]

@@ -13,7 +13,11 @@ goal demands:
    terminated), a fresh pool is built, and every unfinished task is
    resubmitted — results already collected are kept.  Because tasks
    are pure functions of their inputs, a retried task returns exactly
-   the bytes the first attempt would have.
+   the bytes the first attempt would have.  Healthy pools are *warm*
+   (:mod:`repro.fleet.pool`): acquired from a per-worker-count
+   registry and left running afterwards, so successive rounds,
+   ``execute_run`` calls and service batches never pay fork/import
+   spin-up again.
 3. **Degrade.**  When the pool keeps breaking
    (:attr:`RetryPolicy.max_pool_rebuilds` exceeded) or a single task
    keeps failing, the survivors run *in-process* — slower, but the
@@ -33,13 +37,13 @@ attempt count and the underlying cause — callers never see a raw
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures import TimeoutError as _FuturesTimeout
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 
 from repro.errors import FleetError, ShardExecutionError
 from repro.fleet.metrics import MetricsRegistry
+from repro.fleet.pool import discard_warm_pool, get_warm_pool
 
 # Recovery event kinds; each increments an ``executor_<kind>`` counter
 # and the aggregate ``executor_recoveries``.
@@ -172,7 +176,9 @@ def run_resilient(
     task_ids: list | None = None,
     policy: RetryPolicy | None = None,
     log: RecoveryLog | None = None,
-) -> list:
+    consume=None,
+    reuse_pool: bool = True,
+) -> list | None:
     """Run ``fn`` over every task; results in task order, or raise
     :class:`ShardExecutionError`.
 
@@ -180,6 +186,18 @@ def run_resilient(
     pure, picklable value — retries rely on re-execution being
     byte-identical.  ``workers == 1`` (or a single task) runs inline
     with the same retry bounds and no pool at all.
+
+    ``consume`` switches to **streaming** delivery: each result is
+    handed to ``consume(index, result)`` as soon as it completes
+    (completion order, not task order) and then dropped, so the
+    coordinator never holds more than the result being folded — the
+    return value is ``None``.  Folds must therefore be
+    order-independent, which every fleet merge is by construction.
+
+    ``reuse_pool`` (default) draws the pool from the warm registry in
+    :mod:`repro.fleet.pool` and leaves it running for the next call;
+    a crashed or hung pool is discarded from the registry before the
+    rebuild, so recovery semantics are unchanged.
     """
     if workers < 1:
         raise FleetError(f"workers must be >= 1: {workers}")
@@ -191,53 +209,92 @@ def run_resilient(
             f"{len(tasks)} task(s) but {len(ids)} task id(s)"
         )
 
-    results: dict[int, object] = {}
+    results: dict[int, object] | None = None if consume else {}
+
+    def _deliver(index: int, result) -> None:
+        if consume is not None:
+            consume(index, result)
+        else:
+            results[index] = result
+
     if workers == 1 or len(tasks) <= 1:
         for index, task in enumerate(tasks):
-            results[index] = _run_inline(
-                fn, task, ids[index], 0, policy, log
+            _deliver(
+                index, _run_inline(fn, task, ids[index], 0, policy, log)
             )
+        if consume is not None:
+            return None
         return [results[index] for index in range(len(tasks))]
 
     pending: dict[int, int] = {index: 0 for index in range(len(tasks))}
     rebuilds = 0
     while pending:
-        pool = ProcessPoolExecutor(max_workers=min(workers, len(pending)))
+        if reuse_pool:
+            pool = get_warm_pool(workers)
+        else:
+            pool = ProcessPoolExecutor(
+                max_workers=min(workers, len(pending))
+            )
         abandoned = False
         try:
-            futures = {
-                index: pool.submit(fn, tasks[index])
-                for index in sorted(pending)
-            }
-            for index in sorted(futures):
-                if abandoned:
-                    break
-                try:
-                    results[index] = futures[index].result(
-                        timeout=policy.timeout_s
-                    )
-                    del pending[index]
-                except _FuturesTimeout:
+            futures = {}
+            try:
+                for index in sorted(pending):
+                    futures[pool.submit(fn, tasks[index])] = index
+            except BrokenProcessPool:
+                # A warm pool's workers are already running, so a
+                # crashing task can break the pool while later tasks
+                # are still being submitted.
+                pending[index] += 1
+                log.record(WORKER_CRASH, ids[index], pending[index])
+                abandoned = True
+            not_done = set(futures)
+            while not_done and not abandoned:
+                done, not_done = wait(
+                    not_done,
+                    timeout=policy.timeout_s,
+                    return_when=FIRST_COMPLETED,
+                )
+                if not done:
+                    # No progress inside the per-task budget: the
+                    # earliest task still out is hung.
+                    index = min(futures[f] for f in not_done)
                     pending[index] += 1
                     log.record(TASK_TIMEOUT, ids[index], pending[index])
                     abandoned = True
-                except BrokenProcessPool as exc:
-                    pending[index] += 1
-                    log.record(WORKER_CRASH, ids[index], pending[index])
-                    abandoned = True
-                    del exc
-                except Exception as exc:
-                    # The task itself failed; the pool is still good.
-                    pending[index] += 1
-                    if pending[index] >= policy.max_attempts:
-                        raise ShardExecutionError(
-                            ids[index], pending[index], exc
-                        ) from exc
-                    log.record(TASK_RETRY, ids[index], pending[index])
+                    break
+                for future in sorted(done, key=lambda f: futures[f]):
+                    # Drop the future before folding: a completed
+                    # Future pins its result, and streaming merges
+                    # must not accumulate them behind our back.
+                    index = futures.pop(future)
+                    try:
+                        result = future.result()
+                    except BrokenProcessPool:
+                        pending[index] += 1
+                        log.record(
+                            WORKER_CRASH, ids[index], pending[index]
+                        )
+                        abandoned = True
+                        break
+                    except Exception as exc:
+                        # The task itself failed; the pool is good.
+                        pending[index] += 1
+                        if pending[index] >= policy.max_attempts:
+                            raise ShardExecutionError(
+                                ids[index], pending[index], exc
+                            ) from exc
+                        log.record(TASK_RETRY, ids[index], pending[index])
+                        continue
+                    _deliver(index, result)
+                    del pending[index]
+                    del result, future
         finally:
             if abandoned:
                 _abandon_pool(pool)
-            else:
+                if reuse_pool:
+                    discard_warm_pool(workers)
+            elif not reuse_pool:
                 pool.shutdown(wait=True)
         if not pending:
             break
@@ -247,9 +304,12 @@ def run_resilient(
                 # Pool is unrecoverable; finish the survivors inline.
                 log.record(DEGRADED, None, rebuilds)
                 for index in sorted(pending):
-                    results[index] = _run_inline(
-                        fn, tasks[index], ids[index],
-                        pending[index], policy, log,
+                    _deliver(
+                        index,
+                        _run_inline(
+                            fn, tasks[index], ids[index],
+                            pending[index], policy, log,
+                        ),
                     )
                 pending.clear()
                 break
@@ -262,9 +322,14 @@ def run_resilient(
             # now and keep the pool for the healthy remainder.
             for index in sorted(pending):
                 if pending[index] >= policy.max_attempts:
-                    results[index] = _run_inline(
-                        fn, tasks[index], ids[index],
-                        pending[index], policy, log,
+                    _deliver(
+                        index,
+                        _run_inline(
+                            fn, tasks[index], ids[index],
+                            pending[index], policy, log,
+                        ),
                     )
                     del pending[index]
+    if consume is not None:
+        return None
     return [results[index] for index in range(len(tasks))]

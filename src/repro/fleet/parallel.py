@@ -32,12 +32,15 @@ from __future__ import annotations
 
 import hashlib
 import os
+import time
 from dataclasses import dataclass
 
 from repro.errors import FleetError
 from repro.fleet.device import FleetDevice
 from repro.fleet.executor import RecoveryLog, RetryPolicy, run_resilient
 from repro.fleet.metrics import MetricsRegistry
+from repro.fleet.pool import _CRASH_ENV  # noqa: F401  (re-export)
+from repro.fleet.shm import SharedBlobRef, attach_ref
 from repro.fleet.transport import FaultModel, InProcessTransport
 from repro.fleet.verifier import FleetVerifier
 from repro.machine.snapcodec import decode_snapshot
@@ -55,19 +58,26 @@ class ExecutionPlan:
     """How a fleet run is executed (never *what* it computes).
 
     ``workers`` is the process count, ``shard_size`` the devices per
-    shard, ``engine`` the execution engine of the hydrated clones.
-    None of these may change verdicts or aggregated metrics — the
-    determinism tests hold the plan's knobs against each other.
+    shard (``None`` asks :func:`repro.fleet.pool.adaptive_shard_size`
+    to size shards from measured per-device cost), ``engine`` the
+    execution engine of the hydrated clones.  ``share_blob`` ships the
+    golden blob once via shared memory instead of pickling it into
+    every shard task; ``reuse_pool`` draws workers from the persistent
+    warm-pool registry.  None of these may change verdicts or
+    aggregated metrics — the determinism tests hold the plan's knobs
+    against each other.
     """
 
     workers: int = 1
-    shard_size: int = DEFAULT_SHARD_SIZE
+    shard_size: int | None = DEFAULT_SHARD_SIZE
     engine: str = ENGINE_FAST
+    share_blob: bool = True
+    reuse_pool: bool = True
 
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise FleetError(f"workers must be >= 1: {self.workers}")
-        if self.shard_size < 1:
+        if self.shard_size is not None and self.shard_size < 1:
             raise FleetError(
                 f"shard_size must be >= 1: {self.shard_size}"
             )
@@ -79,10 +89,16 @@ class ExecutionPlan:
 
 @dataclass(frozen=True)
 class ShardTask:
-    """Everything one shard needs, as plain picklable data."""
+    """Everything one shard needs, as plain picklable data.
+
+    ``snapshot_blob`` is either the encoded golden snapshot itself or
+    a :class:`~repro.fleet.shm.SharedBlobRef` naming the shared-memory
+    segment the coordinator published it into — the worker decodes the
+    identical bytes either way.
+    """
 
     shard_index: int
-    snapshot_blob: bytes
+    snapshot_blob: bytes | SharedBlobRef
     image_name: str
     device_ids: tuple[int, ...]
     compromised: tuple[int, ...]
@@ -136,7 +152,24 @@ _IMAGE_CACHE: dict[str, object] = {}
 _CACHE_LIMIT = 4
 
 
-def _cached_snapshot(blob: bytes):
+def _cached_snapshot(blob):
+    """Decoded golden snapshot for ``blob`` (bytes or SharedBlobRef).
+
+    The cache keys on the blob's sha256 in both cases, so a worker
+    that sees the same golden image as bytes and as a shared segment
+    still decodes it exactly once.
+    """
+    if isinstance(blob, SharedBlobRef):
+        digest = blob.digest
+        snapshot = _SNAPSHOT_CACHE.get(digest)
+        if snapshot is None:
+            if len(_SNAPSHOT_CACHE) >= _CACHE_LIMIT:
+                _SNAPSHOT_CACHE.clear()
+            # Decode straight out of the mapped read-only view — the
+            # stream is never copied into worker heap.
+            snapshot = attach_ref(blob, decode_snapshot)
+            _SNAPSHOT_CACHE[digest] = snapshot
+        return snapshot
     digest = hashlib.sha256(blob).digest()
     snapshot = _SNAPSHOT_CACHE.get(digest)
     if snapshot is None:
@@ -189,14 +222,9 @@ def collect_device_perf(device: FleetDevice, metrics: MetricsRegistry) -> None:
     )
 
 
-# Test hook: ``REPRO_FLEET_TEST_CRASH=<flag-file>:<shard-index>`` makes
-# the worker that picks up that shard die hard (``os._exit``) exactly
-# once — the flag file is consumed first, so the retry succeeds.  This
-# is how the executor-recovery tests and the CI fleet-scale job kill a
-# real pool worker mid-run without patching library code.
-_CRASH_ENV = "REPRO_FLEET_TEST_CRASH"
-
-
+# The ``_CRASH_ENV`` test hook is defined in :mod:`repro.fleet.pool`
+# (the warm-pool registry must watch it for staleness) and re-exported
+# here, where its consumer lives.
 def _maybe_crash_for_test(shard_index: int) -> None:
     spec = os.environ.get(_CRASH_ENV)
     if not spec:
@@ -218,6 +246,7 @@ def run_shard(task: ShardTask) -> dict:
     process-pool path run exactly this code.
     """
     _maybe_crash_for_test(task.shard_index)
+    hydrate_started = time.perf_counter()
     snapshot = _cached_snapshot(task.snapshot_blob)
     image = _cached_image(task.image_name)
     keys = dict(task.keys)
@@ -240,6 +269,7 @@ def run_shard(task: ShardTask) -> dict:
         )
     for device_id in task.compromised:
         devices[device_id].tamper_code()
+    execute_started = time.perf_counter()
 
     metrics = MetricsRegistry()
     transport = InProcessTransport(
@@ -279,12 +309,19 @@ def run_shard(task: ShardTask) -> dict:
     for device_id in sorted(devices):
         collect_device_perf(devices[device_id], metrics)
 
+    done = time.perf_counter()
     return {
         "shard": task.shard_index,
         "device_ids": list(task.device_ids),
         "rounds": rounds,
         "metrics": metrics.raw_dict(),
         "transport": transport.stats.to_dict(),
+        # Worker-side wall clock; folded into the coordinator's stage
+        # timings sink, never into the report payload (determinism).
+        "timings": {
+            "hydrate_s": execute_started - hydrate_started,
+            "execute_s": done - execute_started,
+        },
     }
 
 
@@ -335,14 +372,78 @@ def verify_quote_batch(batch: QuoteCheckBatch) -> tuple[bool, ...]:
 # Parent side.
 
 
+class ShardMerger:
+    """Order-independent streaming fold of shard results.
+
+    Every fold is commutative: counters add, histogram summaries sort
+    their raw observations, per-round verdict maps key by disjoint
+    device ids, transport totals add.  The coordinator therefore folds
+    each shard result the moment it completes — in *completion* order
+    — and drops it, holding O(1) shard results instead of O(shards),
+    while producing exactly what a sorted batch merge would.
+
+    Worker-side ``timings`` ride along into :attr:`timings` (and the
+    fold's own cost into :attr:`merge_seconds`) but never into the
+    merged payload, so the report stays byte-identical across worker
+    counts, shard sizes and completion orders.
+    """
+
+    def __init__(self, *, rounds: int) -> None:
+        if rounds < 0:
+            raise FleetError(f"rounds must be >= 0: {rounds}")
+        self._rounds = rounds
+        self.merged_rounds: list[dict[int, dict]] = [
+            {} for _ in range(rounds)
+        ]
+        self.metrics = MetricsRegistry()
+        self.transport_totals = {
+            "sent": 0, "delivered": 0, "dropped": 0,
+            "partition_dropped": 0, "in_flight": 0,
+        }
+        self.timings = {"hydrate_s": 0.0, "execute_s": 0.0}
+        self.shards = 0
+        self.merge_seconds = 0.0
+        self._finished = False
+
+    def add(self, result: dict) -> None:
+        """Fold one shard result; safe in any completion order."""
+        if self._finished:
+            raise FleetError("ShardMerger already finished")
+        started = time.perf_counter()
+        for round_index, verdicts in enumerate(result["rounds"]):
+            self.merged_rounds[round_index].update(verdicts)
+        self.metrics.merge_raw(
+            result["metrics"], skip_counters=("fleet_rounds",)
+        )
+        for key in self.transport_totals:
+            self.transport_totals[key] += result["transport"].get(key, 0)
+        for key, value in (result.get("timings") or {}).items():
+            self.timings[key] = self.timings.get(key, 0.0) + value
+        self.shards += 1
+        self.merge_seconds += time.perf_counter() - started
+
+    def finish(self) -> tuple[list[dict[int, dict]], MetricsRegistry, dict]:
+        """Normalize and return ``(rounds, metrics, transport)``.
+
+        ``fleet_rounds`` is set to the experiment's round count here
+        (it would otherwise count once per shard).
+        """
+        if not self._finished:
+            self._finished = True
+            self.metrics.counter("fleet_rounds").inc(self._rounds)
+        return self.merged_rounds, self.metrics, self.transport_totals
+
+
 def run_shards(
     tasks: list[ShardTask],
     workers: int,
     *,
     policy: RetryPolicy | None = None,
     recovery: RecoveryLog | None = None,
-) -> list[dict]:
-    """Execute every shard on ``workers`` processes; ordered results.
+    consume=None,
+    reuse_pool: bool = True,
+) -> list[dict] | None:
+    """Execute every shard on ``workers`` processes.
 
     Execution is self-healing (see :mod:`repro.fleet.executor`):
     crashed or hung workers are detected, their shards requeued on a
@@ -354,9 +455,12 @@ def run_shards(
     failing raises :class:`~repro.errors.ShardExecutionError` — never
     a raw ``BrokenProcessPool``.
 
-    ``workers=1`` runs inline (same pure function, no pool); results
-    are always returned sorted by shard index, so downstream merging
-    is independent of completion order.
+    With ``consume`` (e.g. :meth:`ShardMerger.add`, wrapped to drop
+    the index) each result is streamed out in completion order and
+    dropped; the return value is ``None``.  Without it, results are
+    returned sorted by shard index.  ``workers=1`` runs inline (same
+    pure function, no pool).  ``reuse_pool`` keeps the worker pool
+    warm across calls.
     """
     results = run_resilient(
         run_shard,
@@ -365,33 +469,20 @@ def run_shards(
         task_ids=[task.shard_index for task in tasks],
         policy=policy,
         log=recovery,
+        consume=consume,
+        reuse_pool=reuse_pool,
     )
+    if consume is not None:
+        return None
     return sorted(results, key=lambda result: result["shard"])
 
 
 def merge_shard_results(
     results: list[dict], *, rounds: int
 ) -> tuple[list[dict[int, dict]], MetricsRegistry, dict]:
-    """Combine shard results into fleet-level rounds/metrics/transport.
-
-    Every fold is order-independent: counters add, histogram summaries
-    sort their observations, per-round verdict maps key by device id.
-    ``fleet_rounds`` is normalized to the experiment's round count (it
-    would otherwise count once per shard).
-    """
-    merged_rounds: list[dict[int, dict]] = [{} for _ in range(rounds)]
-    metrics = MetricsRegistry()
-    transport_totals = {
-        "sent": 0, "delivered": 0, "dropped": 0,
-        "partition_dropped": 0, "in_flight": 0,
-    }
+    """Batch façade over :class:`ShardMerger` (kept for callers that
+    already hold every shard result)."""
+    merger = ShardMerger(rounds=rounds)
     for result in sorted(results, key=lambda r: r["shard"]):
-        for round_index, verdicts in enumerate(result["rounds"]):
-            merged_rounds[round_index].update(verdicts)
-        metrics.merge_raw(
-            result["metrics"], skip_counters=("fleet_rounds",)
-        )
-        for key in transport_totals:
-            transport_totals[key] += result["transport"].get(key, 0)
-    metrics.counter("fleet_rounds").inc(rounds)
-    return merged_rounds, metrics, transport_totals
+        merger.add(result)
+    return merger.finish()

@@ -69,6 +69,7 @@ from repro.fleet.parallel import (
     _cached_snapshot,
     verify_quote_batch,
 )
+from repro.fleet.pool import discard_warm_pool, get_warm_pool
 from repro.fleet.service import FleetConfig, _lint_section, prepare_run
 from repro.fleet.transport import (
     CHALLENGE,
@@ -216,11 +217,13 @@ class AttestationService:
         *,
         workers: int = 1,
         on_snapshot=None,
+        reuse_pool: bool = True,
     ) -> None:
         if workers < 1:
             raise FleetError(f"workers must be >= 1: {workers}")
         self.config = config
         self.workers = workers
+        self.reuse_pool = reuse_pool
         self.on_snapshot = on_snapshot
         self.metrics = MetricsRegistry()
         self.recovery = RecoveryLog()
@@ -376,7 +379,7 @@ class AttestationService:
             taken = self._queue[: config.batch_max]
             del self._queue[: config.batch_max]
             batch = QuoteCheckBatch(
-                batch_index=len(self._dispatched),
+                batch_index=self._batch_count,
                 expected_rows=self._prepared.expected_rows,
                 items=tuple(
                     (
@@ -404,14 +407,80 @@ class AttestationService:
             self.metrics.histogram("serve_batch_quotes").observe(len(taken))
             self.metrics.counter("serve_batches").inc()
             self.metrics.counter("serve_checked").inc(len(taken))
+            self._batch_count += 1
             dispatched = _Dispatched(batch=batch, done_at=done_at)
             if pool is None:
                 dispatched.inline = verify_quote_batch(batch)
             else:
-                dispatched.future = loop.run_in_executor(
-                    pool, verify_quote_batch, batch
+                try:
+                    dispatched.future = loop.run_in_executor(
+                        pool, verify_quote_batch, batch
+                    )
+                except BrokenProcessPool:
+                    # A broken pool rejects at *submit*; check inline
+                    # (pure function — identical verdicts) and let the
+                    # recovery counters say what happened.
+                    self.recovery.record(
+                        WORKER_CRASH, batch.batch_index, 1
+                    )
+                    if self.reuse_pool:
+                        discard_warm_pool(self.workers)
+                    dispatched.inline = verify_quote_batch(batch)
+            self._inflight.append(dispatched)
+
+    def _fold(self, batch: QuoteCheckBatch, verdicts: tuple) -> None:
+        """Fold one checked batch into the running accept/reject state.
+
+        Commutative (per-device counts add), so batches may fold in
+        completion order — the report cannot tell the difference.
+        """
+        for item, ok in zip(batch.items, verdicts):
+            device_id = item[0]
+            if ok:
+                self._accepted[device_id] = (
+                    self._accepted.get(device_id, 0) + 1
                 )
-            self._dispatched.append(dispatched)
+                self.metrics.counter("serve_quotes_accepted").inc()
+            else:
+                self._rejected[device_id] = (
+                    self._rejected.get(device_id, 0) + 1
+                )
+                self.metrics.counter("serve_quotes_rejected").inc()
+
+    def _resolve(self, dispatched: _Dispatched) -> tuple:
+        """This batch's verdicts, recomputing inline on pool failure."""
+        if dispatched.inline is not None:
+            return dispatched.inline
+        try:
+            return dispatched.future.result()
+        except BrokenProcessPool:
+            self.recovery.record(
+                WORKER_CRASH, dispatched.batch.batch_index, 1
+            )
+            if self.reuse_pool:
+                discard_warm_pool(self.workers)
+            return verify_quote_batch(dispatched.batch)
+        except Exception:
+            self.recovery.record(
+                TASK_RETRY, dispatched.batch.batch_index, 1
+            )
+            return verify_quote_batch(dispatched.batch)
+
+    def _harvest_ready(self) -> None:
+        """Fold every finished batch and drop it (per-tick streaming).
+
+        The service used to hold all dispatched batches until drain
+        and fold them at report time — O(batches) futures each pinning
+        its verdicts.  Folding ready batches as the simulation ticks
+        keeps the held set bounded by what is genuinely in flight.
+        """
+        still = []
+        for dispatched in self._inflight:
+            if dispatched.inline is None and not dispatched.future.done():
+                still.append(dispatched)
+                continue
+            self._fold(dispatched.batch, self._resolve(dispatched))
+        self._inflight = still
 
     def _snapshot(self, now: int) -> None:
         entry = {
@@ -430,47 +499,43 @@ class AttestationService:
         if self.on_snapshot is not None:
             self.on_snapshot(entry)
 
-    async def _collect(self, pool) -> list[tuple[QuoteCheckBatch, tuple]]:
-        """Await every batch check; inline recompute on pool failure.
+    async def _drain(self) -> None:
+        """Await and fold the stragglers the per-tick harvest missed.
 
         ``verify_quote_batch`` is pure, so a batch recomputed after a
         worker crash returns exactly what the worker would have —
         recovery shows up under ``execution.recovery``, never in the
         verdicts.
         """
-        results = []
-        for dispatched in self._dispatched:
-            if dispatched.inline is not None:
-                results.append((dispatched.batch, dispatched.inline))
-                continue
-            try:
-                verdicts = await dispatched.future
-            except BrokenProcessPool:
-                self.recovery.record(
-                    WORKER_CRASH, dispatched.batch.batch_index, 1
-                )
-                verdicts = verify_quote_batch(dispatched.batch)
-            except Exception:
-                self.recovery.record(
-                    TASK_RETRY, dispatched.batch.batch_index, 1
-                )
-                verdicts = verify_quote_batch(dispatched.batch)
-            results.append((dispatched.batch, verdicts))
-        return results
+        for dispatched in self._inflight:
+            if dispatched.inline is None:
+                try:
+                    await dispatched.future
+                except Exception:
+                    pass  # _resolve records and recomputes.
+            self._fold(dispatched.batch, self._resolve(dispatched))
+        self._inflight = []
 
     # ------------------------------------------------------------------
 
     async def run(self) -> dict:
         config = self.config
         loop = asyncio.get_running_loop()
-        pool = (
-            ProcessPoolExecutor(max_workers=self.workers)
-            if self.workers > 1 else None
-        )
+        if self.workers <= 1:
+            pool = None
+        elif self.reuse_pool:
+            # Warm pool from the shared registry: spun up at most once
+            # per process and reused across service runs and batches.
+            pool = get_warm_pool(self.workers)
+        else:
+            pool = ProcessPoolExecutor(max_workers=self.workers)
         self._outstanding: dict[tuple[int, int], _Outstanding] = {}
         self._queue: list[_Admitted] = []
         self._lanes = [_Lane() for _ in range(config.pipeline_depth)]
-        self._dispatched: list[_Dispatched] = []
+        self._inflight: list[_Dispatched] = []
+        self._batch_count = 0
+        self._accepted: dict[int, int] = {}
+        self._rejected: dict[int, int] = {}
 
         schedule = list(self._schedule)
         next_arrival = 0
@@ -489,6 +554,7 @@ class AttestationService:
                 self._admit(now_end)
                 self._expire(now_end)
                 self._dispatch(now_end, loop, pool)
+                self._harvest_ready()
                 self.metrics.histogram("serve_queue_depth").observe(
                     len(self._queue)
                 )
@@ -507,28 +573,23 @@ class AttestationService:
                     and all(lane.busy_until <= now for lane in self._lanes)
                 ):
                     break
-            checked = await self._collect(pool)
+            await self._drain()
         finally:
-            if pool is not None:
+            if pool is not None and not self.reuse_pool:
                 pool.shutdown(wait=False, cancel_futures=False)
-        return self._report(checked, drained_at=now)
+            # A warm pool stays up for the next run/batch; atexit (or
+            # discard on breakage) retires it.
+        return self._report(drained_at=now)
 
     # ------------------------------------------------------------------
 
-    def _report(self, checked, *, drained_at: int) -> dict:
+    def _report(self, *, drained_at: int) -> dict:
         config = self.config
         prepared = self._prepared
-        accepted: dict[int, int] = {}
-        rejected: dict[int, int] = {}
-        for batch, verdicts in checked:
-            for item, ok in zip(batch.items, verdicts):
-                device_id = item[0]
-                if ok:
-                    accepted[device_id] = accepted.get(device_id, 0) + 1
-                    self.metrics.counter("serve_quotes_accepted").inc()
-                else:
-                    rejected[device_id] = rejected.get(device_id, 0) + 1
-                    self.metrics.counter("serve_quotes_rejected").inc()
+        # Folded incrementally by _harvest_ready/_drain; only counts
+        # survive to here, never the batches themselves.
+        accepted = self._accepted
+        rejected = self._rejected
 
         expected = set(prepared.expected_compromised)
         flagged = sorted(rejected)
@@ -611,12 +672,19 @@ class AttestationService:
 
 
 def run_service(
-    config: ServiceConfig, *, workers: int = 1, on_snapshot=None
+    config: ServiceConfig,
+    *,
+    workers: int = 1,
+    on_snapshot=None,
+    reuse_pool: bool = True,
 ) -> dict:
     """Run the whole service to drain; returns the JSON-ready report."""
     return asyncio.run(
         AttestationService(
-            config, workers=workers, on_snapshot=on_snapshot
+            config,
+            workers=workers,
+            on_snapshot=on_snapshot,
+            reuse_pool=reuse_pool,
         ).run()
     )
 

@@ -25,6 +25,7 @@ Only the report's trailing ``execution`` section records the plan.
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import asdict, dataclass
 
 from repro.analysis import lint_image_cached
@@ -38,11 +39,13 @@ from repro.fleet.device import FleetDevice
 from repro.fleet.executor import RecoveryLog, RetryPolicy
 from repro.fleet.parallel import (
     ExecutionPlan,
+    ShardMerger,
     ShardTask,
-    merge_shard_results,
     run_shards,
     shard_ids,
 )
+from repro.fleet.pool import adaptive_shard_size, cost_model, pool_stats
+from repro.fleet.shm import SharedBlob
 from repro.fleet.verifier import COMPROMISED, HEALTHY, UNRESPONSIVE
 from repro.machine.snapcodec import encode_snapshot
 from repro.machine.snapshot import Snapshot
@@ -212,21 +215,49 @@ def prepare_run(config: FleetConfig) -> PreparedRun:
     )
 
 
-def _shard_tasks(
+def _resolve_shard_size(
     prepared: PreparedRun, plan: ExecutionPlan
+) -> int:
+    """The plan's shard size, or an adaptive one from measured cost.
+
+    Sizing is coordinator-side policy: it changes the partition, and
+    the partition never depends on worker count — only on (devices,
+    shard_size) — so a *pinned* shard size still reproduces the exact
+    shard set on any host.  Adaptive runs trade that pin for measured
+    amortization.
+    """
+    if plan.shard_size is not None:
+        return plan.shard_size
+    config = prepared.config
+    per_round = cost_model().per_device_s
+    return adaptive_shard_size(
+        config.devices,
+        plan.workers,
+        per_device_s=(
+            per_round * config.rounds if per_round else None
+        ),
+    )
+
+
+def _shard_tasks(
+    prepared: PreparedRun, shard_size: int, blob, engine: str
 ) -> list[ShardTask]:
-    """Cut the prepared run into shard tasks (worker-count agnostic)."""
+    """Cut the prepared run into shard tasks (worker-count agnostic).
+
+    ``blob`` is what workers hydrate from: the encoded snapshot bytes
+    or a :class:`~repro.fleet.shm.SharedBlobRef` to them.
+    """
     config = prepared.config
     keys = dict(prepared.keys)
     compromised = set(prepared.expected_compromised)
     tasks = []
     for index, ids in enumerate(
-        shard_ids(config.devices, plan.shard_size)
+        shard_ids(config.devices, shard_size)
     ):
         tasks.append(
             ShardTask(
                 shard_index=index,
-                snapshot_blob=prepared.snapshot_blob,
+                snapshot_blob=blob,
                 image_name=prepared.image_name,
                 device_ids=ids,
                 compromised=tuple(
@@ -247,7 +278,7 @@ def _shard_tasks(
                 backoff=config.backoff,
                 step_cycles=config.step_cycles,
                 trace_capacity=config.trace_capacity,
-                engine=plan.engine,
+                engine=engine,
             )
         )
     return tasks
@@ -274,25 +305,75 @@ def execute_run(
     plan: ExecutionPlan | None = None,
     *,
     policy: RetryPolicy | None = None,
+    stage_timings: dict | None = None,
 ) -> dict:
     """Execute a prepared run under ``plan``; returns the report.
 
     The report carries no wall-clock fields, and the ``execution``
     section is the only part that mentions the plan or what recovery
     the self-healing executor performed — pop it and two reports from
-    different worker counts (or with and without worker crashes)
-    compare byte for byte.
+    different worker counts (or with and without worker crashes, or
+    shared-memory vs pickled blob shipping) compare byte for byte.
+
+    Pass a ``stage_timings`` dict to receive the per-stage wall-clock
+    breakdown (``ship_s``, ``pool_spinup_s``, ``hydrate_s``,
+    ``shard_execute_s``, ``merge_s``, ``execute_wall_s``) — kept out
+    of the report on purpose.
+
+    With ``plan.share_blob`` (default) and ``workers > 1`` the golden
+    blob is published into one shared-memory segment and every shard
+    task carries a tiny reference; the segment is unlinked in a
+    ``finally``, so it survives worker crashes and pool rebuilds but
+    never a completed (or failed) run.  Shard results are folded as
+    they complete (:class:`~repro.fleet.parallel.ShardMerger`), so the
+    coordinator holds O(1) shard results, not O(shards).
     """
     plan = plan or ExecutionPlan()
     config = prepared.config
-    tasks = _shard_tasks(prepared, plan)
+    shard_size = _resolve_shard_size(prepared, plan)
+    share = plan.share_blob and plan.workers > 1
     recovery = RecoveryLog()
-    results = run_shards(
-        tasks, plan.workers, policy=policy, recovery=recovery
-    )
-    merged_rounds, metrics, transport = merge_shard_results(
-        results, rounds=config.rounds
-    )
+    merger = ShardMerger(rounds=config.rounds)
+    spinup_before = pool_stats().spinup_seconds
+    shared = None
+    try:
+        ship_started = time.perf_counter()
+        if share:
+            shared = SharedBlob.create(prepared.snapshot_blob)
+            blob = shared.ref
+        else:
+            blob = prepared.snapshot_blob
+        tasks = _shard_tasks(prepared, shard_size, blob, plan.engine)
+        ship_s = time.perf_counter() - ship_started
+
+        execute_started = time.perf_counter()
+        run_shards(
+            tasks,
+            plan.workers,
+            policy=policy,
+            recovery=recovery,
+            consume=lambda _index, result: merger.add(result),
+            reuse_pool=plan.reuse_pool,
+        )
+        execute_wall = time.perf_counter() - execute_started
+    finally:
+        if shared is not None:
+            shared.unlink()
+    merged_rounds, metrics, transport = merger.finish()
+    cost_model().observe(config.devices * config.rounds, execute_wall)
+    if stage_timings is not None:
+        stage_timings.update(
+            {
+                "ship_s": ship_s,
+                "pool_spinup_s": (
+                    pool_stats().spinup_seconds - spinup_before
+                ),
+                "hydrate_s": merger.timings.get("hydrate_s", 0.0),
+                "shard_execute_s": merger.timings.get("execute_s", 0.0),
+                "merge_s": merger.merge_seconds,
+                "execute_wall_s": execute_wall,
+            }
+        )
 
     rounds = []
     flagged_compromised: set[int] = set()
@@ -345,9 +426,11 @@ def execute_run(
         "metrics": metrics.to_dict(),
         "execution": {
             "workers": plan.workers,
-            "shard_size": plan.shard_size,
+            "shard_size": shard_size,
             "shards": len(tasks),
             "engine": plan.engine,
+            "shared_blob": share,
+            "pool_reuse": plan.reuse_pool,
             "recovery": recovery.to_dict(),
         },
     }

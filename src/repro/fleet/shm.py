@@ -1,0 +1,179 @@
+"""One-shot shipping of the TLSC golden blob via POSIX shared memory.
+
+The sharded executor used to embed the encoded golden snapshot in
+every :class:`~repro.fleet.parallel.ShardTask`, so a 100-shard run
+pickled the same blob 100 times across the process boundary.  This
+module ships it **once**: the coordinator publishes the blob into a
+`multiprocessing.shared_memory` segment and hands workers a tiny
+:class:`SharedBlobRef` (name, size, sha256).  Workers attach
+read-only, verify the digest, decode straight out of the mapped view
+(zero copies of the stream), and close their mapping immediately — the
+per-process decode cache in :mod:`repro.fleet.parallel` keys on the
+digest, so each worker attaches at most once per golden image.
+
+Lifecycle rules, enforced here:
+
+* The **coordinator owns the segment.**  Only the process that called
+  :meth:`SharedBlob.create` may unlink; workers never do.  The segment
+  therefore survives worker crashes and ``run_resilient`` pool
+  rebuilds — a retried shard attaches to the same name.
+* **Unlink is guaranteed.**  ``SharedBlob`` is a context manager,
+  callers wrap execution in ``try/finally``, and a module ``atexit``
+  hook unlinks anything still registered — so a coordinator that dies
+  mid-run leaks nothing into ``/dev/shm``.
+* **Workers leave the resource tracker alone.**  Attaching a segment
+  registers it with ``multiprocessing.resource_tracker`` on Python
+  <= 3.12 — but on POSIX every child shares the coordinator's tracker
+  process (``fork`` inherits its pipe, ``spawn`` passes the fd), and
+  the tracker's cache is a *set* of names, so the extra registration
+  is idempotent and the coordinator's unlink performs the single
+  unregister.  :func:`attach_ref` uses ``track=False`` where
+  available (3.13+) to skip the redundant message; it must **not**
+  unregister manually on older versions — that would remove the
+  shared entry out from under the coordinator's unlink and make the
+  tracker print a ``KeyError`` at shutdown.
+"""
+
+from __future__ import annotations
+
+import atexit
+import hashlib
+import os
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+from repro.errors import FleetError
+
+#: Segment-name prefix; the lifecycle tests (and the CI leak check)
+#: sweep ``/dev/shm`` for it.
+SEGMENT_PREFIX = "tlsc_"
+
+
+@dataclass(frozen=True)
+class SharedBlobRef:
+    """A picklable handle to a published blob: what workers receive.
+
+    ``digest`` is the sha256 of the blob; the attach path verifies it,
+    so a segment swapped or scribbled on between publish and attach is
+    a typed :class:`~repro.errors.FleetError`, never silent corruption.
+    """
+
+    name: str
+    size: int
+    digest: bytes
+
+
+# Live segments owned by this process, keyed by name.  The atexit hook
+# unlinks whatever is still here — the last-resort cleanup when a
+# coordinator dies without reaching its ``finally``.
+_LIVE: dict[str, "SharedBlob"] = {}
+
+
+def _atexit_unlink_all() -> None:
+    for blob in list(_LIVE.values()):
+        blob.unlink()
+
+
+atexit.register(_atexit_unlink_all)
+
+
+class SharedBlob:
+    """A blob this process published; owns the segment's lifetime."""
+
+    def __init__(self, shm: shared_memory.SharedMemory, ref: SharedBlobRef):
+        self._shm = shm
+        self._closed = False
+        self.ref = ref
+        _LIVE[ref.name] = self
+
+    @classmethod
+    def create(cls, blob: bytes) -> "SharedBlob":
+        """Publish ``blob`` into a fresh shared-memory segment."""
+        if not blob:
+            raise FleetError("cannot share an empty blob")
+        name = SEGMENT_PREFIX + os.urandom(8).hex()
+        shm = shared_memory.SharedMemory(
+            name=name, create=True, size=len(blob)
+        )
+        shm.buf[: len(blob)] = blob
+        ref = SharedBlobRef(
+            name=name,
+            size=len(blob),
+            digest=hashlib.sha256(blob).digest(),
+        )
+        return cls(shm, ref)
+
+    def unlink(self) -> None:
+        """Close and remove the segment; safe to call more than once."""
+        if self._closed:
+            return
+        self._closed = True
+        _LIVE.pop(self.ref.name, None)
+        try:
+            self._shm.close()
+        except Exception:
+            pass
+        try:
+            # SharedMemory.unlink also unregisters from the resource
+            # tracker, so a clean unlink never warns at exit.
+            self._shm.unlink()
+        except FileNotFoundError:
+            pass
+
+    def __enter__(self) -> "SharedBlob":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.unlink()
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    try:
+        # Python 3.13+: never register with the resource tracker.
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        # <= 3.12 registers every attach, but the tracker is shared
+        # with the coordinator and its cache is a name-keyed set —
+        # the registration is idempotent and the coordinator's unlink
+        # does the one unregister (see the module docstring).
+        return shared_memory.SharedMemory(name=name)
+
+
+def attach_ref(ref: SharedBlobRef, reader) -> object:
+    """Attach ``ref``, run ``reader(view)`` over the mapped bytes, detach.
+
+    ``reader`` receives a read-only :class:`memoryview` of exactly
+    ``ref.size`` bytes — it must consume it before returning (the
+    mapping is closed on exit) and must not stash the view.  The
+    sha256 is verified before ``reader`` runs.
+    """
+    try:
+        shm = _attach(ref.name)
+    except FileNotFoundError as exc:
+        raise FleetError(
+            f"shared blob segment {ref.name!r} is gone "
+            "(coordinator unlinked it early?)"
+        ) from exc
+    try:
+        view = memoryview(shm.buf)[: ref.size].toreadonly()
+        try:
+            if hashlib.sha256(view).digest() != ref.digest:
+                raise FleetError(
+                    f"shared blob {ref.name!r} failed digest verification"
+                )
+            return reader(view)
+        finally:
+            view.release()
+    finally:
+        try:
+            shm.close()
+        except BufferError:
+            # An in-flight exception's traceback can pin sub-views of
+            # the buffer; the mapping is freed when they are collected
+            # and never blocks the owner's unlink.
+            pass
+
+
+def live_segments() -> tuple[str, ...]:
+    """Names of segments this process still owns (test/debug hook)."""
+    return tuple(sorted(_LIVE))

@@ -40,6 +40,7 @@ from repro.machine.snapshot import (
     MpuState,
     PlatformConfig,
     Snapshot,
+    ZeroBytes,
 )
 
 MAGIC = b"TLSC"
@@ -94,9 +95,16 @@ def _write_svarint(out: bytearray, value: int) -> None:
 
 
 class _Reader:
-    """Bounds-checked cursor over an immutable byte buffer."""
+    """Bounds-checked cursor over an immutable byte buffer.
 
-    def __init__(self, data: bytes) -> None:
+    Accepts ``bytes`` or a read-only :class:`memoryview` — the fleet's
+    shared-memory path decodes straight out of the mapped segment
+    without ever copying the stream.  :meth:`take` returns a slice of
+    whatever the buffer is; decode sites that let byte data escape the
+    reader's lifetime convert with ``bytes()``.
+    """
+
+    def __init__(self, data) -> None:
         self.data = data
         self.pos = 0
 
@@ -149,6 +157,18 @@ def _encode_value(out: bytearray, value) -> None:
     elif isinstance(value, int):
         out.append(_T_INT)
         _write_svarint(out, value)
+    elif isinstance(value, ZeroBytes):
+        # All-zero images encode without ever materializing: a large
+        # one is a paged run with zero pages (bit-identical to paging
+        # literal zeros), a small one falls back to literal bytes.
+        if len(value) >= PAGE_SIZE:
+            out.append(_T_PAGED)
+            _write_uvarint(out, len(value))
+            _write_uvarint(out, 0)
+        else:
+            out.append(_T_BYTES)
+            _write_uvarint(out, len(value))
+            out += bytes(value)
     elif isinstance(value, (bytes, bytearray)):
         if len(value) >= PAGE_SIZE:
             _encode_paged(out, bytes(value))
@@ -201,9 +221,9 @@ def _decode_value(reader: _Reader, depth: int = 0):
     if tag == _T_INT:
         return reader.svarint()
     if tag == _T_BYTES:
-        return reader.take(reader.uvarint())
+        return bytes(reader.take(reader.uvarint()))
     if tag == _T_STR:
-        raw = reader.take(reader.uvarint())
+        raw = bytes(reader.take(reader.uvarint()))
         try:
             return raw.decode("utf-8")
         except UnicodeDecodeError as exc:
@@ -227,6 +247,9 @@ def _decode_value(reader: _Reader, depth: int = 0):
                 f"paged image of {total} bytes cannot hold "
                 f"{count} page run(s)"
             )
+        if count == 0:
+            # An untouched memory: stay lazy, never allocate it.
+            return ZeroBytes(total)
         blob = bytearray(total)
         previous = -1
         for _ in range(count):
@@ -330,8 +353,13 @@ def decode_snapshot(data: bytes) -> Snapshot:
         raise SnapcodecError(
             f"snapshot stream must be bytes, not {type(data).__name__}"
         )
-    reader = _Reader(bytes(data))
-    if reader.take(len(MAGIC)) != MAGIC:
+    # A memoryview decodes in place (the shared-memory fleet path maps
+    # the golden blob once per host and never copies the stream); a
+    # bytearray is copied so the stream cannot mutate mid-decode.
+    reader = _Reader(
+        data if isinstance(data, memoryview) else bytes(data)
+    )
+    if bytes(reader.take(len(MAGIC))) != MAGIC:
         raise SnapcodecError("bad magic: not a snapshot stream")
     version = reader.uvarint()
     if version != VERSION:

@@ -31,6 +31,59 @@ from repro.machine.cpu import Cpu, CpuFlags
 from repro.machine.irq import Interrupt
 
 
+class ZeroBytes:
+    """A lazily-materialized all-zero byte image.
+
+    A captured platform's dominant state is untouched memory — the
+    1 MiB external DRAM of a freshly booted device is a megabyte of
+    zeros.  Holding (and pickling, and hashing) those zeros literally
+    caps how many golden snapshots fit in RAM, so :meth:`Snapshot.save`
+    and the TLSC decoder store this placeholder instead: it knows its
+    length, compares equal to the zeros it stands for, and only
+    :func:`bytes` materializes them (fresh clones never do — their
+    memories are already zero).
+    """
+
+    __slots__ = ("_size",)
+
+    def __init__(self, size: int) -> None:
+        if size < 0:
+            raise MachineError(f"ZeroBytes size must be >= 0: {size}")
+        self._size = size
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bytes__(self) -> bytes:
+        return bytes(self._size)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, ZeroBytes):
+            return self._size == other._size
+        if isinstance(other, (bytes, bytearray)):
+            return (
+                len(other) == self._size
+                and other.count(0) == self._size
+            )
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(bytes(self))
+
+    def __repr__(self) -> str:
+        return f"ZeroBytes({self._size})"
+
+    def count(self, value) -> int:
+        if value in (0, b"\x00"):
+            return self._size
+        return 0
+
+
+def materialize_state(state):
+    """Real bytes for a device state (expands :class:`ZeroBytes`)."""
+    return bytes(state) if isinstance(state, ZeroBytes) else state
+
+
 @dataclass(frozen=True)
 class CpuState:
     """The SP32 architectural register file plus retire counters."""
@@ -169,10 +222,14 @@ class Snapshot:
         for mapping in soc.bus.mappings:
             state = mapping.device.snapshot_state()
             if state is not None:
-                devices.append((mapping.device.name, state))
                 if isinstance(state, (bytes, bytearray)) \
                         and state.count(0) == len(state):
+                    # Store the placeholder, not the megabyte of
+                    # zeros: clones skip it anyway (fresh memories are
+                    # already zero) and golden snapshots stay small.
+                    state = ZeroBytes(len(state))
                     zero_devices.append(mapping.device.name)
+                devices.append((mapping.device.name, state))
         engine = platform.engine
         return cls(
             config=PlatformConfig.capture(platform),
@@ -209,7 +266,9 @@ class Snapshot:
         skip = frozenset(self.zero_devices) if fresh else frozenset()
         for name, state in self.devices:
             if name not in skip:
-                soc.bus.device_named(name).restore_state(state)
+                soc.bus.device_named(name).restore_state(
+                    materialize_state(state)
+                )
         self.cpu.apply(soc.cpu)
         self.mpu.apply(platform.mpu)
         soc.irq.clear_all()
@@ -252,5 +311,5 @@ class Snapshot:
         """Total captured memory payload (clone-cost estimator)."""
         return sum(
             len(state) for _name, state in self.devices
-            if isinstance(state, (bytes, bytearray))
+            if isinstance(state, (bytes, bytearray, ZeroBytes))
         )

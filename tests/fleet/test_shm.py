@@ -1,0 +1,130 @@
+"""Shared-memory golden-blob lifecycle: published once, never leaked.
+
+The contract under test (see :mod:`repro.fleet.shm`): the coordinator
+owns the segment; workers attach read-only, verify the sha256 and
+detach; the segment is unlinked after normal runs, after forced worker
+crashes and after ``run_resilient`` pool rebuilds — ``/dev/shm`` never
+accumulates ``tlsc_*`` entries.
+"""
+
+import glob
+import json
+import os
+
+import pytest
+
+from repro.errors import FleetError
+from repro.fleet.parallel import _CRASH_ENV, ExecutionPlan
+from repro.fleet.service import FleetConfig, execute_run, prepare_run
+from repro.fleet.shm import (
+    SEGMENT_PREFIX,
+    SharedBlob,
+    SharedBlobRef,
+    attach_ref,
+    live_segments,
+)
+
+
+def _shm_entries() -> list[str]:
+    """Our segments currently visible in ``/dev/shm``."""
+    return sorted(
+        os.path.basename(path)
+        for path in glob.glob(f"/dev/shm/{SEGMENT_PREFIX}*")
+    )
+
+
+class TestSharedBlob:
+    def test_publish_attach_roundtrip(self):
+        payload = bytes(range(256)) * 8
+        with SharedBlob.create(payload) as shared:
+            assert shared.ref.size == len(payload)
+            assert shared.ref.name.startswith(SEGMENT_PREFIX)
+            assert shared.ref.name in live_segments()
+            assert shared.ref.name in _shm_entries()
+            read = attach_ref(shared.ref, bytes)
+            assert read == payload
+        assert shared.ref.name not in live_segments()
+        assert shared.ref.name not in _shm_entries()
+
+    def test_reader_gets_readonly_view(self):
+        with SharedBlob.create(b"abcdef") as shared:
+            def reader(view):
+                assert isinstance(view, memoryview)
+                assert view.readonly
+                with pytest.raises(TypeError):
+                    view[0] = 0
+                return bytes(view)
+
+            assert attach_ref(shared.ref, reader) == b"abcdef"
+
+    def test_unlink_is_idempotent(self):
+        shared = SharedBlob.create(b"xyz")
+        shared.unlink()
+        shared.unlink()
+        assert shared.ref.name not in _shm_entries()
+
+    def test_empty_blob_rejected(self):
+        with pytest.raises(FleetError, match="empty blob"):
+            SharedBlob.create(b"")
+
+    def test_digest_mismatch_is_typed(self):
+        with SharedBlob.create(b"honest bytes") as shared:
+            forged = SharedBlobRef(
+                name=shared.ref.name,
+                size=shared.ref.size,
+                digest=b"\x00" * 32,
+            )
+            with pytest.raises(FleetError, match="digest verification"):
+                attach_ref(forged, bytes)
+
+    def test_missing_segment_is_typed(self):
+        shared = SharedBlob.create(b"soon gone")
+        ref = shared.ref
+        shared.unlink()
+        with pytest.raises(FleetError, match="is gone"):
+            attach_ref(ref, bytes)
+
+
+class TestRunLifecycle:
+    """No segment survives a fleet run — however the run went."""
+
+    CONFIG = FleetConfig(devices=4, seed=3, compromise=1)
+    PLAN = ExecutionPlan(workers=2, shard_size=2)
+
+    @pytest.fixture(scope="class")
+    def prepared(self):
+        return prepare_run(self.CONFIG)
+
+    def _canonical(self, report: dict) -> str:
+        report = dict(report)
+        report.pop("execution")
+        return json.dumps(report, sort_keys=True)
+
+    def test_normal_run_unlinks(self, prepared):
+        before = _shm_entries()
+        report = execute_run(prepared, self.PLAN)
+        assert report["execution"]["shared_blob"] is True
+        assert live_segments() == ()
+        assert _shm_entries() == before
+
+    def test_crash_and_rebuild_unlinks(self, prepared, tmp_path,
+                                       monkeypatch):
+        baseline = execute_run(prepared, self.PLAN)
+        assert baseline["execution"]["recovery"]["recoveries"] == 0
+
+        # Kill the worker that picks up shard 1: the pool breaks, the
+        # executor rebuilds it (discarding the warm pool), the retried
+        # shard re-attaches to the *same* segment — and the run still
+        # unlinks it exactly once.
+        flag = tmp_path / "crash"
+        flag.write_text("")
+        monkeypatch.setenv(_CRASH_ENV, f"{flag}:1")
+        before = _shm_entries()
+        report = execute_run(prepared, self.PLAN)
+        assert not flag.exists(), "crash hook never fired"
+        recovery = report["execution"]["recovery"]
+        assert recovery["worker_crash"] >= 1
+        assert recovery["pool_rebuild"] >= 1
+        assert self._canonical(report) == self._canonical(baseline)
+        assert live_segments() == ()
+        assert _shm_entries() == before
