@@ -144,6 +144,35 @@ def test_fleet_scale():
         "shared-memory and re-pickle blob paths diverged"
     )
 
+    # Trace-engine config: same prepared run through the trace tier.
+    # Counters (fleet_trace_*) land in the metrics, so the comparison
+    # drops the metrics section — engine choice may change cache
+    # observability, never the attestation payload.
+    trace_plan = ExecutionPlan(
+        workers=repickle_workers, shard_size=16, engine="trace"
+    )
+    trace_report, trace_elapsed, _stages = _timed_run(
+        prepared, trace_plan
+    )
+    trace_execution = trace_report.pop("execution")
+    assert trace_execution["engine"] == "trace"
+    trace_metrics = trace_report.pop("metrics")
+    baseline_sans_metrics = json.loads(baseline_json)
+    baseline_sans_metrics.pop("metrics")
+    assert json.dumps(trace_report, sort_keys=True) == json.dumps(
+        baseline_sans_metrics, sort_keys=True
+    ), "trace engine changed the attestation payload"
+    trace_engine = {
+        "workers": repickle_workers,
+        "seconds": round(trace_elapsed, 3),
+        "devices_per_sec": round(DEVICES * ROUNDS / trace_elapsed, 1),
+        "counters": {
+            name: value
+            for name, value in sorted(trace_metrics["counters"].items())
+            if name.startswith("fleet_trace_")
+        },
+    }
+
     base = results[str(WORKER_COUNTS[0])]["seconds"]
     for row in results.values():
         row["speedup"] = round(base / row["seconds"], 2)
@@ -186,8 +215,28 @@ def test_fleet_scale():
         f"({floor_note})"
     )
     lines.append(
-        "  determinism: reports byte-identical across workers "
-        "and across shared-memory vs re-pickled blob shipping"
+        "  determinism: reports byte-identical across workers, "
+        "across shared-memory vs re-pickled blob shipping, and "
+        "across the fast vs trace execution engines"
+    )
+    # All-zero trace counters just mean the per-round window is below
+    # the hot-loop warm-up threshold at this scale; the host-throughput
+    # benchmark is where trace speedups are measured and enforced.
+    warm_note = (
+        ""
+        if any(trace_engine["counters"].values())
+        else " (window below trace warm-up; speedups in "
+        "BENCH_host_throughput.json)"
+    )
+    lines.append(
+        f"  trace engine: {trace_engine['devices_per_sec']:.1f} "
+        f"devices/s at {trace_engine['workers']} worker(s), counters "
+        + " ".join(
+            f"{name.removeprefix('fleet_trace_')}="
+            f"{value}"
+            for name, value in trace_engine["counters"].items()
+        )
+        + warm_note
     )
 
     large = _run_large(cores)
@@ -214,7 +263,9 @@ def test_fleet_scale():
             "host_cores_evidence": cores,
             "deterministic_across_workers": True,
             "deterministic_shm_vs_repickle": True,
+            "deterministic_fast_vs_trace_engine": True,
             "workloads": results,
+            "trace_engine": trace_engine,
             "large": large,
         },
     )

@@ -1,26 +1,35 @@
-"""Host execution throughput: fast-path engine vs uncached reference.
+"""Host execution throughput: trace/fast-path engines vs reference.
 
 The fast path (decode cache + EA-MPU lookaside + bus routing cache,
-:mod:`repro.machine.fastpath`) exists to make the simulator fast enough
-for fleet-scale experiments without changing a single architectural
-outcome.  This benchmark pins the speed half of that claim — the
-correctness half is pinned by ``tests/integration/test_lockstep.py``.
+:mod:`repro.machine.fastpath`) and the trace engine stacked on top of
+it (:mod:`repro.machine.traces`) exist to make the simulator fast
+enough for fleet-scale experiments without changing a single
+architectural outcome.  This benchmark pins the speed half of that
+claim — the correctness half is pinned by
+``tests/integration/test_lockstep.py``.
 
-Three workloads, each run on the same platform with ``fastpath=True``
-and ``fastpath=False``:
+Four workloads, each run on three engine tiers (``reference`` =
+``fastpath=False``, ``fast`` = ``fastpath=True``, ``trace`` =
+``fastpath=True, trace=True``):
 
-* ``busy-loop``   — a register-only spin, the decode cache's best case
-  and the dominant instruction mix of idle guests; must clear the 3x
-  floor.
-* ``memcpy``      — a word-copy loop, exercising the MPU lookaside and
-  the bus RAM short-circuit on every iteration.
-* ``trustlet-ipc``— the full sender/receiver IPC image with preemptive
-  scheduling: interrupts, state spills, MPU reprogramming — the
-  worst realistic case.
+* ``busy-loop``          — a register-only spin under a compute-sized
+  scheduling quantum; the trace engine's best case and the dominant
+  instruction mix of idle guests.
+* ``memcpy``             — a word-copy loop, exercising the MPU
+  lookaside and the bus RAM short-circuit on every iteration.
+* ``trustlet-ipc``       — the full sender/receiver IPC image with
+  preemptive scheduling: interrupts, state spills — the worst
+  realistic case for batching.
+* ``trustlet-ipc-heavy`` — deep IPC ping-pong with per-hop compute
+  loops and an EA-MPU reconfiguration between hops, forcing a
+  lookaside reload and a trace revalidation per hop.
 
-Both engines must retire the *same* instruction count in the same
+All engines must retire the *same* instruction count in the same
 simulated-cycle budget (a cheap lockstep sanity check); throughput is
 retired instructions per host second, best of ``HOST_BENCH_REPEATS``.
+Per-workload decode-cache / lookaside / trace statistics land in the
+JSON artifact so regressions in cache behaviour are visible without
+rerunning anything.
 
 Artifacts: a human-readable table in ``benchmarks/out/
 host_throughput.txt`` and machine-readable ``BENCH_host_throughput.json``
@@ -30,21 +39,36 @@ Scale knobs (so CI smoke runs stay quick):
 
     HOST_BENCH_CYCLES    simulated cycles per measurement (default 400000)
     HOST_BENCH_REPEATS   best-of repeat count             (default 3)
+    REPRO_BENCH_FLOOR    override every speedup floor (0 disables)
 """
 
 import os
 import time
 
-from benchmarks._util import write_artifact, write_bench_json
+from benchmarks._util import bench_floor, write_artifact, write_bench_json
 from repro.core.image import ImageBuilder, SoftwareModule
 from repro.core.platform import TrustLitePlatform
 from repro.sw import runtime
-from repro.sw.images import build_ipc_image, os_module
+from repro.sw.images import build_ipc_heavy_image, build_ipc_image, os_module
 
 CYCLES = int(os.environ.get("HOST_BENCH_CYCLES", "400000"))
 REPEATS = int(os.environ.get("HOST_BENCH_REPEATS", "3"))
-SPEEDUP_FLOOR = 3.0
+#: Fast tier on busy-loop (the PR-3 floor, unchanged).
+SPEEDUP_FLOOR = bench_floor(3.0)
+#: Trace tier floors (ISSUE 9): busy-loop and the IPC-heavy workload.
+TRACE_FLOOR_BUSY = bench_floor(15.0)
+TRACE_FLOOR_IPC_HEAVY = bench_floor(8.0)
 MEMCPY_WORDS = 64
+#: Scheduling quantum for the compute-bound workloads: long enough
+#: that the benchmark measures the guest loop rather than the OS tick
+#: path, short enough that preemption still happens ~200 times per run.
+BUSY_QUANTUM = 2000
+
+ENGINES = {
+    "reference": {"fastpath": False},
+    "fast": {"fastpath": True},
+    "trace": {"fastpath": True, "trace": True},
+}
 
 
 def _busy_source(lay):
@@ -84,9 +108,9 @@ copy:
 """
 
 
-def _single_trustlet_image(source):
+def _single_trustlet_image(source, timer_period=BUSY_QUANTUM):
     builder = ImageBuilder()
-    builder.add_module(os_module(timer_period=400))
+    builder.add_module(os_module(timer_period=timer_period))
     builder.add_module(
         SoftwareModule(name="BENCH", source=source, data_size=0x400)
     )
@@ -97,15 +121,38 @@ WORKLOADS = {
     "busy-loop": lambda: _single_trustlet_image(_busy_source),
     "memcpy": lambda: _single_trustlet_image(_memcpy_source),
     "trustlet-ipc": lambda: build_ipc_image(timer_period=600),
+    "trustlet-ipc-heavy": lambda: build_ipc_heavy_image(timer_period=600),
 }
 
 
-def _throughput(build_image, *, fastpath: bool) -> tuple[float, int]:
-    """Best-of-N retired instructions per host second (and the count)."""
+def _engine_stats(platform) -> dict:
+    """Cache observability for one finished run (empty for reference)."""
+    fp = platform.cpu.fastpath
+    if fp is None:
+        return {}
+    mpu_stats = platform.mpu.stats
+    stats = {
+        "decode_cache": fp.decode_cache.stats,
+        "lookaside": {
+            "hits": mpu_stats.lookaside_hits,
+            "misses": mpu_stats.lookaside_misses,
+            "evictions": fp.lookaside.evictions if fp.lookaside else 0,
+            "checks": mpu_stats.checks,
+            "regions_scanned": mpu_stats.regions_scanned,
+        },
+    }
+    if fp.traces is not None:
+        stats["traces"] = fp.traces.stats
+    return stats
+
+
+def _throughput(build_image, engine: dict) -> tuple[float, int, dict]:
+    """Best-of-N retired instr/host-second, count, and cache stats."""
     best = 0.0
     retired = 0
+    stats: dict = {}
     for _ in range(REPEATS):
-        platform = TrustLitePlatform(fastpath=fastpath)
+        platform = TrustLitePlatform(**engine)
         platform.boot(build_image())
         base = platform.cpu.instructions_retired
         started = time.perf_counter()
@@ -113,39 +160,58 @@ def _throughput(build_image, *, fastpath: bool) -> tuple[float, int]:
         elapsed = time.perf_counter() - started
         retired = platform.cpu.instructions_retired - base
         best = max(best, retired / elapsed)
-    return best, retired
+        stats = _engine_stats(platform)
+    return best, retired, stats
 
 
 def test_host_throughput():
-    """Fast path >= 3x on the busy loop; both engines retire identically."""
+    """Fast >= 3x and trace >= 15x on busy-loop, trace >= 8x on
+    IPC-heavy; every engine retires the identical instruction count."""
     results = {}
     for name, build_image in WORKLOADS.items():
-        fast_ips, fast_retired = _throughput(build_image, fastpath=True)
-        slow_ips, slow_retired = _throughput(build_image, fastpath=False)
-        assert fast_retired == slow_retired, (
-            f"{name}: engines diverged "
-            f"({fast_retired} vs {slow_retired} retired)"
-        )
-        assert fast_retired > 0, f"{name}: workload retired nothing"
+        rows = {}
+        stats = {}
+        baseline_retired = None
+        for engine_name, engine in ENGINES.items():
+            ips, engine_retired, engine_stats = _throughput(
+                build_image, engine
+            )
+            assert engine_retired > 0, f"{name}: workload retired nothing"
+            if baseline_retired is None:
+                baseline_retired = engine_retired
+            assert engine_retired == baseline_retired, (
+                f"{name}: engine {engine_name!r} diverged "
+                f"({engine_retired} vs {baseline_retired} retired)"
+            )
+            rows[engine_name] = ips
+            if engine_stats:
+                stats[engine_name] = engine_stats
+        reference = rows["reference"]
         results[name] = {
-            "fast_ips": round(fast_ips),
-            "slow_ips": round(slow_ips),
-            "speedup": round(fast_ips / slow_ips, 2),
-            "retired": fast_retired,
+            "reference_ips": round(reference),
+            "fast_ips": round(rows["fast"]),
+            "trace_ips": round(rows["trace"]),
+            "fast_speedup": round(rows["fast"] / reference, 2),
+            "trace_speedup": round(rows["trace"] / reference, 2),
+            "retired": baseline_retired,
+            "stats": stats,
         }
 
     lines = [
         f"host throughput, {CYCLES} simulated cycles, "
         f"best of {REPEATS}",
-        f"  {'workload':<14}{'cached':>12}{'reference':>12}"
-        f"{'speedup':>9}",
+        f"  {'workload':<20}{'reference':>12}{'fast':>9}{'trace':>9}",
     ]
     for name, row in results.items():
         lines.append(
-            f"  {name:<14}{row['fast_ips']:>10}/s{row['slow_ips']:>10}/s"
-            f"{row['speedup']:>8.2f}x"
+            f"  {name:<20}{row['reference_ips']:>10}/s"
+            f"{row['fast_speedup']:>8.2f}x{row['trace_speedup']:>8.2f}x"
         )
-    lines.append(f"  floor: busy-loop >= {SPEEDUP_FLOOR:.0f}x")
+    lines.append(
+        f"  floors: fast busy-loop >= {SPEEDUP_FLOOR:.1f}x, trace "
+        f"busy-loop >= {TRACE_FLOOR_BUSY:.1f}x, trace ipc-heavy >= "
+        f"{TRACE_FLOOR_IPC_HEAVY:.1f}x"
+    )
     write_artifact("host_throughput.txt", "\n".join(lines))
 
     write_bench_json(
@@ -154,11 +220,24 @@ def test_host_throughput():
             "cycles": CYCLES,
             "repeats": REPEATS,
             "speedup_floor": SPEEDUP_FLOOR,
+            "trace_floor_busy": TRACE_FLOOR_BUSY,
+            "trace_floor_ipc_heavy": TRACE_FLOOR_IPC_HEAVY,
             "workloads": results,
         },
     )
 
-    speedup = results["busy-loop"]["speedup"]
-    assert speedup >= SPEEDUP_FLOOR, (
-        f"busy-loop speedup only {speedup:.2f}x (floor {SPEEDUP_FLOOR}x)"
+    fast_busy = results["busy-loop"]["fast_speedup"]
+    assert fast_busy >= SPEEDUP_FLOOR, (
+        f"busy-loop fast speedup only {fast_busy:.2f}x "
+        f"(floor {SPEEDUP_FLOOR}x)"
+    )
+    trace_busy = results["busy-loop"]["trace_speedup"]
+    assert trace_busy >= TRACE_FLOOR_BUSY, (
+        f"busy-loop trace speedup only {trace_busy:.2f}x "
+        f"(floor {TRACE_FLOOR_BUSY}x)"
+    )
+    trace_ipc = results["trustlet-ipc-heavy"]["trace_speedup"]
+    assert trace_ipc >= TRACE_FLOOR_IPC_HEAVY, (
+        f"trustlet-ipc-heavy trace speedup only {trace_ipc:.2f}x "
+        f"(floor {TRACE_FLOOR_IPC_HEAVY}x)"
     )

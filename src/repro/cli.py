@@ -243,6 +243,7 @@ def _cmd_serve(args) -> int:
     report = run_service(
         config,
         workers=args.workers,
+        engine=args.engine,
         reuse_pool=not args.no_pool_reuse,
     )
     if args.json:
@@ -354,7 +355,7 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--adaptive-shards", action="store_true",
                        help="size shards from measured per-device "
                             "cost instead of --shard-size")
-    fleet.add_argument("--engine", choices=("fast", "reference"),
+    fleet.add_argument("--engine", choices=("fast", "reference", "trace"),
                        default="fast",
                        help="execution engine for hydrated clones")
     fleet.add_argument("--no-shared-blob", action="store_true",
@@ -416,6 +417,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--pipeline", type=int, default=2,
                        help="modeled verifier pipeline lanes (part of "
                             "the simulation, changes the report)")
+    serve.add_argument("--engine", choices=("fast", "reference", "trace"),
+                       default="fast",
+                       help="execution engine for hydrated devices")
     serve.add_argument("--workers", type=int, default=1,
                        help="worker processes for the quote checks "
                             "(wall clock only; the report is identical "

@@ -44,8 +44,12 @@ from repro.fleet.loadgen import (
 )
 from repro.fleet.metrics import Counter, Histogram, MetricsRegistry
 from repro.fleet.parallel import (
+    ENGINE_FAST,
+    ENGINE_REFERENCE,
+    ENGINE_TRACE,
     ENGINES,
     ExecutionPlan,
+    engine_kwargs,
     QuoteCheckBatch,
     ShardMerger,
     ShardTask,
@@ -104,6 +108,9 @@ __all__ = [
     "CostModel",
     "Counter",
     "DeviceVerdict",
+    "ENGINE_FAST",
+    "ENGINE_REFERENCE",
+    "ENGINE_TRACE",
     "ENGINES",
     "ExecutionPlan",
     "FaultModel",
@@ -135,6 +142,7 @@ __all__ = [
     "cost_model",
     "device_key",
     "discard_warm_pool",
+    "engine_kwargs",
     "execute_run",
     "flap_windows",
     "format_report",

@@ -48,7 +48,20 @@ from repro.machine.trace import Tracer
 
 ENGINE_FAST = "fast"
 ENGINE_REFERENCE = "reference"
-ENGINES = (ENGINE_FAST, ENGINE_REFERENCE)
+ENGINE_TRACE = "trace"
+ENGINES = (ENGINE_FAST, ENGINE_REFERENCE, ENGINE_TRACE)
+
+
+def engine_kwargs(engine: str) -> dict:
+    """Platform/clone constructor kwargs for a named execution engine."""
+    if engine not in ENGINES:
+        raise FleetError(
+            f"unknown engine {engine!r}; choose from {ENGINES}"
+        )
+    return {
+        "fastpath": engine != ENGINE_REFERENCE,
+        "trace": engine == ENGINE_TRACE,
+    }
 
 DEFAULT_SHARD_SIZE = 16
 
@@ -201,12 +214,24 @@ def collect_device_perf(device: FleetDevice, metrics: MetricsRegistry) -> None:
     platform = device.platform
     cpu = platform.cpu
     decode_hits = decode_misses = 0
+    trace_stats = None
     if cpu.fastpath is not None:
         decode_stats = cpu.fastpath.decode_cache.stats
         decode_hits = decode_stats["hits"]
         decode_misses = decode_stats["misses"]
+        if cpu.fastpath.traces is not None:
+            trace_stats = cpu.fastpath.traces.stats
     metrics.counter("fleet_decode_cache_hits").inc(decode_hits)
     metrics.counter("fleet_decode_cache_misses").inc(decode_misses)
+    if trace_stats is not None:
+        metrics.counter("fleet_trace_runs").inc(trace_stats["runs"])
+        metrics.counter("fleet_trace_instructions").inc(
+            trace_stats["instructions"]
+        )
+        metrics.counter("fleet_trace_recorded").inc(trace_stats["recorded"])
+        metrics.counter("fleet_trace_invalidations").inc(
+            trace_stats["invalidations"]
+        )
     mpu_stats = platform.mpu.stats
     metrics.counter("fleet_lookaside_hits").inc(
         getattr(mpu_stats, "lookaside_hits", 0)
@@ -250,10 +275,10 @@ def run_shard(task: ShardTask) -> dict:
     snapshot = _cached_snapshot(task.snapshot_blob)
     image = _cached_image(task.image_name)
     keys = dict(task.keys)
-    fastpath = task.engine == ENGINE_FAST
+    engine = engine_kwargs(task.engine)
     devices: dict[int, FleetDevice] = {}
     for device_id in task.device_ids:
-        platform = snapshot.clone(fastpath=fastpath)
+        platform = snapshot.clone(**engine)
         # The decoded snapshot carries no host handles; re-attach the
         # worker's own copy of the built image (tampering needs its
         # layouts).

@@ -64,9 +64,11 @@ from repro.fleet.loadgen import (
 )
 from repro.fleet.metrics import MetricsRegistry
 from repro.fleet.parallel import (
+    ENGINE_FAST,
     QuoteCheckBatch,
     _cached_image,
     _cached_snapshot,
+    engine_kwargs,
     verify_quote_batch,
 )
 from repro.fleet.pool import discard_warm_pool, get_warm_pool
@@ -216,6 +218,7 @@ class AttestationService:
         config: ServiceConfig,
         *,
         workers: int = 1,
+        engine: str = ENGINE_FAST,
         on_snapshot=None,
         reuse_pool: bool = True,
     ) -> None:
@@ -223,6 +226,13 @@ class AttestationService:
             raise FleetError(f"workers must be >= 1: {workers}")
         self.config = config
         self.workers = workers
+        # Execution-engine choice is, like the worker count, kept out
+        # of the frozen ServiceConfig: engines are architecturally
+        # identical, so it may change how fast the report is produced,
+        # never what it says.  Validated (and mapped to platform
+        # kwargs) up front so a typo fails before the golden boot.
+        self.engine = engine
+        self._engine_kwargs = engine_kwargs(engine)
         self.reuse_pool = reuse_pool
         self.on_snapshot = on_snapshot
         self.metrics = MetricsRegistry()
@@ -284,7 +294,7 @@ class AttestationService:
         keys = dict(self._prepared.keys)
         devices: dict[int, FleetDevice] = {}
         for device_id in range(config.devices):
-            platform = snapshot.clone(fastpath=True)
+            platform = snapshot.clone(**self._engine_kwargs)
             platform.image = image
             platform.soc.crypto.set_key(keys[device_id])
             tracer = (
@@ -666,6 +676,7 @@ class AttestationService:
             "metrics": self.metrics.to_dict(),
             "execution": {
                 "workers": self.workers,
+                "engine": self.engine,
                 "recovery": self.recovery.to_dict(),
             },
         }
@@ -675,6 +686,7 @@ def run_service(
     config: ServiceConfig,
     *,
     workers: int = 1,
+    engine: str = ENGINE_FAST,
     on_snapshot=None,
     reuse_pool: bool = True,
 ) -> dict:
@@ -683,6 +695,7 @@ def run_service(
         AttestationService(
             config,
             workers=workers,
+            engine=engine,
             on_snapshot=on_snapshot,
             reuse_pool=reuse_pool,
         ).run()
@@ -724,7 +737,11 @@ def format_serve_report(report: dict) -> str:
     )
     execution = report.get("execution")
     if execution:
-        lines.append(f"execution: {execution['workers']} worker(s)")
+        engine = execution.get("engine")
+        lines.append(
+            f"execution: {execution['workers']} worker(s)"
+            + (f", {engine} engine" if engine else "")
+        )
         lines.extend(_recovery_lines(execution.get("recovery", {})))
     lines.append(f"verdict: {'OK' if report['ok'] else 'MISMATCH'}")
     return "\n".join(lines)

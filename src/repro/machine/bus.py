@@ -267,6 +267,31 @@ class Bus:
             position += span
             remaining -= span
 
+    def ram_write_windows(self) -> tuple[tuple[int, int], ...]:
+        """``(base, end)`` of every short-circuited writable RAM window.
+
+        A store whose target lies inside one of these windows has no
+        side effect beyond the byte array itself (plus cache
+        invalidation, which the write listeners handle).  The trace
+        engine bakes these bounds into its store guards: anything
+        outside — MMIO, PROM, overridden memories — forces a side exit
+        so device semantics run under the interpreter.
+        """
+        return tuple(
+            (self._bases[i], self._ends[i])
+            for i in range(len(self._bases))
+            if self._ram_writable[i]
+        )
+
+    def next_event_in(self):
+        """Minimum of the attached devices' event horizons (or None)."""
+        horizon = None
+        for mapping in self._mappings:
+            candidate = mapping.device.next_event_in()
+            if candidate is not None and (horizon is None or candidate < horizon):
+                horizon = candidate
+        return horizon
+
     def tick(self, cycles: int) -> None:
         """Advance time on every attached device."""
         for mapping in self._mappings:

@@ -89,6 +89,7 @@ class Cpu:
         irq: InterruptController | None = None,
         reset_vector: int = 0,
         fastpath: bool = True,
+        trace: bool = False,
     ) -> None:
         self.bus = bus
         self.irq = irq if irq is not None else InterruptController()
@@ -103,9 +104,16 @@ class Cpu:
         # the curr_IP subject the EA-MPU sees (paper Fig. 2).
         self.curr_ip = reset_vector
         # ``fastpath=False`` is the reference engine: no decode cache,
-        # no MPU lookaside.  Semantics are identical either way — the
-        # lockstep differential harness enforces that.
-        self.fastpath = FastPath(self) if fastpath else None
+        # no MPU lookaside.  ``trace=True`` stacks the recording trace
+        # engine on top of the fast path.  Semantics are identical on
+        # all three tiers — the lockstep differential harness enforces
+        # that.
+        if trace and not fastpath:
+            raise MachineError("trace engine requires fastpath=True")
+        self.fastpath = FastPath(self, trace=trace) if fastpath else None
+        # Callable returning cycles until the next device event (set by
+        # the SoC to ``bus.next_event_in``); bounds batched trace runs.
+        self.event_horizon: Optional[Callable[[], int | None]] = None
         self._checker = None
         self._mpu = None
         self.exception_engine = None
@@ -127,6 +135,9 @@ class Cpu:
         self._mpu = value
         if value is None:
             self._checker = None
+            fp = self.fastpath
+            if fp is not None and fp.traces is not None:
+                fp.traces.flush()
         elif self.fastpath is not None:
             self._checker = self.fastpath.attach_mpu(value)
         else:
@@ -264,8 +275,16 @@ class Cpu:
     # ------------------------------------------------------------------
     # Execution.
 
-    def step(self) -> int:
-        """Execute one instruction (or deliver one event); returns cycles."""
+    def step(self, budget: int | None = None) -> int:
+        """Execute one instruction (or deliver one event); returns cycles.
+
+        ``budget`` — remaining cycles the caller is willing to spend —
+        unlocks the trace tier: with a budget the step may execute a
+        whole recorded trace batch (many instructions, one return
+        value), never exceeding it.  Without one (the default), the
+        step retires exactly one instruction, so single-step callers
+        see unchanged semantics even on a ``trace=True`` core.
+        """
         if self.halted:
             return 0
         engine = self.exception_engine
@@ -276,8 +295,14 @@ class Cpu:
                 cycles = engine.deliver_interrupt(self, pending)
                 self._account(cycles)
                 return cycles
+        fp = self.fastpath
+        traces = fp.traces if fp is not None else None
         try:
-            fp = self.fastpath
+            if traces is not None and budget is not None:
+                cycles = traces.dispatch(budget)
+                if cycles is not None:
+                    self._account(cycles)
+                    return cycles
             if fp is not None:
                 instr, length, cost = fp.fetch()
             else:
@@ -296,6 +321,12 @@ class Cpu:
             self.instructions_retired += 1
             if self.on_retire is not None:
                 self.on_retire(self, instr)
+            if (
+                traces is not None
+                and budget is not None
+                and self.ip < self.curr_ip
+            ):
+                traces.note_backward(self.ip)
         self._account(cycles)
         return cycles
 
@@ -306,7 +337,7 @@ class Cpu:
         """Run until HALT or the cycle budget is exhausted; returns cycles."""
         start = self.cycles
         while not self.halted and self.cycles - start < max_cycles:
-            self.step()
+            self.step(max_cycles - (self.cycles - start))
         return self.cycles - start
 
     def _execute(

@@ -35,6 +35,18 @@ class Device(abc.ABC):
     def tick(self, cycles: int) -> None:
         """Advance device time; default devices are timeless."""
 
+    def next_event_in(self):
+        """Cycles until this device's next externally visible event.
+
+        ``None`` (the default) means "no event scheduled".  Devices
+        with countdown behaviour (timer, watchdog) return the number of
+        cycles that may elapse before something observable happens — an
+        IRQ assertion, a reset pulse.  The trace engine uses the bus
+        minimum of these as the *event horizon*: a batched trace run
+        never crosses it, so batching cannot delay event delivery.
+        """
+        return None
+
     def read_block(self, offset: int, length: int) -> bytes:
         """Read ``length`` consecutive bytes starting at ``offset``.
 

@@ -88,6 +88,11 @@ class Timer(Device):
         self.period, self.handler, self.enabled, self._count, \
             self.fired = state
 
+    def next_event_in(self):
+        if not self.enabled or self.period == 0:
+            return None
+        return self._count
+
     def tick(self, cycles: int) -> None:
         """Advance the down-counter; fires the IRQ when it reaches zero."""
         if not self.enabled or self.period == 0:

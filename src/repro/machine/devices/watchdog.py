@@ -81,6 +81,11 @@ class Watchdog(Device):
     def restore_state(self, state) -> None:
         self.period, self.enabled, self._count, self.fired = state
 
+    def next_event_in(self):
+        if not self.enabled or self.period == 0:
+            return None
+        return self._count
+
     def tick(self, cycles: int) -> None:
         if not self.enabled or self.period == 0:
             return

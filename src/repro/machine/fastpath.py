@@ -40,6 +40,7 @@ streams with the fast path on and off.
 
 from __future__ import annotations
 
+from itertools import islice
 from typing import TYPE_CHECKING
 
 from repro.isa.cycles import cycle_cost
@@ -140,8 +141,11 @@ class MpuLookaside:
     """
 
     # Decision memo bound: sweeping workloads (large memcpys) touch
-    # many distinct addresses; past this the table is dropped whole —
-    # a flush costs re-misses, never correctness.
+    # many distinct addresses; past this the *oldest half* is evicted
+    # (dicts preserve insertion order), so hot keys that re-miss land
+    # in the surviving young half instead of the whole memo
+    # cold-starting mid-sweep.  An eviction costs re-misses, never
+    # correctness.
     MAX_DECISIONS = 1 << 16
 
     def __init__(self, mpu) -> None:
@@ -149,6 +153,7 @@ class MpuLookaside:
         self._generation = -1
         self._subject_masks: dict[int, int] = {}
         self._decisions: dict[tuple, bool] = {}
+        self.evictions = 0
         # Valid regions only, as plain ints: (base, end, perm, subjects,
         # index).  ``index`` keeps subject-mask bit positions identical
         # to the uncached scan.
@@ -201,7 +206,12 @@ class MpuLookaside:
                     allow = True
                     break
             if len(self._decisions) >= self.MAX_DECISIONS:
-                self._decisions.clear()
+                # In-place so bound references (the trace engine holds
+                # ``_decisions.get``) stay valid.
+                drop = len(self._decisions) // 2
+                for stale in list(islice(self._decisions, drop)):
+                    del self._decisions[stale]
+                self.evictions += drop
             self._decisions[key] = allow
         else:
             stats.lookaside_hits += 1
@@ -213,11 +223,18 @@ class MpuLookaside:
 class FastPath:
     """Per-CPU fast-path state: decode cache + lookaside + bus hooks."""
 
-    def __init__(self, cpu: "Cpu") -> None:
+    def __init__(self, cpu: "Cpu", trace: bool = False) -> None:
         self.cpu = cpu
         self.bus = cpu.bus
         self.decode_cache = DecodeCache()
         self.lookaside: MpuLookaside | None = None
+        if trace:
+            # Imported here: the trace engine builds on this module.
+            from repro.machine.traces import TraceEngine
+
+            self.traces: "TraceEngine | None" = TraceEngine(self)
+        else:
+            self.traces = None
         self.bus.add_write_listener(self._on_bus_write)
         self.bus.add_topology_listener(self._on_topology_change)
         self._sync_memory_hooks()
@@ -227,9 +244,14 @@ class FastPath:
     def _on_bus_write(self, address: int, length: int) -> None:
         if self.decode_cache.entries:
             self.decode_cache.invalidate_range(address, length)
+        if self.traces is not None:
+            self.traces.invalidate_range(address, length)
 
     def _on_topology_change(self) -> None:
         self._sync_memory_hooks()
+        if self.traces is not None:
+            # Traces bake RAM-window bounds into their store guards.
+            self.traces.flush()
 
     def _sync_memory_hooks(self) -> None:
         """Watch host-side mutation of every RAM-backed window.
@@ -254,6 +276,10 @@ class FastPath:
 
     def attach_mpu(self, mpu):
         """Build a checker for ``mpu``; lookaside when it supports one."""
+        if self.traces is not None:
+            # Recorded traces bake the old MPU's masks and decision
+            # memo; a new protection hook invalidates all of that.
+            self.traces.flush()
         if getattr(mpu, "supports_lookaside", False):
             self.lookaside = MpuLookaside(mpu)
             return self.lookaside.check

@@ -58,6 +58,7 @@ class SoC:
         flash_prom: bool = False,
         with_dma: bool = False,
         fastpath: bool = True,
+        trace: bool = False,
     ) -> None:
         self.bus = Bus()
         self.irq = InterruptController()
@@ -88,12 +89,25 @@ class SoC:
             self.dma = DmaController(self.bus)
             self.bus.attach(DMA_BASE, self.dma)
         self.cpu = Cpu(
-            self.bus, self.irq, reset_vector=reset_vector, fastpath=fastpath
+            self.bus,
+            self.irq,
+            reset_vector=reset_vector,
+            fastpath=fastpath,
+            trace=trace,
         )
+        # Bound trace batches: a batched run never crosses the next
+        # device event, so ``bus.tick(batch)`` fires IRQs at exactly
+        # the cycle counts the single-step loop would.
+        self.cpu.event_horizon = self.bus.next_event_in
 
-    def step(self) -> int:
-        """One CPU step plus device time; returns cycles elapsed."""
-        cycles = self.cpu.step()
+    def step(self, budget: int | None = None) -> int:
+        """One CPU step plus device time; returns cycles elapsed.
+
+        With a ``budget`` (as :meth:`run` supplies), a step on a
+        ``trace=True`` core may batch-execute a recorded trace — many
+        instructions, one device tick, identical event timing.
+        """
+        cycles = self.cpu.step(budget)
         if cycles:
             self.bus.tick(cycles)
         return cycles
@@ -102,7 +116,7 @@ class SoC:
         """Run until HALT or the budget is exhausted; returns cycles used."""
         used = 0
         while not self.cpu.halted and used < max_cycles:
-            cycles = self.step()
+            cycles = self.step(max_cycles - used)
             if cycles == 0:
                 break
             used += cycles

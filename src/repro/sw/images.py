@@ -91,6 +91,47 @@ def build_ipc_image(*, timer_period: int = 600):
     return builder.build()
 
 
+def build_ipc_heavy_image(*, timer_period: int = 600, depth: int = 96):
+    """OS + compute-heavy sender/receiver pair with per-hop MPU writes.
+
+    The benchmark workload behind ``trustlet-ipc-heavy``: every hop
+    runs a ``depth``-iteration register loop on each side of a full
+    voluntary-yield IPC round trip, and the sender rewrites one spare
+    (invalid, last-index) EA-MPU region register between hops.  The
+    write never changes effective policy, but it bumps the region
+    file's generation exactly like a real reconfiguration — forcing a
+    lookaside reload and a trace revalidation per hop.
+    """
+    from repro.core.platform import DEFAULT_MPU_REGIONS
+    from repro.mpu import mmio as mpu_mmio
+
+    # BASE register of the last region, which the Secure Loader never
+    # allocates for an image this small; its ATTR stays 0 (invalid).
+    reconfig = (
+        socmap.MPU_MMIO_BASE
+        + mpu_mmio.REGIONS
+        + (DEFAULT_MPU_REGIONS - 1) * mpu_mmio.REGION_STRIDE
+    )
+    builder = ImageBuilder()
+    builder.add_module(os_module(timer_period=timer_period))
+    builder.add_module(
+        SoftwareModule(
+            name="TL-SND",
+            source=trustlets.ipc_heavy_sender_source(
+                "TL-RCV", depth=depth, reconfig_address=reconfig
+            ),
+            mmio_grants=(MmioGrant(reconfig, 4, Perm.RW),),
+        )
+    )
+    builder.add_module(
+        SoftwareModule(
+            name="TL-RCV",
+            source=trustlets.ipc_heavy_receiver_source(depth=depth),
+        )
+    )
+    return builder.build()
+
+
 def build_attestation_image(*, timer_period: int = 2000):
     """OS + attestation trustlet with exclusive crypto-engine access."""
     builder = ImageBuilder()

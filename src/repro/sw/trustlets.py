@@ -144,6 +144,119 @@ impl_call:
     return source
 
 
+def ipc_heavy_sender_source(
+    peer_name: str, *, depth: int = 48, reconfig_address: int | None = None
+):
+    """The compute-then-send half of the IPC-heavy benchmark workload.
+
+    Each hop mixes a value through a ``depth``-iteration register loop
+    (a traceable hot region), optionally rewrites one spare EA-MPU
+    region register (an MPU *reconfiguration* that bumps the region
+    file's generation without changing effective policy — the region
+    stays invalid), then performs a full voluntary-yield IPC round trip
+    to the peer's ``call()`` entry.  Data word +8 counts completed
+    hops; +12 accumulates the mixed value so the work is observable.
+    """
+
+    def source(lay: ModuleLayout) -> str:
+        base = lay.peer_entry(peer_name)
+        reconfig = ""
+        if reconfig_address is not None:
+            reconfig = (
+                f"    movi r4, {reconfig_address:#x}\n"
+                "    stw r7, [r4]            ; MPU reconfig: generation bump"
+            )
+        return f"""
+{runtime.entry_vector()}
+.equ SENT, {lay.data_base + SENDER_OFF_SENT:#x}
+.equ ACC, {lay.data_base + SENDER_OFF_SENT + 4:#x}
+.equ PEER_CALL, {base + 8:#x}     ; peer entry vector +8 = call()
+main:
+send_loop:
+    movi r4, SENT
+    ldw r6, [r4]
+    movi r5, {depth}
+    mov r7, r6
+mix:
+    muli r7, r7, 0x8089
+    xori r7, r7, 0x5bd1
+    addi r7, r7, 1
+    subi r5, r5, 1
+    cmpi r5, 0
+    bne mix
+    movi r4, ACC
+    ldw r8, [r4]
+    add r8, r8, r7
+    stw r8, [r4]
+{reconfig}
+    movi r0, 1              ; type
+    mov r1, r7              ; msg = mixed value
+{runtime.save_state_fragment(lay, "after_send")}
+    cli                     ; mask interrupts across the handshake
+    movi r2, {lay.code_base + 16:#x}   ; return to own resume() entry
+    jmp PEER_CALL
+after_send:
+    movi r4, SENT
+    ldw r6, [r4]
+    addi r6, r6, 1
+    stw r6, [r4]            ; hops += 1
+    jmp send_loop
+{runtime.continue_impl(lay)}
+impl_call:
+    jmp impl_call
+{runtime.resume_impl(lay)}
+"""
+
+    return source
+
+
+def ipc_heavy_receiver_source(*, depth: int = 48):
+    """The receive-and-compute half of the IPC-heavy workload.
+
+    ``call()`` mixes the incoming message through a ``depth``-iteration
+    register loop (a second traceable hot region, executed on the
+    *sender's* context) before appending it to the usual ring buffer.
+    Same data layout as :func:`queue_receiver_source`.
+    """
+
+    def source(lay: ModuleLayout) -> str:
+        data = lay.data_base
+        return f"""
+{runtime.entry_vector()}
+.equ WIDX, {data + QUEUE_OFF_WRITE_INDEX:#x}
+.equ TOTAL, {data + QUEUE_OFF_TOTAL:#x}
+.equ SLOTS, {data + QUEUE_OFF_SLOTS:#x}
+main:
+    jmp main                ; passive: all work happens in call()
+impl_call:
+    movi r3, {depth}
+rmix:
+    muli r1, r1, 0x10dcd
+    xori r1, r1, 0x9e37
+    subi r3, r3, 1
+    cmpi r3, 0
+    bne rmix
+    movi r3, WIDX
+    ldw r4, [r3]
+    muli r5, r4, 4
+    addi r5, r5, SLOTS
+    stw r1, [r5+0]          ; slots[widx] = mixed msg
+    addi r4, r4, 1
+    andi r4, r4, {QUEUE_CAPACITY - 1}
+    stw r4, [r3]
+    movi r3, TOTAL
+    ldw r4, [r3]
+    addi r4, r4, 1
+    stw r4, [r3]            ; total += 1
+    jmpr r2                 ; return to the sender's entry point
+{runtime.continue_impl(lay)}
+impl_resume:
+    jmp impl_resume
+"""
+
+    return source
+
+
 def attestation_source():
     """The attestation trustlet of the SMART-like instantiation.
 

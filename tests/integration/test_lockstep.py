@@ -1,17 +1,20 @@
-"""Differential lockstep harness: fast path vs reference engine.
+"""Differential lockstep harness: cached engines vs reference.
 
 The fast-path execution engine (decode cache, EA-MPU lookaside, bus
-routing cache) claims to be semantically invisible.  This harness
-*proves* it per workload: every canned guest program is run twice —
-once on the cached engine, once with ``fastpath=False`` — and the two
-platforms must end in bit-identical architectural state: register file,
-memories, device internals, EA-MPU region file, pending interrupts,
-cycle totals, retired-instruction counts, fault addresses, and the
-complete retired-instruction trace stream.
+routing cache) and the trace engine stacked on top of it (recorded
+superinstruction regions, :mod:`repro.machine.traces`) claim to be
+semantically invisible.  This harness *proves* it per workload: every
+canned guest program is run on the reference engine
+(``fastpath=False``) and once per cached tier (``fast``, ``trace``),
+and the platforms must end in bit-identical architectural state:
+register file, memories, device internals, EA-MPU region file, pending
+interrupts, cycle totals, retired-instruction counts, fault addresses,
+and the complete retired-instruction trace stream.
 
 MPU counter discipline: ``checks`` and ``faults`` must match exactly
-(a lookaside hit is still a check); only ``regions_scanned`` may drop
-on the cached engine.
+(a lookaside hit is still a check, and a trace entry charges exactly
+the checks its instructions would have performed); only
+``regions_scanned`` may drop on the cached engines.
 """
 
 import pytest
@@ -21,6 +24,7 @@ from repro.machine.snapshot import Snapshot
 from repro.machine.trace import Tracer
 from repro.sw.images import (
     build_attestation_image,
+    build_ipc_heavy_image,
     build_ipc_image,
     build_probe_image,
     build_two_counter_image,
@@ -35,6 +39,7 @@ WORKLOADS = {
         timer_period=97
     ),
     "ipc": lambda: build_ipc_image(timer_period=600),
+    "ipc-heavy": lambda: build_ipc_heavy_image(timer_period=600),
     "attestation": lambda: build_attestation_image(),
     "probe-read-data": lambda: build_probe_image(
         operation="read", target="data"
@@ -53,12 +58,18 @@ WORKLOADS = {
     ),
 }
 
+#: The cached engine tiers, each diffed against the reference.
+ENGINES = {
+    "fast": {"fastpath": True},
+    "trace": {"fastpath": True, "trace": True},
+}
+
 MAX_CYCLES = 150_000
 TRACE_CAPACITY = 1 << 17
 
 
-def _run(build_image, *, fastpath: bool):
-    platform = TrustLitePlatform(fastpath=fastpath)
+def _run(build_image, **engine):
+    platform = TrustLitePlatform(**engine)
     platform.boot(build_image())
     tracer = Tracer(capacity=TRACE_CAPACITY).attach(platform.cpu)
     platform.run(max_cycles=MAX_CYCLES)
@@ -98,30 +109,38 @@ def _assert_identical(fast, slow, fast_trace, slow_trace):
 @pytest.mark.parametrize("name", sorted(WORKLOADS))
 def test_lockstep(name):
     build_image = WORKLOADS[name]
-    fast, fast_trace = _run(build_image, fastpath=True)
     slow, slow_trace = _run(build_image, fastpath=False)
-    assert fast_trace.retired > 0, "workload retired no instructions"
-    _assert_identical(fast, slow, fast_trace, slow_trace)
+    assert slow_trace.retired > 0, "workload retired no instructions"
+    for engine_name, engine in ENGINES.items():
+        cached, cached_trace = _run(build_image, **engine)
+        try:
+            _assert_identical(cached, slow, cached_trace, slow_trace)
+        except AssertionError as exc:
+            raise AssertionError(
+                f"{engine_name} engine diverged from reference: {exc}"
+            ) from exc
 
 
-def test_lockstep_warm_reset():
+@pytest.mark.parametrize("engine_name", sorted(ENGINES))
+def test_lockstep_warm_reset(engine_name):
     """Re-boot through the loader (MPU reprogramming) stays identical."""
-    fast, _ = _run(WORKLOADS["two-counter"], fastpath=True)
+    cached, _ = _run(WORKLOADS["two-counter"], **ENGINES[engine_name])
     slow, _ = _run(WORKLOADS["two-counter"], fastpath=False)
-    for platform in (fast, slow):
+    for platform in (cached, slow):
         platform.warm_reset()
-    fast_trace = Tracer(capacity=TRACE_CAPACITY).attach(fast.cpu)
+    cached_trace = Tracer(capacity=TRACE_CAPACITY).attach(cached.cpu)
     slow_trace = Tracer(capacity=TRACE_CAPACITY).attach(slow.cpu)
-    fast.run(max_cycles=60_000)
+    cached.run(max_cycles=60_000)
     slow.run(max_cycles=60_000)
-    _assert_identical(fast, slow, fast_trace, slow_trace)
+    _assert_identical(cached, slow, cached_trace, slow_trace)
 
 
-def test_lockstep_across_snapshot_clone():
+@pytest.mark.parametrize("engine_name", sorted(ENGINES))
+def test_lockstep_across_snapshot_clone(engine_name):
     """A clone of a warmed cached platform replays like the reference."""
-    fast, _ = _run(WORKLOADS["ipc"], fastpath=True)
+    cached, _ = _run(WORKLOADS["ipc"], **ENGINES[engine_name])
     slow, _ = _run(WORKLOADS["ipc"], fastpath=False)
-    clone = Snapshot.save(fast).clone()
+    clone = Snapshot.save(cached).clone(**ENGINES[engine_name])
     clone_trace = Tracer(capacity=TRACE_CAPACITY).attach(clone.cpu)
     slow_trace = Tracer(capacity=TRACE_CAPACITY).attach(slow.cpu)
     clone.run(max_cycles=60_000)

@@ -278,6 +278,71 @@ class TestLookasideStats:
         assert slow.stats.lookaside_misses == 0
 
 
+class TestLookasideEviction:
+    SECRET = 0x4000
+
+    def _warmed(self) -> tuple[Cpu, EaMpu]:
+        cpu = _machine("main:\n    nop\n    jmp main\n")
+        mpu = EaMpu(num_regions=8)
+        mpu.program_region(0, 0x0000, 0x1000, Perm.RX, subjects=ANY_SUBJECT)
+        mpu.program_region(
+            1, self.SECRET, self.SECRET + 0x1000, Perm.RW,
+            subjects=ANY_SUBJECT,
+        )
+        mpu.set_enabled(True)
+        cpu.mpu = mpu
+        cpu.step()  # curr_ip inside region 0
+        return cpu, mpu
+
+    def test_overflow_evicts_oldest_half_not_whole_table(self):
+        """Hot (young) keys must survive a full decision memo.
+
+        The memo used to cold-start wholesale at ``MAX_DECISIONS``:
+        one sweeping workload crossing the bound re-missed *every*
+        live key, including the hot loop's own.  Overflow now drops
+        only the oldest half, in place (trace closures hold a bound
+        ``_decisions.get``), so recently-minted decisions keep
+        answering from the lookaside.
+        """
+        cpu, mpu = self._warmed()
+        la = cpu.fastpath.lookaside
+        la.MAX_DECISIONS = 8
+        address = self.SECRET
+        while len(la._decisions) < la.MAX_DECISIONS:
+            cpu.load(address)
+            address += 4
+        young = list(la._decisions)[la.MAX_DECISIONS // 2:]
+        hot_address = address - 4  # youngest decision of all
+        # One more distinct miss crosses the bound: the oldest half
+        # goes, the young half (and the new key) stay.
+        cpu.load(address)
+        assert la.evictions == la.MAX_DECISIONS // 2
+        assert la._decisions, "eviction emptied the memo"
+        assert len(la._decisions) == la.MAX_DECISIONS // 2 + 1
+        for key in young:
+            assert key in la._decisions, "young decision was evicted"
+        # And a surviving key still answers from the lookaside.
+        hits_before = mpu.stats.lookaside_hits
+        misses_before = mpu.stats.lookaside_misses
+        cpu.load(hot_address)
+        assert mpu.stats.lookaside_hits == hits_before + 1
+        assert mpu.stats.lookaside_misses == misses_before
+
+    def test_eviction_never_changes_verdicts(self):
+        cpu, mpu = self._warmed()
+        la = cpu.fastpath.lookaside
+        la.MAX_DECISIONS = 4
+        # Sweep far past the bound, interleaving allowed reads with
+        # denied writes to the code region; every verdict must match
+        # the uncached scan regardless of what got evicted.
+        for i in range(32):
+            assert cpu.load(self.SECRET + 4 * i) == 0
+            with pytest.raises(MemoryProtectionFault):
+                cpu.store(0x0100, 1)
+        assert la.evictions > 0
+        assert mpu.stats.faults == 32
+
+
 class TestNonEaMpuHookStillWorks:
     def test_plain_check_object(self):
         class DenyOdd:
