@@ -59,6 +59,7 @@ from repro.analysis.fingerprint import (
     fingerprint_module,
     serialize_cfg,
 )
+from repro.analysis.ota import OTA_RULES, lint_container
 from repro.analysis.policy import AnalysisConfig, PromReader, StaticPolicy
 from repro.analysis.report import SCHEMA, AnalysisReport, Finding, Severity
 from repro.analysis.rules import ALL_RULES, AnalysisContext, Rule
@@ -79,6 +80,7 @@ __all__ = [
     "MemoryAccess",
     "ModuleCfg",
     "ModuleDataflow",
+    "OTA_RULES",
     "PromReader",
     "RegState",
     "Rule",
@@ -91,6 +93,7 @@ __all__ = [
     "fingerprint_image",
     "fingerprint_module",
     "lint_cache_stats",
+    "lint_container",
     "lint_image",
     "lint_image_cached",
     "module_roots",

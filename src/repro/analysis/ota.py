@@ -1,0 +1,103 @@
+"""trustlint rules for signed firmware containers (TL-OTA-*).
+
+The runtime verification chain in :mod:`repro.ota.container` raises on
+the *first* refusal; this frontend runs the same
+:func:`~repro.ota.container.container_problems` engine in reporting
+mode, turning every violation — unknown signing key, broken signature,
+version rollback, measurement divergence, or an outright malformed
+stream — into a :class:`~repro.analysis.report.Finding`, so a CI gate
+can lint an update artifact offline exactly as it lints an image.
+
+The :mod:`repro.ota` imports are deferred into :func:`lint_container`:
+ota's campaign layer imports the fleet, which imports this package, so
+a module-level import here would close a cycle.  The rule table below
+is therefore literal; a test pins it against the ``RULE_*`` constants
+in :mod:`repro.ota.container`.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import AnalysisReport, Finding, Severity
+from repro.errors import ContainerError
+
+OTA_RULES = {
+    "TL-OTA-001": (
+        "container names a signing key the verifier does not trust"
+    ),
+    "TL-OTA-002": (
+        "container signature missing or failing under the trust root"
+    ),
+    "TL-OTA-003": (
+        "firmware version below the committed monotonic floor"
+    ),
+    "TL-OTA-004": (
+        "prom section bytes diverge from the signed measurements"
+    ),
+    "TL-OTA-005": (
+        "container byte stream is not a well-formed TLFW container"
+    ),
+}
+
+#: Rule id reported when the stream does not even decode.
+RULE_MALFORMED = "TL-OTA-005"
+
+
+def lint_container(
+    container,
+    *,
+    trust_root: bytes | None = None,
+    version_floor: int = 0,
+    image_name: str = "",
+) -> AnalysisReport:
+    """Lint a container (or its byte stream) against the TL-OTA rules.
+
+    Every problem is an ``ERROR`` finding — a firmware container has
+    no defensible-but-suspicious middle ground.  A stream that does
+    not even decode yields a single ``TL-OTA-005`` finding carrying
+    the typed codec error's message.
+    """
+    from repro.ota.container import (
+        FirmwareContainer,
+        container_problems,
+        decode_container,
+    )
+
+    rules_run = tuple(sorted(OTA_RULES))
+    if not isinstance(container, FirmwareContainer):
+        try:
+            container = decode_container(container)
+        except ContainerError as exc:
+            return AnalysisReport(
+                findings=(
+                    Finding(
+                        rule=RULE_MALFORMED,
+                        severity=Severity.ERROR,
+                        message=str(exc),
+                    ),
+                ),
+                rules_run=rules_run,
+                image_name=image_name,
+            )
+    findings = tuple(
+        Finding(
+            rule=rule,
+            severity=Severity.ERROR,
+            message=message,
+            module=module,
+        )
+        for rule, module, message in container_problems(
+            container, trust_root, version_floor=version_floor
+        )
+    )
+    return AnalysisReport(
+        findings=findings,
+        modules=tuple(m.module for m in container.measurements),
+        rules_run=rules_run,
+        image_name=image_name or container.image_name,
+        notes=(
+            f"container {container.image_name} "
+            f"v{container.fw_version}, "
+            f"{len(container.sections)} section(s), "
+            f"{len(container.measurements)} measurement(s)",
+        ),
+    )

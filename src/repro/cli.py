@@ -14,6 +14,8 @@ the simulated platform:
 * ``serve``     — run the fleet as an attestation service under
   seeded open-loop load (Poisson arrivals, bursts, flap storms)
 * ``faults``    — seeded fault-injection campaign over the fleet
+* ``ota``       — staged signed-firmware update campaign with health
+  gates and deterministic auto-rollback
 
 Exit codes are uniform across commands: **0** success / clean,
 **1** findings or a failed check, **2** usage error (unknown command,
@@ -145,10 +147,21 @@ def _lint_images() -> dict:
 
 
 def _cmd_lint(args) -> int:
-    from repro.analysis import lint_image
+    from repro.analysis import lint_container, lint_image
 
-    image = _lint_images()[args.image]()
-    report = lint_image(image, image_name=args.image)
+    if args.container:
+        from repro.ota import build_demo_container
+
+        stream, root, floor = build_demo_container(args.container)
+        report = lint_container(
+            stream,
+            trust_root=root,
+            version_floor=floor,
+            image_name=f"container:{args.container}",
+        )
+    else:
+        image = _lint_images()[args.image]()
+        report = lint_image(image, image_name=args.image)
     if args.json:
         print(json.dumps(report.to_dict(), indent=2))
     else:
@@ -279,6 +292,39 @@ def _cmd_faults(args) -> int:
     return EXIT_OK if report["ok"] else EXIT_FINDINGS
 
 
+def _cmd_ota(args) -> int:
+    from repro.errors import FleetError
+    from repro.ota import OtaConfig, format_ota_report, run_campaign
+
+    try:
+        if args.workers < 1:
+            raise FleetError(f"workers must be >= 1: {args.workers}")
+        config = OtaConfig(
+            devices=args.devices,
+            seed=args.seed,
+            canary=args.canary,
+            cohort=args.cohort,
+            chunk_size=args.chunk_size,
+            drop_rate=args.drop_rate,
+            delay_min=args.delay_min,
+            delay_max=args.delay_max,
+            timeout_cycles=args.timeout_cycles,
+            max_attempts=args.attempts,
+            backoff_cycles=args.backoff_cycles,
+            fail=args.fail,
+            corrupt_chunk=args.corrupt_chunk,
+        )
+    except FleetError as exc:
+        print(f"ota: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    report = run_campaign(config, workers=args.workers)
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(format_ota_report(report))
+    return EXIT_OK if report["ok"] else EXIT_FINDINGS
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -312,6 +358,16 @@ def build_parser() -> argparse.ArgumentParser:
         ),
         default="two-counter",
         help="canned image to verify (default: two-counter)",
+    )
+    lint.add_argument(
+        "--container",
+        choices=(
+            "signed", "unsigned", "wrong-key", "rollback", "tampered",
+            "truncated",
+        ),
+        default=None,
+        help="lint a canned signed firmware container (TL-OTA rules) "
+             "instead of an image",
     )
     lint.add_argument(
         "--json", action="store_true",
@@ -456,6 +512,51 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--json", action="store_true",
                         help="emit the machine-readable report")
     faults.set_defaults(func=_cmd_faults)
+    ota = sub.add_parser(
+        "ota",
+        help="run a staged signed-firmware update campaign (exit 0 "
+             "fleet updated, 1 rolled back / failed)",
+    )
+    ota.add_argument("--devices", type=int, default=6,
+                     help="fleet size (default: 6)")
+    ota.add_argument("--seed", type=int, default=0,
+                     help="campaign seed (keys, link faults, nonces; "
+                          "same seed, same report bytes)")
+    ota.add_argument("--canary", type=int, default=1,
+                     help="devices in the canary wave (default: 1)")
+    ota.add_argument("--cohort", type=int, default=0,
+                     help="devices in the cohort wave (0 = a quarter "
+                          "of the remainder)")
+    ota.add_argument("--chunk-size", type=int, default=1024,
+                     help="container transfer chunk bytes (default: 1024)")
+    ota.add_argument("--drop-rate", type=float, default=0.0,
+                     help="per-link message loss probability")
+    ota.add_argument("--delay-min", type=int, default=0,
+                     help="minimum link delay in cycles")
+    ota.add_argument("--delay-max", type=int, default=256,
+                     help="maximum link delay in cycles")
+    ota.add_argument("--timeout-cycles", type=int, default=8192,
+                     help="per-chunk ack timeout in cycles")
+    ota.add_argument("--attempts", type=int, default=3,
+                     help="chunk send attempts before the transfer "
+                          "fails (default: 3)")
+    ota.add_argument("--backoff-cycles", type=int, default=4096,
+                     help="simulated-cycle backoff base per chunk "
+                          "retry (executor formula; default: 4096)")
+    ota.add_argument("--fail", choices=("none", "canary"),
+                     default="none",
+                     help="force a failure mode: 'canary' tampers the "
+                          "canary wave's installed code so the health "
+                          "gate fails and the campaign rolls back")
+    ota.add_argument("--corrupt-chunk", type=int, default=-1,
+                     help="flip a byte of this chunk index in flight "
+                          "on every device's first attempt (-1 = off)")
+    ota.add_argument("--workers", type=int, default=1,
+                     help="worker processes (the report payload is "
+                          "identical for any worker count)")
+    ota.add_argument("--json", action="store_true",
+                     help="emit the machine-readable report")
+    ota.set_defaults(func=_cmd_ota)
     return parser
 
 

@@ -110,6 +110,15 @@ class TrustLitePlatform:
         #: Last static-verification report (``verify_image`` /
         #: ``boot(verify=True)``); None until a verification ran.
         self.lint_report = None
+        #: Firmware version currently running (0 = booted raw image or
+        #: never booted) and the monotonic rollback floor.  The floor
+        #: only advances on :meth:`commit_firmware`, so an OTA campaign
+        #: can still roll back an uncommitted update while a replayed
+        #: old-but-signed container is refused after commit.
+        self.fw_version = 0
+        self.fw_floor = 0
+        #: The verified container last booted via :meth:`boot_signed`.
+        self.container = None
 
     # Convenience pass-throughs to the substrate.
     @property
@@ -192,6 +201,91 @@ class TrustLitePlatform:
                 findings=report.findings,
             )
         return report
+
+    def boot_signed(
+        self,
+        container,
+        *,
+        trust_root: bytes,
+        wipe_data: bool = True,
+    ) -> BootReport:
+        """Verify a signed firmware container and boot it.
+
+        ``container`` is a :class:`~repro.ota.container.FirmwareContainer`
+        or its encoded byte stream.  The full chain runs before one
+        byte reaches the PROM: decode (typed
+        :class:`~repro.errors.ContainerError` on damage), signature
+        check under ``trust_root`` (:class:`~repro.errors.SignatureError`
+        on a bad MAC or unknown key id), monotonic version check
+        against :attr:`fw_floor` (:class:`~repro.errors.RollbackError`
+        on a replayed old version), and a re-hash of the PROM section
+        against the signed per-module measurements.  After the Secure
+        Loader runs, its independently measured digests are
+        cross-checked against the container's — a loader/container
+        disagreement refuses the boot too.
+
+        The platform then runs *from the container*: :attr:`image` is
+        cleared (host-built layouts no longer describe the device) and
+        interrupt vectors are wired from the container's pre-resolved
+        vector block.  :attr:`fw_version` tracks the running version;
+        the rollback floor only moves on :meth:`commit_firmware`.
+        """
+        # Imported lazily: ota depends on core, not vice versa.
+        from repro.errors import ContainerError
+        from repro.ota.container import (
+            FirmwareContainer,
+            decode_container,
+            verify_container,
+        )
+
+        if not isinstance(container, FirmwareContainer):
+            container = decode_container(container)
+        verify_container(
+            container, trust_root, version_floor=self.fw_floor
+        )
+        prom = container.prom_section()
+        end = prom.load_address + len(prom.data)
+        if end > self.soc.prom.size:
+            raise PlatformError(
+                f"container prom section ends at {end:#x}, past the "
+                f"{self.soc.prom.size}-byte PROM"
+            )
+        self.soc.prom.load(prom.load_address, prom.data)
+        self.image = None
+        self.container = container
+        self.cpu.reset()
+        report = self.loader.boot(wipe_data=wipe_data)
+        signed = {m.module: m.digest for m in container.measurements}
+        for name, digest in report.measurements.items():
+            if name in signed and signed[name] != digest:
+                raise ContainerError(
+                    f"module {name!r}: Secure Loader measurement "
+                    "diverges from the signed container"
+                )
+        for vector in container.vectors:
+            if vector.kind == "irq":
+                self.engine.set_irq_vector(vector.number, vector.address)
+            else:
+                self.engine.set_exception_vector(
+                    vector.number, vector.address
+                )
+        self.fw_version = container.fw_version
+        self.boot_report = report
+        return report
+
+    def commit_firmware(self) -> int:
+        """Advance the monotonic rollback floor to the running version.
+
+        Called after an update's health gate passes; from here on any
+        container below this version is refused with
+        :class:`~repro.errors.RollbackError`.  Returns the new floor.
+        """
+        if self.fw_version < 1:
+            raise PlatformError(
+                "commit_firmware before a signed boot"
+            )
+        self.fw_floor = max(self.fw_floor, self.fw_version)
+        return self.fw_floor
 
     def warm_reset(self, *, wipe_data: bool = False) -> BootReport:
         """Platform reset: CPU reset + Secure Loader re-initialization.

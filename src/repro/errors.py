@@ -152,6 +152,38 @@ class ShardExecutionError(FleetError):
         self.cause = cause
 
 
+class ContainerError(ReproError):
+    """A signed firmware container is malformed or inconsistent.
+
+    Raised by :mod:`repro.ota.container` when decoding a byte stream
+    that is not a well-formed TLFW container (bad magic, truncation,
+    type confusion, implausible sizes) or when a structurally valid
+    container contradicts itself (section bytes diverging from the
+    signed per-module measurements).  Mirrors the
+    :class:`SnapcodecError` discipline: a corrupted update image must
+    never surface as ``IndexError``/``struct.error``.
+    """
+
+
+class SignatureError(ContainerError):
+    """A container's signature chain failed verification.
+
+    Either the container names a signing key the verifier does not
+    hold (wrong key id) or the signature MAC over the canonical body
+    does not check out under the trust root.
+    """
+
+
+class RollbackError(ContainerError):
+    """A signed container carries a firmware version below the floor.
+
+    The monotonic version floor only advances when an update is
+    *committed* after its health gate passes, so a replayed old —
+    but validly signed — container is refused with this error while
+    an auto-rollback to the still-uncommitted previous version is not.
+    """
+
+
 class FaultError(ReproError):
     """Invalid fault-injection request (bad plan, target, or schedule).
 

@@ -67,6 +67,7 @@ KIND_TAMPER = "tamper"
 KIND_ISOLATION = "isolation"
 KIND_STRESS = "stress"
 KIND_CODEC = "codec"
+KIND_OTA = "ota"
 
 
 @dataclass(frozen=True)
@@ -413,10 +414,163 @@ def _scenario_transport_flap(task, rng):
     return detail, violations
 
 
+def _ota_artifacts(seed: int):
+    """Signed v1/v2 container streams plus the trust root for ``seed``."""
+    from repro.ota.campaign import V2_TIMER_PERIOD, trust_root_key
+    from repro.ota.container import build_container, encode_container
+
+    root = trust_root_key(seed)
+    v1 = encode_container(
+        build_container(
+            build_attestation_image(),
+            image_name="attestation", fw_version=1, signing_key=root,
+        )
+    )
+    v2 = encode_container(
+        build_container(
+            build_attestation_image(timer_period=V2_TIMER_PERIOD),
+            image_name="attestation", fw_version=2, signing_key=root,
+        )
+    )
+    return v1, v2, root
+
+
+def _scenario_ota_chunk_corrupt(task, rng):
+    """A firmware chunk is corrupted in flight mid-transfer.
+
+    The device's digest check must *detect* the damage (never install
+    it), the chunk must be retried within the fleet
+    :class:`~repro.fleet.executor.RetryPolicy` budget, and the update
+    must still land verified on the new version — corruption costs
+    retries, never silent acceptance.
+    """
+    from repro.ota.campaign import (
+        UPDATED,
+        DeviceUpdateTask,
+        run_device_update,
+    )
+
+    v1, v2, root = _ota_artifacts(task.seed)
+    chunk_size = 256
+    chunks = (len(v2) + chunk_size - 1) // chunk_size
+    corrupt = rng.randrange(chunks)
+    result = run_device_update(
+        DeviceUpdateTask(
+            device_id=0,
+            seed=task.seed,
+            snapshot_blob=task.snapshot_blob,
+            container_v1=v1,
+            container_v2=v2,
+            trust_root=root,
+            key=device_key(task.seed, 0),
+            chunk_size=chunk_size,
+            drop_rate=0.0,
+            delay_min=0,
+            delay_max=64,
+            timeout_cycles=task.timeout_cycles,
+            max_attempts=task.max_retries + 1,
+            backoff_cycles=4096,
+            corrupt_chunk=corrupt,
+            tamper=False,
+            action="update",
+        )
+    )
+    transfer = result["transfer"]
+    violations = []
+    if not transfer["corrupt_detected"]:
+        violations.append(
+            f"corrupted chunk {corrupt} was not detected by the "
+            "device's digest check (silent acceptance)"
+        )
+    if not transfer["chunk_retries"]:
+        violations.append(
+            f"corrupted chunk {corrupt} was never retried"
+        )
+    if result["verdict"] != UPDATED or result["fw_version"] != 2:
+        violations.append(
+            f"update did not complete after corruption: verdict "
+            f"{result['verdict']!r}, fw_version {result['fw_version']}"
+        )
+    detail = {"corrupt_chunk": corrupt, "result": result}
+    return detail, violations
+
+
+def _scenario_ota_rollback_replay(task, rng):
+    """An old signed container is replayed after an update committed.
+
+    Version monotonicity: once v2 is committed, the still-validly-
+    signed v1 container must be refused with ``RollbackError``; a
+    bit-flipped container stream must be refused with a typed
+    ``ContainerError`` — in both cases nothing may boot silently.
+    """
+    from repro.errors import ContainerError, RollbackError
+    from repro.fleet.parallel import _cached_snapshot
+
+    v1, v2, root = _ota_artifacts(task.seed)
+    platform = _cached_snapshot(task.snapshot_blob).clone()
+    platform.soc.crypto.set_key(device_key(task.seed, 0))
+    platform.boot_signed(v1, trust_root=root)
+    platform.commit_firmware()
+    platform.boot_signed(v2, trust_root=root)
+    platform.commit_firmware()
+    violations = []
+    try:
+        platform.boot_signed(v1, trust_root=root)
+        violations.append(
+            "replayed v1 container booted after v2 was committed "
+            "(rollback silently accepted)"
+        )
+        replay = "accepted"
+    except RollbackError:
+        replay = "rejected"
+    except Exception as exc:  # noqa: BLE001 - the invariant itself
+        violations.append(
+            f"replayed v1 container raised {type(exc).__name__} "
+            "instead of RollbackError"
+        )
+        replay = "untyped_error"
+    position = rng.randrange(len(v2))
+    flipped = (
+        v2[:position]
+        + bytes((v2[position] ^ (1 << rng.randrange(8)),))
+        + v2[position + 1:]
+    )
+    try:
+        platform.boot_signed(flipped, trust_root=root)
+        violations.append(
+            f"container with byte {position} flipped booted "
+            "(corruption silently accepted)"
+        )
+        corrupt = "accepted"
+    except ContainerError:
+        corrupt = "rejected"
+    except Exception as exc:  # noqa: BLE001 - the invariant itself
+        violations.append(
+            f"flipped container raised untyped {type(exc).__name__} "
+            "instead of ContainerError"
+        )
+        corrupt = "untyped_error"
+    if platform.fw_version != 2 or platform.fw_floor != 2:
+        violations.append(
+            f"device left v2 after refused boots: version "
+            f"{platform.fw_version}, floor {platform.fw_floor}"
+        )
+    detail = {
+        "replay": replay,
+        "flipped_byte": position,
+        "corrupt": corrupt,
+        "fw_version": platform.fw_version,
+        "fw_floor": platform.fw_floor,
+    }
+    return detail, violations
+
+
 SCENARIOS = {
     "irq_drop": (KIND_STRESS, _scenario_irq_drop),
     "irq_storm": (KIND_STRESS, _scenario_irq_storm),
     "mpu_perm_glitch": (KIND_ISOLATION, _scenario_mpu_perm_glitch),
+    "ota_chunk_corrupt": (KIND_OTA, _scenario_ota_chunk_corrupt),
+    "ota_rollback_replay": (KIND_OTA, _scenario_ota_rollback_replay),
     "prom_code_flip": (KIND_TAMPER, _scenario_prom_code_flip),
     "ram_table_flip": (KIND_TAMPER, _scenario_ram_table_flip),
     "snapcodec_corrupt": (KIND_CODEC, _scenario_snapcodec_corrupt),

@@ -25,19 +25,33 @@ from repro.errors import FleetError
 
 CHALLENGE = "challenge"
 RESPONSE = "response"
+CHUNK = "chunk"
+ACK = "ack"
+
+#: Destination endpoint implied by each message kind: challenges and
+#: firmware chunks flow toward the device, responses and chunk acks
+#: back toward the verifier/update server.
+_KIND_ENDPOINTS = {
+    CHALLENGE: "device",
+    CHUNK: "device",
+    RESPONSE: "verifier",
+    ACK: "verifier",
+}
 
 _ENDPOINTS = ("device", "verifier")
 
 
 @dataclass(frozen=True)
 class Message:
-    """One attestation protocol message.
+    """One attestation or update protocol message.
 
-    ``nonce`` is set on challenges; ``quote`` on responses.  ``seq`` is
-    the verifier-assigned per-device sequence number — devices reject
-    anything not strictly newer than what they last answered (replay
-    protection), and the verifier ignores responses for superseded
-    sequence numbers (stale retries).
+    ``nonce`` is set on challenges (and carries the chunk digest on
+    firmware chunks); ``quote`` on responses; ``payload`` on firmware
+    chunks and chunk acks.  ``seq`` is the sender-assigned per-device
+    sequence number — devices reject anything not strictly newer than
+    what they last answered (replay protection), and the verifier
+    ignores responses for superseded sequence numbers (stale retries).
+    For chunks, ``seq`` is the chunk index.
     """
 
     kind: str
@@ -47,6 +61,7 @@ class Message:
     deliver_at: int
     nonce: bytes = b""
     quote: bytes = b""
+    payload: bytes = b""
 
 
 @dataclass(frozen=True)
@@ -188,13 +203,11 @@ class InProcessTransport:
         """Put ``message`` on the wire; returns False if the link ate it.
 
         The destination endpoint is implied by the message kind:
-        challenges flow verifier → device, responses device → verifier.
+        challenges and firmware chunks flow toward the device,
+        responses and chunk acks back toward the verifier.
         """
-        if message.kind == CHALLENGE:
-            endpoint = "device"
-        elif message.kind == RESPONSE:
-            endpoint = "verifier"
-        else:
+        endpoint = _KIND_ENDPOINTS.get(message.kind)
+        if endpoint is None:
             raise FleetError(f"unknown message kind {message.kind!r}")
         key = (endpoint, message.device_id)
         if key not in self._queues:
@@ -223,6 +236,7 @@ class InProcessTransport:
             deliver_at=message.sent_at + delay,
             nonce=message.nonce,
             quote=message.quote,
+            payload=message.payload,
         )
         queue = self._queues[key]
         queue.append(delivered)

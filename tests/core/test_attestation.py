@@ -181,3 +181,72 @@ class TestRemoteAttestor:
             assert not attestor.verify_quote(
                 nonce, quote, {row.tag_text: b"\x99" * 16}
             )
+
+
+class TestReflashAttestation:
+    """Quotes across a firmware update and its rollback.
+
+    A verifier holding the *old* container's signed measurements must
+    refuse a quote from the re-flashed device, and accept one again
+    after the campaign rolls the device back — the negative paths that
+    make an OTA health gate meaningful.
+    """
+
+    ROOT = b"\x42" * 16
+
+    @pytest.fixture(scope="class")
+    def containers(self):
+        from repro.ota.container import build_container
+        from repro.sw.images import build_attestation_image
+
+        def expected(container):
+            return {
+                m.module: m.digest for m in container.measurements
+            }
+
+        v1 = build_container(
+            build_attestation_image(),
+            image_name="attestation", fw_version=1,
+            signing_key=self.ROOT,
+        )
+        v2 = build_container(
+            build_attestation_image(timer_period=3000),
+            image_name="attestation", fw_version=2,
+            signing_key=self.ROOT,
+        )
+        return v1, v2, expected(v1), expected(v2)
+
+    def _quote_ok(self, platform, expected, nonce):
+        attestor = RemoteAttestor(
+            platform.table, platform.bus, DEVICE_KEY
+        )
+        return attestor.verify_quote(
+            nonce, attestor.quote(nonce), expected
+        )
+
+    def test_update_changes_the_measurements(self, containers):
+        _v1, _v2, expect_v1, expect_v2 = containers
+        assert set(expect_v1) == set(expect_v2)
+        assert expect_v1 != expect_v2
+
+    def test_old_references_fail_after_reflash(self, containers):
+        v1, v2, expect_v1, expect_v2 = containers
+        platform = TrustLitePlatform()
+        platform.boot_signed(v1, trust_root=self.ROOT)
+        assert self._quote_ok(platform, expect_v1, b"n-1")
+        assert not self._quote_ok(platform, expect_v2, b"n-2")
+        platform.boot_signed(v2, trust_root=self.ROOT)
+        # The verifier still expecting v1 must refuse the new quote.
+        assert not self._quote_ok(platform, expect_v1, b"n-3")
+        assert self._quote_ok(platform, expect_v2, b"n-4")
+
+    def test_rollback_restores_old_quotes(self, containers):
+        v1, v2, expect_v1, expect_v2 = containers
+        platform = TrustLitePlatform()
+        platform.boot_signed(v1, trust_root=self.ROOT)
+        platform.commit_firmware()
+        platform.boot_signed(v2, trust_root=self.ROOT)
+        # Health gate failed: no commit, roll back to v1.
+        platform.boot_signed(v1, trust_root=self.ROOT)
+        assert self._quote_ok(platform, expect_v1, b"n-5")
+        assert not self._quote_ok(platform, expect_v2, b"n-6")

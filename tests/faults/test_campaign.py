@@ -96,6 +96,33 @@ class TestCampaignReport:
         assert "invariants: OK" in text
 
 
+class TestOtaScenarios:
+    """No-silent-acceptance: the OTA scenarios' core assertions."""
+
+    def test_chunk_corruption_detected_and_recovered(self, small_report):
+        by_name = {s["name"]: s for s in small_report["scenarios"]}
+        scenario = by_name["ota_chunk_corrupt"]
+        assert scenario["ok"] is True
+        result = scenario["detail"]["result"]
+        assert result["transfer"]["corrupt_detected"] >= 1
+        assert result["transfer"]["chunk_retries"] >= 1
+        assert result["verdict"] == "updated"
+        assert result["fw_version"] == 2
+
+    def test_rollback_replay_refused_with_typed_errors(
+        self, small_report
+    ):
+        by_name = {s["name"]: s for s in small_report["scenarios"]}
+        scenario = by_name["ota_rollback_replay"]
+        assert scenario["ok"] is True
+        detail = scenario["detail"]
+        assert detail["replay"] == "rejected"
+        assert detail["corrupt"] == "rejected"
+        # The refused boots left the device on the committed version.
+        assert detail["fw_version"] == 2
+        assert detail["fw_floor"] == 2
+
+
 class TestDeterminism:
     def test_rerun_is_byte_identical(self, small_report):
         again = run_campaign(SMALL)

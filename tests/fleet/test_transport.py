@@ -4,7 +4,9 @@ import pytest
 
 from repro.errors import FleetError
 from repro.fleet.transport import (
+    ACK,
     CHALLENGE,
+    CHUNK,
     RESPONSE,
     FaultModel,
     InProcessTransport,
@@ -140,6 +142,63 @@ class TestInProcessTransport:
         stats = transport.stats
         assert stats.sent == stats.delivered + stats.dropped
         assert stats.in_flight == 0
+
+
+class TestChunkChannel:
+    """The OTA chunk/ack kinds ride the same lossy links."""
+
+    def test_chunk_routes_to_device_endpoint(self):
+        transport = InProcessTransport()
+        transport.register(0)
+        transport.send(Message(
+            kind=CHUNK, device_id=0, seq=4, sent_at=0, deliver_at=0,
+            nonce=b"d", payload=b"firmware-bytes",
+        ))
+        assert transport.poll("verifier", 0, now=0) == []
+        delivered = transport.poll("device", 0, now=0)
+        assert [m.seq for m in delivered] == [4]
+
+    def test_ack_routes_to_verifier_endpoint(self):
+        transport = InProcessTransport()
+        transport.register(0)
+        transport.send(Message(
+            kind=ACK, device_id=0, seq=4, sent_at=0, deliver_at=0,
+            payload=b"ok",
+        ))
+        assert transport.poll("device", 0, now=0) == []
+        delivered = transport.poll("verifier", 0, now=0)
+        assert [m.payload for m in delivered] == [b"ok"]
+
+    def test_payload_survives_delivery_bit_for_bit(self):
+        transport = InProcessTransport(
+            fault_model=FaultModel(delay_min=10, delay_max=10)
+        )
+        transport.register(0)
+        payload = bytes(range(256)) * 4
+        transport.send(Message(
+            kind=CHUNK, device_id=0, seq=1, sent_at=0, deliver_at=0,
+            nonce=b"digest", payload=payload,
+        ))
+        delivered = transport.poll("device", 0, now=10)
+        assert delivered[0].payload == payload
+        assert delivered[0].nonce == b"digest"
+
+    def test_payload_defaults_empty(self):
+        assert challenge().payload == b""
+
+    def test_chunks_subject_to_drops(self):
+        transport = InProcessTransport(
+            seed=13, fault_model=FaultModel(drop_rate=0.5)
+        )
+        transport.register(0)
+        outcomes = [
+            transport.send(Message(
+                kind=CHUNK, device_id=0, seq=seq, sent_at=0,
+                deliver_at=0, payload=b"x",
+            ))
+            for seq in range(1, 101)
+        ]
+        assert any(outcomes) and not all(outcomes)
 
 
 class TestPartitions:

@@ -1,0 +1,196 @@
+"""Tests for the signed-container boot chain on the platform."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.platform import TrustLitePlatform
+from repro.errors import (
+    ContainerError,
+    PlatformError,
+    RollbackError,
+    SignatureError,
+)
+from repro.machine.snapcodec import encode_snapshot
+from repro.machine.snapshot import Snapshot
+from repro.ota.container import (
+    Section,
+    SECTION_PROM,
+    build_container,
+    demo_trust_root,
+    encode_container,
+    sign_container,
+)
+from repro.sw.images import build_attestation_image
+
+ROOT = demo_trust_root()
+
+
+@pytest.fixture(scope="module")
+def image():
+    return build_attestation_image()
+
+
+@pytest.fixture(scope="module")
+def v1(image):
+    return build_container(
+        image, image_name="attestation", fw_version=1, signing_key=ROOT
+    )
+
+
+@pytest.fixture(scope="module")
+def v2():
+    image = build_attestation_image(timer_period=3000)
+    return build_container(
+        image, image_name="attestation", fw_version=2, signing_key=ROOT
+    )
+
+
+class TestSignedBoot:
+    def test_boot_launches_and_tracks_version(self, v1):
+        platform = TrustLitePlatform()
+        report = platform.boot_signed(v1, trust_root=ROOT)
+        assert report.launched == v1.entry_module
+        assert platform.fw_version == 1
+        assert platform.fw_floor == 0  # floor moves on commit only
+        assert platform.container is v1
+        assert platform.image is None
+
+    def test_boot_from_byte_stream(self, v1):
+        platform = TrustLitePlatform()
+        platform.boot_signed(encode_container(v1), trust_root=ROOT)
+        assert platform.fw_version == 1
+        assert platform.container == v1
+
+    def test_container_boot_matches_image_boot(self, image, v1):
+        """A container boot is the same machine as an image boot."""
+        from_image = TrustLitePlatform()
+        from_image.boot(image)
+        from_container = TrustLitePlatform()
+        from_container.boot_signed(v1, trust_root=ROOT)
+        from_image.run(max_cycles=20_000)
+        from_container.run(max_cycles=20_000)
+        assert encode_snapshot(
+            Snapshot.save(from_container)
+        ) == encode_snapshot(Snapshot.save(from_image))
+
+    def test_loader_measurements_match_signed(self, v1):
+        platform = TrustLitePlatform()
+        report = platform.boot_signed(v1, trust_root=ROOT)
+        signed = {m.module: m.digest for m in v1.measurements}
+        assert {
+            name: digest
+            for name, digest in report.measurements.items()
+            if name in signed
+        } == signed
+
+
+class TestRefusals:
+    def test_unsigned_refused(self, image):
+        unsigned = build_container(
+            image, image_name="attestation", fw_version=1
+        )
+        platform = TrustLitePlatform()
+        with pytest.raises(SignatureError, match="unsigned"):
+            platform.boot_signed(unsigned, trust_root=ROOT)
+
+    def test_wrong_key_refused(self, image):
+        other = build_container(
+            image, image_name="attestation", fw_version=1,
+            signing_key=b"imposter",
+        )
+        platform = TrustLitePlatform()
+        with pytest.raises(SignatureError, match="unknown key"):
+            platform.boot_signed(other, trust_root=ROOT)
+
+    def test_malformed_stream_refused(self, v1):
+        platform = TrustLitePlatform()
+        stream = encode_container(v1)
+        with pytest.raises(ContainerError, match="truncated"):
+            platform.boot_signed(
+                stream[: len(stream) // 2], trust_root=ROOT
+            )
+
+    def test_tampered_prom_refused(self, v1):
+        prom = v1.prom_section()
+        offset = v1.measurements[0].code_base + 1
+        bad = dataclasses.replace(
+            v1,
+            sections=(
+                Section(
+                    SECTION_PROM,
+                    prom.load_address,
+                    prom.data[:offset]
+                    + bytes((prom.data[offset] ^ 1,))
+                    + prom.data[offset + 1:],
+                ),
+            ),
+        )
+        bad = sign_container(bad, ROOT)
+        platform = TrustLitePlatform()
+        with pytest.raises(ContainerError, match="diverge"):
+            platform.boot_signed(bad, trust_root=ROOT)
+
+    def test_oversized_prom_refused(self, v1):
+        # Valid signature and measurements (the padding is past every
+        # measured span), but the section does not fit the device PROM.
+        prom = v1.prom_section()
+        platform = TrustLitePlatform()
+        padded = prom.data + b"\x00" * (
+            platform.soc.prom.size - len(prom.data) + 1
+        )
+        big = dataclasses.replace(
+            v1,
+            sections=(Section(SECTION_PROM, prom.load_address, padded),),
+        )
+        big = sign_container(big, ROOT)
+        with pytest.raises(PlatformError, match="past the"):
+            platform.boot_signed(big, trust_root=ROOT)
+
+    def test_refusal_leaves_running_firmware_untouched(self, v1, v2):
+        """A refused update must not brick the device."""
+        platform = TrustLitePlatform()
+        platform.boot_signed(v1, trust_root=ROOT)
+        platform.commit_firmware()
+        before = encode_snapshot(Snapshot.save(platform))
+        bad = dataclasses.replace(v2, signature=b"\x00" * 16)
+        with pytest.raises(SignatureError):
+            platform.boot_signed(bad, trust_root=ROOT)
+        assert platform.fw_version == 1
+        assert platform.container == v1
+        assert encode_snapshot(Snapshot.save(platform)) == before
+        platform.run(max_cycles=10_000)  # still alive
+
+
+class TestRollbackFloor:
+    def test_commit_before_boot_refused(self):
+        platform = TrustLitePlatform()
+        with pytest.raises(PlatformError, match="before a signed boot"):
+            platform.commit_firmware()
+
+    def test_commit_advances_floor_monotonically(self, v1, v2):
+        platform = TrustLitePlatform()
+        platform.boot_signed(v1, trust_root=ROOT)
+        assert platform.commit_firmware() == 1
+        platform.boot_signed(v2, trust_root=ROOT)
+        assert platform.fw_floor == 1  # not yet committed
+        assert platform.commit_firmware() == 2
+        assert platform.commit_firmware() == 2  # idempotent
+
+    def test_uncommitted_update_can_roll_back(self, v1, v2):
+        platform = TrustLitePlatform()
+        platform.boot_signed(v1, trust_root=ROOT)
+        platform.commit_firmware()
+        platform.boot_signed(v2, trust_root=ROOT)
+        # No commit: the health gate never passed, so v1 is legal.
+        platform.boot_signed(v1, trust_root=ROOT)
+        assert platform.fw_version == 1
+
+    def test_committed_version_cannot_be_replayed(self, v1, v2):
+        platform = TrustLitePlatform()
+        platform.boot_signed(v2, trust_root=ROOT)
+        platform.commit_firmware()
+        with pytest.raises(RollbackError, match="below the committed"):
+            platform.boot_signed(v1, trust_root=ROOT)
+        assert platform.fw_version == 2
+        assert platform.fw_floor == 2

@@ -1,0 +1,479 @@
+"""Tests for the TLFW signed firmware container codec."""
+
+import dataclasses
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import OTA_RULES
+from repro.crypto import DIGEST_SIZE
+from repro.errors import ContainerError, RollbackError, SignatureError
+from repro.ota.container import (
+    KEY_ID_SIZE,
+    MAGIC,
+    MAX_ADDRESS,
+    MAX_NAME_BYTES,
+    RULE_BAD_SIGNATURE,
+    RULE_MALFORMED,
+    RULE_MEASUREMENT,
+    RULE_ROLLBACK,
+    RULE_UNKNOWN_KEY,
+    SECTION_NOTE,
+    SECTION_PROM,
+    VECTOR_IRQ,
+    VERSION,
+    FirmwareContainer,
+    Measurement,
+    Section,
+    Vector,
+    _Reader,
+    build_container,
+    build_demo_container,
+    container_problems,
+    decode_container,
+    demo_trust_root,
+    encode_container,
+    key_fingerprint,
+    sign_container,
+    signing_material,
+    verify_container,
+)
+from repro.sw.images import build_attestation_image
+
+
+@pytest.fixture(scope="module")
+def image():
+    return build_attestation_image()
+
+
+@pytest.fixture(scope="module")
+def root():
+    return demo_trust_root()
+
+
+@pytest.fixture(scope="module")
+def signed(image, root):
+    return build_container(
+        image, image_name="attestation", fw_version=2, signing_key=root
+    )
+
+
+@pytest.fixture(scope="module")
+def blob(signed):
+    return encode_container(signed)
+
+
+class TestRoundTrip:
+    def test_encode_decode_encode_bit_identical(self, blob):
+        assert encode_container(decode_container(blob)) == blob
+
+    def test_decoded_fields_match_source(self, signed, blob):
+        decoded = decode_container(blob)
+        assert decoded == signed
+
+    def test_encoding_is_deterministic(self, signed):
+        assert encode_container(signed) == encode_container(signed)
+
+    def test_signing_material_excludes_signature(self, signed):
+        stripped = dataclasses.replace(signed, signature=b"")
+        assert signing_material(signed) == signing_material(stripped)
+
+    def test_memoryview_and_bytearray_accepted(self, blob, signed):
+        assert decode_container(bytearray(blob)) == signed
+        assert decode_container(memoryview(blob)) == signed
+
+
+class TestBuild:
+    def test_measurements_match_attestation_table(self, image, signed):
+        from repro.core.attestation import expected_measurements
+
+        digests = expected_measurements(image)
+        assert [m.module for m in signed.measurements] == list(
+            image.module_order
+        )
+        for measurement in signed.measurements:
+            assert measurement.digest == digests[measurement.module]
+
+    def test_vectors_resolve_entry_module_symbols(self, image, signed):
+        symbols = image.layout_of(signed.entry_module).symbols
+        assert signed.vectors, "entry module must export ISR vectors"
+        for vector in signed.vectors:
+            assert vector.address in symbols.values()
+
+    def test_key_id_is_trust_root_fingerprint(self, signed, root):
+        assert signed.key_id == key_fingerprint(root)
+        assert len(signed.key_id) == KEY_ID_SIZE
+
+    def test_bad_fw_version_refused(self, image):
+        with pytest.raises(ContainerError, match="version"):
+            build_container(image, image_name="x", fw_version=0)
+
+    def test_unknown_entry_module_refused(self, image):
+        with pytest.raises(ContainerError, match="no module"):
+            build_container(
+                image, image_name="x", fw_version=1,
+                entry_module="ghost",
+            )
+
+    def test_empty_signing_key_refused(self):
+        with pytest.raises(ContainerError, match="empty"):
+            key_fingerprint(b"")
+
+
+class TestVerificationChain:
+    def test_signed_container_verifies(self, signed, root):
+        verify_container(signed, root)
+        assert container_problems(signed, root) == []
+
+    def test_unsigned_refused(self, image, root):
+        unsigned = build_container(
+            image, image_name="attestation", fw_version=2
+        )
+        with pytest.raises(SignatureError, match="unsigned"):
+            verify_container(unsigned, root)
+
+    def test_wrong_key_refused(self, image, root):
+        other = build_container(
+            image, image_name="attestation", fw_version=2,
+            signing_key=b"not-the-root",
+        )
+        with pytest.raises(SignatureError, match="unknown key"):
+            verify_container(other, root)
+
+    def test_corrupted_signature_refused(self, signed, root):
+        bad = dataclasses.replace(
+            signed,
+            signature=bytes((signed.signature[0] ^ 1,))
+            + signed.signature[1:],
+        )
+        with pytest.raises(SignatureError, match="does not verify"):
+            verify_container(bad, root)
+
+    def test_version_below_floor_refused(self, signed, root):
+        with pytest.raises(RollbackError, match="below the committed"):
+            verify_container(signed, root, version_floor=3)
+
+    def test_version_at_floor_accepted(self, signed, root):
+        verify_container(
+            signed, root, version_floor=signed.fw_version
+        )
+
+    def test_prom_divergence_refused(self, signed, root):
+        prom = signed.prom_section()
+        # Flip a byte squarely inside the first measured code span.
+        offset = signed.measurements[0].code_base - prom.load_address + 1
+        bad = dataclasses.replace(
+            signed,
+            sections=(
+                Section(
+                    SECTION_PROM,
+                    prom.load_address,
+                    prom.data[:offset]
+                    + bytes((prom.data[offset] ^ 1,))
+                    + prom.data[offset + 1:],
+                ),
+            ),
+        )
+        bad = sign_container(bad, root)  # signature itself is fine
+        with pytest.raises(ContainerError, match="diverge"):
+            verify_container(bad, root)
+
+    def test_signature_outranks_rollback(self, image, root):
+        """An unsigned version field is not evidence of anything."""
+        unsigned = build_container(
+            image, image_name="attestation", fw_version=1
+        )
+        with pytest.raises(SignatureError):
+            verify_container(unsigned, root, version_floor=5)
+        rules = [
+            rule
+            for rule, _, _ in container_problems(
+                unsigned, root, version_floor=5
+            )
+        ]
+        assert rules == [RULE_BAD_SIGNATURE, RULE_ROLLBACK]
+
+
+class TestDemoContainers:
+    EXPECT = {
+        "signed": None,
+        "unsigned": SignatureError,
+        "wrong-key": SignatureError,
+        "rollback": RollbackError,
+        "tampered": ContainerError,
+        "truncated": ContainerError,
+    }
+
+    @pytest.mark.parametrize("kind", sorted(EXPECT))
+    def test_each_kind_fails_as_documented(self, kind):
+        stream, root, floor = build_demo_container(kind)
+        expected = self.EXPECT[kind]
+        if expected is None:
+            verify_container(
+                decode_container(stream), root, version_floor=floor
+            )
+        else:
+            with pytest.raises(expected):
+                verify_container(
+                    decode_container(stream), root, version_floor=floor
+                )
+
+    def test_unknown_kind_refused(self):
+        with pytest.raises(ContainerError, match="unknown demo"):
+            build_demo_container("exploded")
+
+
+class TestErrorPaths:
+    def test_bad_magic_rejected(self, blob):
+        with pytest.raises(ContainerError, match="magic"):
+            decode_container(b"NOPE" + blob[4:])
+
+    def test_unsupported_version_rejected(self, blob):
+        bad = bytearray(blob)
+        bad[len(MAGIC)] = VERSION + 1
+        with pytest.raises(ContainerError, match="format version"):
+            decode_container(bytes(bad))
+
+    def test_truncated_stream_rejected(self, blob):
+        with pytest.raises(ContainerError, match="truncated"):
+            decode_container(blob[: len(blob) // 2])
+
+    def test_trailing_garbage_rejected(self, blob):
+        with pytest.raises(ContainerError, match="trailing"):
+            decode_container(blob + b"\x00")
+
+    @pytest.mark.parametrize(
+        "confused", [None, 42, 3.14, "TLFW", ["TLFW"], object()]
+    )
+    def test_type_confusion_rejected(self, confused):
+        with pytest.raises(ContainerError, match="must be bytes"):
+            decode_container(confused)
+
+    def test_non_canonical_varint_rejected(self):
+        with pytest.raises(ContainerError, match="non-canonical"):
+            _Reader(b"\x80\x00").uvarint()
+
+    def test_oversized_varint_rejected(self):
+        with pytest.raises(ContainerError, match="64 bits"):
+            _Reader(b"\xff" * 11 + b"\x01").uvarint()
+
+    def test_zero_fw_version_rejected(self, signed, root):
+        stamped = dataclasses.replace(signed, fw_version=0)
+        with pytest.raises(ContainerError, match="version"):
+            decode_container(encode_container(stamped))
+
+    def test_short_key_id_rejected(self, signed):
+        bad = dataclasses.replace(signed, key_id=b"\x00")
+        with pytest.raises(ContainerError, match="key id"):
+            decode_container(encode_container(bad))
+
+    def test_missing_prom_section_rejected(self, signed):
+        bad = dataclasses.replace(
+            signed, sections=(Section(SECTION_NOTE, 0, b"hi"),)
+        )
+        with pytest.raises(ContainerError, match="exactly one prom"):
+            decode_container(encode_container(bad))
+
+    def test_two_prom_sections_rejected(self, signed):
+        bad = dataclasses.replace(
+            signed, sections=signed.sections * 2
+        )
+        with pytest.raises(ContainerError, match="exactly one prom"):
+            decode_container(encode_container(bad))
+
+    def test_unknown_section_kind_rejected(self, signed):
+        bad = dataclasses.replace(
+            signed,
+            sections=signed.sections + (Section("blob", 0, b""),),
+        )
+        with pytest.raises(ContainerError, match="section kind"):
+            decode_container(encode_container(bad))
+
+    def test_no_measurements_rejected(self, signed):
+        bad = dataclasses.replace(signed, measurements=())
+        with pytest.raises(ContainerError, match="no measurements"):
+            decode_container(encode_container(bad))
+
+    def test_inverted_code_span_rejected(self, signed):
+        bad = dataclasses.replace(
+            signed,
+            measurements=(
+                Measurement("os", 100, 100, b"\x00" * DIGEST_SIZE),
+            ),
+        )
+        with pytest.raises(ContainerError, match="code span"):
+            decode_container(encode_container(bad))
+
+    def test_short_digest_rejected(self, signed):
+        bad = dataclasses.replace(
+            signed, measurements=(Measurement("os", 0, 8, b"\x01"),)
+        )
+        with pytest.raises(ContainerError, match="digest"):
+            decode_container(encode_container(bad))
+
+    def test_odd_signature_size_rejected(self, signed):
+        bad = dataclasses.replace(signed, signature=b"\x01\x02")
+        with pytest.raises(ContainerError, match="signature"):
+            decode_container(encode_container(bad))
+
+    def test_unknown_vector_kind_rejected(self, signed):
+        bad = dataclasses.replace(
+            signed, vectors=(Vector("nmi", 0, 0x100),)
+        )
+        with pytest.raises(ContainerError, match="vector kind"):
+            decode_container(encode_container(bad))
+
+
+class TestRuleTable:
+    def test_analysis_rules_pin_container_constants(self):
+        assert set(OTA_RULES) == {
+            RULE_UNKNOWN_KEY,
+            RULE_BAD_SIGNATURE,
+            RULE_ROLLBACK,
+            RULE_MEASUREMENT,
+            RULE_MALFORMED,
+        }
+        assert all(OTA_RULES.values())
+
+
+# Hypothesis strategies spanning the codec's value space.
+_names = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+    max_size=MAX_NAME_BYTES // 4,
+)
+_addresses = st.integers(min_value=0, max_value=MAX_ADDRESS - 1)
+_sections = st.lists(
+    st.tuples(
+        st.just(SECTION_NOTE), _addresses, st.binary(max_size=64)
+    ).map(lambda t: Section(*t)),
+    max_size=3,
+).flatmap(
+    lambda notes: st.tuples(_addresses, st.binary(max_size=256)).map(
+        lambda t: tuple(notes) + (Section(SECTION_PROM, t[0], t[1]),)
+    )
+)
+_measurements = st.lists(
+    st.tuples(
+        _names,
+        st.integers(min_value=0, max_value=MAX_ADDRESS - 2),
+        st.integers(min_value=1, max_value=MAX_ADDRESS - 1),
+        st.binary(min_size=DIGEST_SIZE, max_size=DIGEST_SIZE),
+    ).map(
+        lambda t: Measurement(
+            t[0], min(t[1], t[2] - 1), max(t[2], t[1] + 1), t[3]
+        )
+    ),
+    min_size=1,
+    max_size=4,
+).map(tuple)
+_vectors = st.lists(
+    st.tuples(
+        st.sampled_from((VECTOR_IRQ, "exception")),
+        st.integers(min_value=0, max_value=31),
+        _addresses,
+    ).map(lambda t: Vector(*t)),
+    max_size=4,
+).map(tuple)
+_containers = st.builds(
+    FirmwareContainer,
+    image_name=_names,
+    fw_version=st.integers(min_value=1, max_value=2**40),
+    entry_module=_names,
+    key_id=st.binary(min_size=KEY_ID_SIZE, max_size=KEY_ID_SIZE),
+    sections=_sections,
+    measurements=_measurements,
+    vectors=_vectors,
+    signature=st.just(b"")
+    | st.binary(min_size=DIGEST_SIZE, max_size=DIGEST_SIZE),
+)
+
+
+class TestContainerProperties:
+    @settings(max_examples=150, deadline=None)
+    @given(_containers)
+    def test_container_round_trip(self, container):
+        stream = encode_container(container)
+        decoded = decode_container(stream)
+        assert decoded == container
+        assert encode_container(decoded) == stream
+
+    @settings(max_examples=150, deadline=None)
+    @given(_containers)
+    def test_problems_never_crash(self, container):
+        """The reporting engine is total over decodable containers."""
+        for rule, _module, message in container_problems(
+            container, b"some-root", version_floor=2**39
+        ):
+            assert rule in OTA_RULES
+            assert message
+
+
+class TestMalformedInputFuzz:
+    """A mangled stream NEVER escapes the typed error contract.
+
+    Every decode of damaged bytes either raises ``ContainerError`` or
+    returns a ``FirmwareContainer`` — no ``IndexError``,
+    ``UnicodeDecodeError``, ``MemoryError`` or runaway allocation.
+    Seeded (not hypothesis) so the corpus is stable.
+    """
+
+    @staticmethod
+    def _decode_must_be_typed(bad):
+        try:
+            container = decode_container(bad)
+        except ContainerError:
+            return "rejected"
+        assert isinstance(container, FirmwareContainer)
+        return "decoded"
+
+    def test_every_truncation(self, blob):
+        for cut in range(len(blob)):
+            assert (
+                self._decode_must_be_typed(blob[:cut]) == "rejected"
+            ), f"prefix of {cut} byte(s) decoded"
+
+    def test_bit_flips(self, blob):
+        rng = random.Random("tlfw:fuzz:flip")
+        for _ in range(200):
+            out = bytearray(blob)
+            for _ in range(rng.randrange(1, 9)):
+                out[rng.randrange(len(out))] ^= 1 << rng.randrange(8)
+            self._decode_must_be_typed(bytes(out))
+
+    def test_garbage_and_extremes(self, blob):
+        rng = random.Random("tlfw:fuzz:garbage")
+        self._decode_must_be_typed(b"")
+        self._decode_must_be_typed(MAGIC)
+        self._decode_must_be_typed(MAGIC + b"\xff" * 64)
+        for size in (1, 16, 256, 4096):
+            self._decode_must_be_typed(rng.randbytes(size))
+        # A huge declared length must be rejected, not allocated.
+        self._decode_must_be_typed(blob[:5] + b"\xff" * 10)
+
+    def test_spliced_payloads(self, blob):
+        rng = random.Random("tlfw:fuzz:splice")
+        for _ in range(60):
+            a = rng.randrange(len(blob))
+            b = rng.randrange(len(blob))
+            lo, hi = min(a, b), max(a, b)
+            self._decode_must_be_typed(blob[:lo] + blob[hi:])
+
+    def test_flips_that_still_decode_fail_verification(self, blob, root):
+        """Damage that survives the codec dies in the chain instead."""
+        rng = random.Random("tlfw:fuzz:verify")
+        survived = 0
+        for _ in range(300):
+            out = bytearray(blob)
+            out[rng.randrange(len(out))] ^= 1 << rng.randrange(8)
+            try:
+                container = decode_container(bytes(out))
+            except ContainerError:
+                continue
+            survived += 1
+            if bytes(out) == blob:
+                continue  # flip landed on its own inverse — impossible
+            with pytest.raises(ContainerError):
+                verify_container(container, root)
+        assert survived, "corpus never exercised the chain"

@@ -265,7 +265,9 @@ class TestFaults:
         assert report["schema"] == "repro.faults/1"
         assert report["ok"] is True
         assert report["violations"] == 0
-        assert len(report["scenarios"]) == 8
+        from repro.faults import SCENARIO_NAMES
+
+        assert len(report["scenarios"]) == len(SCENARIO_NAMES)
 
     def test_text_report(self, capsys):
         assert main([
@@ -287,3 +289,66 @@ class TestFaults:
     )
     def test_bad_values_are_usage_errors(self, extra, capsys):
         assert main(["faults"] + extra) == EXIT_USAGE
+
+
+class TestOta:
+    SMALL = ["ota", "--devices", "3", "--seed", "7", "--delay-max", "32"]
+
+    def test_campaign_updates_and_emits_json(self, capsys):
+        assert main(self.SMALL + ["--json"]) == EXIT_OK
+        report = json.loads(capsys.readouterr().out)
+        assert report["schema"] == "repro.ota/1"
+        assert report["ok"] is True
+        assert report["devices_on_target"] == [0, 1, 2]
+
+    def test_text_report(self, capsys):
+        assert main(self.SMALL) == EXIT_OK
+        out = capsys.readouterr().out
+        assert "gate PASS" in out
+        assert "verdict: OK" in out
+
+    def test_forced_canary_failure_exits_one(self, capsys):
+        assert main(
+            self.SMALL + ["--fail", "canary", "--json"]
+        ) == EXIT_FINDINGS
+        report = json.loads(capsys.readouterr().out)
+        assert report["rollback"]["triggered"] is True
+        assert report["devices_on_target"] == []
+
+    @pytest.mark.parametrize(
+        "extra",
+        [
+            ["--devices", "0"],
+            ["--canary", "0"],
+            ["--chunk-size", "0"],
+            ["--attempts", "0"],
+            ["--workers", "0"],
+            ["--cohort", "99"],
+        ],
+    )
+    def test_bad_values_are_usage_errors(self, extra, capsys):
+        assert main(self.SMALL + extra) == EXIT_USAGE
+        assert "ota:" in capsys.readouterr().err
+
+
+class TestLintContainer:
+    def test_signed_demo_container_is_clean(self, capsys):
+        assert main(["lint", "--container", "signed"]) == EXIT_OK
+        assert "no findings" in capsys.readouterr().out
+
+    @pytest.mark.parametrize(
+        ("kind", "rule"),
+        [
+            ("unsigned", "TL-OTA-002"),
+            ("wrong-key", "TL-OTA-001"),
+            ("rollback", "TL-OTA-003"),
+            ("tampered", "TL-OTA-004"),
+            ("truncated", "TL-OTA-005"),
+        ],
+    )
+    def test_each_defect_hits_its_rule(self, kind, rule, capsys):
+        assert main(
+            ["lint", "--container", kind, "--json"]
+        ) == EXIT_FINDINGS
+        report = json.loads(capsys.readouterr().out)
+        assert {f["rule"] for f in report["findings"]} == {rule}
